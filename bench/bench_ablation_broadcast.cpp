@@ -1,0 +1,99 @@
+// Ablation: broadcast cost — flooding vs dominating-set relay vs the
+// BFS-tree reference (the paper's introduction motivates the backbone as
+// the cure for flooding's waste).
+#include <iostream>
+
+#include "bench_util.h"
+#include "protocol/broadcast.h"
+
+using namespace geospanner;
+
+int main() {
+    const double side = 250.0;
+    const double radius = 60.0;
+    const std::size_t trials = bench::trials_or(15);
+
+    std::cout << "=== Ablation: broadcast transmissions vs node density (R=" << radius
+              << ", " << trials << " instances/point) ===\n\n";
+
+    io::Table table({"n", "flooding tx", "backbone tx", "BFS-tree tx",
+                     "backbone saving %", "backbone rounds / flood rounds"});
+    for (std::size_t n = 20; n <= 100; n += 20) {
+        bench::MaxAvg flood_tx, backbone_tx, tree_tx, saving, round_ratio;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto instance = bench::make_instance(n, side, radius, 9900 + trial,
+                                                       core::Engine::kCentralized);
+            if (!instance) continue;
+            const auto flood = protocol::flood_broadcast(instance->udg, 0);
+            const auto backbone =
+                protocol::backbone_broadcast(instance->udg, instance->backbone.in_backbone, 0);
+            const auto tree = protocol::tree_broadcast(instance->udg, 0);
+            flood_tx.add(static_cast<double>(flood.transmissions));
+            backbone_tx.add(static_cast<double>(backbone.transmissions));
+            tree_tx.add(static_cast<double>(tree.transmissions));
+            saving.add(100.0 * (1.0 - static_cast<double>(backbone.transmissions) /
+                                          static_cast<double>(flood.transmissions)));
+            round_ratio.add(static_cast<double>(backbone.rounds) /
+                            static_cast<double>(flood.rounds));
+        }
+        table.begin_row()
+            .cell(n)
+            .cell(flood_tx.avg())
+            .cell(backbone_tx.avg())
+            .cell(tree_tx.avg())
+            .cell(saving.avg(), 1)
+            .cell(round_ratio.avg());
+    }
+    io::maybe_write_csv("ablation_broadcast", table);
+    std::cout << table.str()
+              << "\nthe denser the network, the bigger the backbone's broadcast\n"
+                 "saving (only the ~constant-density backbone retransmits), at a\n"
+                 "small latency factor from detouring through the CDS.\n\n";
+
+    // Collision model: coverage under a shared slotted medium where
+    // simultaneous neighbor transmissions collide. Many contenders
+    // (flooding) collide far more than the sparse backbone — the paper's
+    // throughput argument, measured.
+    std::cout << "coverage %% under MAC collisions (n=100, one transmission per relay,\n"
+                 "uniform backoff in a contention window; avg over instances x 10 "
+                 "backoff seeds):\n";
+    io::Table collision_table({"window", "flooding coverage %", "backbone coverage %"});
+    const std::size_t n = 100;
+    for (const std::size_t window : {2u, 4u, 8u, 16u, 32u}) {
+        bench::MaxAvg flood_cov, backbone_cov;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto instance = bench::make_instance(n, side, radius, 9900 + trial,
+                                                       core::Engine::kCentralized);
+            if (!instance) continue;
+            const std::vector<bool> all(n, true);
+            for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+                protocol::CollisionConfig config;
+                config.window = window;
+                config.seed = seed;
+                flood_cov.add(
+                    100.0 *
+                    static_cast<double>(
+                        protocol::collision_broadcast(instance->udg, all, 0, config)
+                            .covered) /
+                    static_cast<double>(n));
+                backbone_cov.add(
+                    100.0 *
+                    static_cast<double>(
+                        protocol::collision_broadcast(instance->udg,
+                                                      instance->backbone.in_backbone, 0,
+                                                      config)
+                            .covered) /
+                    static_cast<double>(n));
+            }
+        }
+        collision_table.begin_row().cell(window).cell(flood_cov.avg(), 1).cell(
+            backbone_cov.avg(), 1);
+    }
+    io::maybe_write_csv("ablation_broadcast_collisions", collision_table);
+    std::cout << collision_table.str()
+              << "\nboth reach ~everything once the window absorbs the contention;\n"
+                 "flooding's redundant relays buy it a sliver of extra collision\n"
+                 "tolerance, but the backbone matches its coverage within ~1% while\n"
+                 "transmitting roughly half as often.\n";
+    return 0;
+}

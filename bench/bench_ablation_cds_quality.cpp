@@ -1,0 +1,55 @@
+// Ablation: approximation quality of the elected backbone against the
+// exact minimum connected dominating set (exhaustive search, so small
+// instances). Validates the paper's "within a constant factor of the
+// optimum" claim empirically and shows where the slack comes from
+// (redundant connectors vs the dominator count itself).
+#include <iostream>
+
+#include "bench_util.h"
+#include "protocol/mcds_exact.h"
+
+using namespace geospanner;
+
+int main() {
+    const double side = 90.0;
+    const double radius = 40.0;
+    const std::size_t trials = bench::trials_or(30);
+
+    std::cout << "=== Ablation: backbone size vs exact MCDS (R=" << radius << ", "
+              << trials << " instances/point) ===\n\n";
+
+    io::Table table({"n", "|MCDS| avg", "dominators avg", "backbone avg",
+                     "dom/MCDS avg", "backbone/MCDS avg", "backbone/MCDS max"});
+    for (const std::size_t n : {8u, 10u, 12u, 14u}) {
+        bench::MaxAvg opt, doms, backbone, dom_ratio, bb_ratio;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto instance = bench::make_instance(n, side, radius, 7000 + trial * 7,
+                                                       core::Engine::kCentralized);
+            if (!instance) continue;
+            const auto mcds = protocol::minimum_connected_dominating_set(instance->udg);
+            if (!mcds) continue;
+            const auto& bb = instance->backbone;
+            opt.add(static_cast<double>(mcds->size()));
+            doms.add(static_cast<double>(bb.cluster.dominator_count()));
+            backbone.add(static_cast<double>(bb.backbone_size()));
+            dom_ratio.add(static_cast<double>(bb.cluster.dominator_count()) /
+                          static_cast<double>(mcds->size()));
+            bb_ratio.add(static_cast<double>(bb.backbone_size()) /
+                         static_cast<double>(mcds->size()));
+        }
+        table.begin_row()
+            .cell(n)
+            .cell(opt.avg())
+            .cell(doms.avg())
+            .cell(backbone.avg())
+            .cell(dom_ratio.avg())
+            .cell(bb_ratio.avg())
+            .cell(bb_ratio.max);
+    }
+    io::maybe_write_csv("ablation_cds_quality", table);
+    std::cout << table.str()
+              << "\nthe dominator set alone tracks the optimum closely; the\n"
+                 "constant-factor slack comes from the redundant connectors the\n"
+                 "election keeps for robustness.\n";
+    return 0;
+}

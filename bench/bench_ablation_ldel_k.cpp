@@ -1,0 +1,74 @@
+// Ablation: planarization variant — LDel¹ + Algorithm 3 (the paper's
+// choice) vs LDel² (planar from 2-hop knowledge, no planarization pass).
+//
+// Measures what the extra hop of knowledge buys and costs on the full
+// pipeline: backbone graph size, stretch, and the per-node communication
+// cost of the localized-Delaunay stage.
+#include <iostream>
+
+#include "bench_util.h"
+#include "graph/metrics.h"
+#include "graph/planarity.h"
+
+using namespace geospanner;
+
+int main() {
+    const std::size_t n = 100;
+    const double side = 250.0;
+    const double radius = 60.0;
+    const std::size_t trials = bench::trials_or(15);
+
+    std::cout << "=== Ablation: LDel1+planarize vs LDel2 backbone (n=" << n
+              << ", R=" << radius << ", " << trials << " instances) ===\n\n";
+
+    io::Table table({"planarizer", "LDel(ICDS) edges", "triangles", "len avg", "hop avg",
+                     "msgs max", "msgs avg", "units max", "planar"});
+    for (const auto planarizer : {core::Planarizer::kLdel1, core::Planarizer::kLdel2}) {
+        bench::MaxAvg edges, triangles, len_avg, hop_avg, msg_max, msg_avg, unit_max;
+        bool always_planar = true;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            core::WorkloadConfig config;
+            config.node_count = n;
+            config.side = side;
+            config.radius = radius;
+            config.seed = 8800 + trial;
+            const auto udg = core::random_connected_udg(config);
+            if (!udg) continue;
+            core::BuildOptions options;
+            options.engine = core::Engine::kDistributed;
+            options.planarizer = planarizer;
+            const core::Backbone bb = core::build_backbone(*udg, options);
+
+            edges.add(static_cast<double>(bb.ldel_icds.edge_count()));
+            triangles.add(static_cast<double>(bb.ldel_triangles.size()));
+            len_avg.add(graph::length_stretch(*udg, bb.ldel_icds_prime, radius).avg);
+            hop_avg.add(graph::hop_stretch(*udg, bb.ldel_icds_prime, radius).avg);
+            msg_max.add(
+                static_cast<double>(core::MessageStats::max_of(bb.messages.after_ldel)));
+            msg_avg.add(core::MessageStats::avg_of(bb.messages.after_ldel));
+            unit_max.add(
+                static_cast<double>(core::MessageStats::max_of(bb.messages.ldel_units)));
+            always_planar &= graph::is_plane_embedding(bb.ldel_icds);
+        }
+        table.begin_row()
+            .cell(planarizer == core::Planarizer::kLdel1 ? std::string("LDel1+Alg3")
+                                                         : std::string("LDel2"))
+            .cell(edges.avg())
+            .cell(triangles.avg())
+            .cell(len_avg.avg())
+            .cell(hop_avg.avg())
+            .cell(msg_max.max, 0)
+            .cell(msg_avg.avg())
+            .cell(unit_max.max, 0)
+            .cell(always_planar ? std::string("yes") : std::string("NO"));
+    }
+    io::maybe_write_csv("ablation_ldel_k", table);
+    std::cout << table.str()
+              << "\non random instances the two planarizers typically produce the\n"
+                 "same triangle set (2-hop-only witnesses are rare). LDel2 trades the\n"
+                 "two triangle-batch broadcasts of Algorithm 3 for one neighbor-list\n"
+                 "broadcast; on the sparse bounded-degree ICDS the lists are small,\n"
+                 "so LDel2 even wins on payload units. Both are planar with\n"
+                 "identical stretch.\n";
+    return 0;
+}

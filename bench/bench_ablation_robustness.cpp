@@ -1,0 +1,129 @@
+// Ablation: backbone redundancy vs fault tolerance.
+//
+// Algorithm 1 keeps multiple connectors per dominator pair; this bench
+// measures what that buys. For the elected backbone and its greedily
+// pruned (inclusion-minimal) counterpart, we knock out every single
+// backbone node in turn and count how often the surviving backbone
+// still spans the surviving dominators.
+#include <iostream>
+
+#include "bench_util.h"
+#include "graph/shortest_paths.h"
+#include "graph/articulation.h"
+#include "protocol/pruning.h"
+
+using namespace geospanner;
+
+namespace {
+
+/// Fraction of single-node knockouts (over backbone nodes) that leave
+/// the remaining dominators connected through the remaining backbone.
+double single_failure_survival(const graph::GeometricGraph& udg,
+                               const protocol::ClusterState& cluster,
+                               const protocol::ConnectorState& conn) {
+    const auto n = static_cast<graph::NodeId>(udg.node_count());
+    std::size_t backbone_nodes = 0;
+    std::size_t survived = 0;
+    for (graph::NodeId dead = 0; dead < n; ++dead) {
+        const bool is_backbone = cluster.is_dominator(dead) || conn.is_connector[dead];
+        if (!is_backbone) continue;
+        ++backbone_nodes;
+        graph::GeometricGraph g(udg.points());
+        for (const auto& [u, v] : conn.cds_edges) {
+            if (u != dead && v != dead) g.add_edge(u, v);
+        }
+        std::vector<bool> members(n, false);
+        for (graph::NodeId v = 0; v < n; ++v) {
+            members[v] = v != dead && (cluster.is_dominator(v) || conn.is_connector[v]);
+        }
+        if (graph::is_connected_on(g, members)) ++survived;
+    }
+    return backbone_nodes == 0
+               ? 1.0
+               : static_cast<double>(survived) / static_cast<double>(backbone_nodes);
+}
+
+}  // namespace
+
+int main() {
+    const std::size_t n = 100;
+    const double side = 250.0;
+    const double radius = 60.0;
+    const std::size_t trials = bench::trials_or(10);
+
+    std::cout << "=== Ablation: connector redundancy vs fault tolerance (n=" << n
+              << ", R=" << radius << ", " << trials << " instances) ===\n\n";
+
+    io::Table table({"backbone", "size avg", "edges avg", "1-failure survival %",
+                     "cut vertices avg"});
+    bench::MaxAvg full_size, full_edges, full_survival, full_cuts;
+    bench::MaxAvg alz_size, alz_edges, alz_survival, alz_cuts;
+    bench::MaxAvg pruned_size, pruned_edges, pruned_survival, pruned_cuts;
+
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+        const auto instance = bench::make_instance(n, side, radius, 3000 + trial,
+                                                   core::Engine::kCentralized);
+        if (!instance) continue;
+        const auto& udg = instance->udg;
+        const protocol::ClusterState cluster = protocol::cluster_reference(udg);
+        const protocol::ConnectorState full = protocol::find_connectors(udg, cluster);
+        const protocol::ConnectorState alzoubi =
+            protocol::find_connectors_alzoubi(udg, cluster);
+        const protocol::ConnectorState pruned =
+            protocol::prune_connectors(udg, cluster, full);
+
+        const auto size_of = [&](const protocol::ConnectorState& c) {
+            std::size_t s = cluster.dominator_count();
+            for (const bool b : c.is_connector) s += b ? 1 : 0;
+            return static_cast<double>(s);
+        };
+        const auto cuts_of = [&](const protocol::ConnectorState& c) {
+            graph::GeometricGraph cds(udg.points());
+            for (const auto& [u, v] : c.cds_edges) cds.add_edge(u, v);
+            std::vector<bool> members(udg.node_count());
+            for (graph::NodeId v = 0; v < udg.node_count(); ++v) {
+                members[v] = cluster.is_dominator(v) || c.is_connector[v];
+            }
+            return static_cast<double>(graph::articulation_count_within(cds, members));
+        };
+        full_size.add(size_of(full));
+        full_edges.add(static_cast<double>(full.cds_edges.size()));
+        full_survival.add(100.0 * single_failure_survival(udg, cluster, full));
+        full_cuts.add(cuts_of(full));
+        alz_size.add(size_of(alzoubi));
+        alz_edges.add(static_cast<double>(alzoubi.cds_edges.size()));
+        alz_survival.add(100.0 * single_failure_survival(udg, cluster, alzoubi));
+        alz_cuts.add(cuts_of(alzoubi));
+        pruned_size.add(size_of(pruned));
+        pruned_edges.add(static_cast<double>(pruned.cds_edges.size()));
+        pruned_survival.add(100.0 * single_failure_survival(udg, cluster, pruned));
+        pruned_cuts.add(cuts_of(pruned));
+    }
+
+    table.begin_row()
+        .cell(std::string("elected (Algorithm 1)"))
+        .cell(full_size.avg())
+        .cell(full_edges.avg())
+        .cell(full_survival.avg(), 1)
+        .cell(full_cuts.avg(), 1);
+    table.begin_row()
+        .cell(std::string("Alzoubi single-path"))
+        .cell(alz_size.avg())
+        .cell(alz_edges.avg())
+        .cell(alz_survival.avg(), 1)
+        .cell(alz_cuts.avg(), 1);
+    table.begin_row()
+        .cell(std::string("pruned minimal"))
+        .cell(pruned_size.avg())
+        .cell(pruned_edges.avg())
+        .cell(pruned_survival.avg(), 1)
+        .cell(pruned_cuts.avg(), 1);
+    io::maybe_write_csv("ablation_robustness", table);
+    std::cout << table.str()
+              << "\nboth connector schemes cover every nearby dominator pair and so\n"
+                 "retain path diversity (one path per ordered pair still overlaps\n"
+                 "heavily across pairs), absorbing nearly all single-node failures;\n"
+                 "only the inclusion-minimal pruning destroys that redundancy, and\n"
+                 "with it the fault tolerance.\n";
+    return 0;
+}

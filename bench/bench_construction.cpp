@@ -1,0 +1,136 @@
+// Computation-cost micro-benchmarks (the paper's O(d log d) per-node
+// claim and overall construction throughput), using google-benchmark.
+//
+// Series:
+//  * exact-filtered predicates (orientation, in-circle);
+//  * Delaunay triangulation of n points;
+//  * per-node local Delaunay as a function of neighborhood size d —
+//    the paper's per-node computation cost;
+//  * UDG construction;
+//  * full backbone pipeline, centralized and distributed engines.
+#include <benchmark/benchmark.h>
+
+#include "core/backbone.h"
+#include "core/workload.h"
+#include "delaunay/delaunay.h"
+#include "geom/predicates.h"
+#include "proximity/ldel.h"
+#include "proximity/udg.h"
+#include "random/rng.h"
+
+using namespace geospanner;
+
+namespace {
+
+std::vector<geom::Point> points(std::size_t n, double side, std::uint64_t seed) {
+    rnd::Xoshiro256 rng(seed);
+    std::vector<geom::Point> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+    }
+    return pts;
+}
+
+void BM_Orient(benchmark::State& state) {
+    const auto pts = points(1024, 100.0, 1);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& a = pts[i % 1024];
+        const auto& b = pts[(i + 7) % 1024];
+        const auto& c = pts[(i + 131) % 1024];
+        benchmark::DoNotOptimize(geom::orient_sign(a, b, c));
+        ++i;
+    }
+}
+BENCHMARK(BM_Orient);
+
+void BM_InCircle(benchmark::State& state) {
+    const auto pts = points(1024, 100.0, 2);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(geom::in_circumcircle(pts[i % 1024], pts[(i + 7) % 1024],
+                                                       pts[(i + 131) % 1024],
+                                                       pts[(i + 523) % 1024]));
+        ++i;
+    }
+}
+BENCHMARK(BM_InCircle);
+
+void BM_Delaunay(benchmark::State& state) {
+    const auto pts = points(static_cast<std::size_t>(state.range(0)), 1000.0, 3);
+    for (auto _ : state) {
+        const delaunay::DelaunayTriangulation del(pts);
+        benchmark::DoNotOptimize(del.triangles().size());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Delaunay)->Range(32, 1024)->Complexity();
+
+void BM_LocalDelaunayPerNode(benchmark::State& state) {
+    // A node with d neighbors computes Del(N1): the paper's per-node
+    // O(d log d) computation. Neighborhood drawn inside the unit disk.
+    const auto d = static_cast<std::size_t>(state.range(0));
+    rnd::Xoshiro256 rng(4);
+    std::vector<geom::Point> pts{{0.0, 0.0}};
+    while (pts.size() < d + 1) {
+        const geom::Point p{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+        if (geom::squared_norm(p) <= 1.0) pts.push_back(p);
+    }
+    const auto udg = proximity::build_udg(pts, 1.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(proximity::local_triangles_at(udg, 0).size());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LocalDelaunayPerNode)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_BuildUdg(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto pts = points(n, 250.0, 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(proximity::build_udg(pts, 60.0).edge_count());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildUdg)->Range(64, 1024)->Complexity();
+
+void BM_BackboneCentralized(benchmark::State& state) {
+    core::WorkloadConfig config;
+    config.node_count = static_cast<std::size_t>(state.range(0));
+    config.side = 250.0;
+    config.radius = 60.0;
+    config.seed = 6;
+    const auto udg = core::random_connected_udg(config);
+    if (!udg) {
+        state.SkipWithError("no connected instance");
+        return;
+    }
+    for (auto _ : state) {
+        const auto bb = core::build_backbone(*udg, {core::Engine::kCentralized});
+        benchmark::DoNotOptimize(bb.ldel_icds.edge_count());
+    }
+}
+BENCHMARK(BM_BackboneCentralized)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_BackboneDistributed(benchmark::State& state) {
+    core::WorkloadConfig config;
+    config.node_count = static_cast<std::size_t>(state.range(0));
+    config.side = 250.0;
+    config.radius = 60.0;
+    config.seed = 7;
+    const auto udg = core::random_connected_udg(config);
+    if (!udg) {
+        state.SkipWithError("no connected instance");
+        return;
+    }
+    for (auto _ : state) {
+        const auto bb = core::build_backbone(*udg, {core::Engine::kDistributed});
+        benchmark::DoNotOptimize(bb.messages.after_ldel.size());
+    }
+}
+BENCHMARK(BM_BackboneDistributed)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

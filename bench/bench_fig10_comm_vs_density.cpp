@@ -1,0 +1,56 @@
+// Figure 10 reproduction: per-node communication cost (broadcast count,
+// max and average) to build CDS, ICDS, and LDel(ICDS), vs node density
+// (n = 20..100, R = 60). Runs the actual distributed protocols on the
+// round-based simulator.
+//
+// Expected shape: flat-ish in n (constant messages per node); the gap
+// between LDel(ICDS) and CDS is roughly fixed (the localized Delaunay
+// negotiation cost depends on the bounded ICDS degree, not on n).
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace geospanner;
+
+int main() {
+    const double side = 250.0;
+    const double radius = 60.0;
+    const std::size_t trials = bench::trials_or(20);
+
+    std::cout << "=== Figure 10: communication cost vs node density (R=" << radius
+              << ", " << trials << " instances/point) ===\n"
+              << "cost = broadcasts per node, cumulative per construction stage\n\n";
+
+    io::Table max_table({"n", "CDS max", "ICDS max", "LDelICDS max"});
+    io::Table avg_table({"n", "CDS avg", "ICDS avg", "LDelICDS avg"});
+
+    for (std::size_t n = 20; n <= 100; n += 10) {
+        bench::MaxAvg cds_max, icds_max, ldel_max;
+        bench::MaxAvg cds_avg, icds_avg, ldel_avg;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto instance = bench::make_instance(n, side, radius, 10000 + trial,
+                                                       core::Engine::kDistributed);
+            if (!instance) continue;
+            const auto& m = instance->backbone.messages;
+            cds_max.add(static_cast<double>(core::MessageStats::max_of(m.after_cds)));
+            icds_max.add(static_cast<double>(core::MessageStats::max_of(m.after_icds)));
+            ldel_max.add(static_cast<double>(core::MessageStats::max_of(m.after_ldel)));
+            cds_avg.add(core::MessageStats::avg_of(m.after_cds));
+            icds_avg.add(core::MessageStats::avg_of(m.after_icds));
+            ldel_avg.add(core::MessageStats::avg_of(m.after_ldel));
+        }
+        max_table.begin_row().cell(n).cell(cds_max.max, 0).cell(icds_max.max, 0).cell(
+            ldel_max.max, 0);
+        avg_table.begin_row().cell(n).cell(cds_avg.avg()).cell(icds_avg.avg()).cell(
+            ldel_avg.avg());
+    }
+
+    io::maybe_write_csv("fig10_comm_max", max_table);
+    io::maybe_write_csv("fig10_comm_avg", avg_table);
+    std::cout << "maximum communication cost (max over instances):\n" << max_table.str()
+              << "\naverage communication cost (mean over instances):\n"
+              << avg_table.str()
+              << "\nexpected shape (paper Fig. 10): max cost ~20-60 and roughly flat in\n"
+                 "n; LDel(ICDS) minus CDS roughly constant.\n";
+    return 0;
+}

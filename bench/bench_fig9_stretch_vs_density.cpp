@@ -1,0 +1,62 @@
+// Figure 9 reproduction: spanning ratios (length and hop stretch, max
+// and average) of CDS', ICDS', LDel(ICDS') vs node density
+// (n = 20..100, R = 60).
+//
+// Expected shape: flat, small constants — the stretch factors do not
+// grow with density (that is the spanner property).
+#include <iostream>
+
+#include "bench_util.h"
+#include "graph/metrics.h"
+
+using namespace geospanner;
+
+int main() {
+    const double side = 250.0;
+    const double radius = 60.0;
+    const std::size_t trials = bench::trials_or(20);
+
+    std::cout << "=== Figure 9: spanning ratios vs node density (R=" << radius << ", "
+              << trials << " instances/point) ===\n"
+              << "stretch over pairs more than one radius apart\n\n";
+
+    io::Table max_table({"n", "CDS' len", "CDS' hop", "ICDS' len", "ICDS' hop",
+                         "LDelICDS' len", "LDelICDS' hop"});
+    io::Table avg_table({"n", "CDS' len", "CDS' hop", "ICDS' len", "ICDS' hop",
+                         "LDelICDS' len", "LDelICDS' hop"});
+
+    for (std::size_t n = 20; n <= 100; n += 10) {
+        bench::MaxAvg len_max[3], len_avg[3], hop_max[3], hop_avg[3];
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const auto instance = bench::make_instance(n, side, radius, 9000 + trial,
+                                                       core::Engine::kCentralized);
+            if (!instance) continue;
+            const auto& udg = instance->udg;
+            const auto& bb = instance->backbone;
+            const graph::GeometricGraph* topos[3] = {&bb.cds_prime, &bb.icds_prime,
+                                                     &bb.ldel_icds_prime};
+            for (int i = 0; i < 3; ++i) {
+                const auto len = graph::length_stretch(udg, *topos[i], radius);
+                const auto hop = graph::hop_stretch(udg, *topos[i], radius);
+                len_max[i].add(len.max);
+                len_avg[i].add(len.avg);
+                hop_max[i].add(hop.max);
+                hop_avg[i].add(hop.avg);
+            }
+        }
+        max_table.begin_row().cell(n);
+        avg_table.begin_row().cell(n);
+        for (int i = 0; i < 3; ++i) {
+            max_table.cell(len_max[i].max).cell(hop_max[i].max);
+            avg_table.cell(len_avg[i].avg()).cell(hop_avg[i].avg());
+        }
+    }
+
+    io::maybe_write_csv("fig9_stretch_max", max_table);
+    io::maybe_write_csv("fig9_stretch_avg", avg_table);
+    std::cout << "maximum spanning ratios (max over instances):\n" << max_table.str()
+              << "\naverage spanning ratios (mean over instances):\n" << avg_table.str()
+              << "\nexpected shape (paper Fig. 9): both ratios flat in n; averages\n"
+                 "~1.2-1.5, maxima a small constant (paper ~2.5-4).\n";
+    return 0;
+}

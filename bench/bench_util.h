@@ -1,0 +1,64 @@
+// Shared helpers for the benchmark harness (one binary per paper table
+// or figure). Every bench prints aligned-column tables of the same
+// series the paper plots; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/workload.h"
+#include "io/table.h"
+
+namespace geospanner::bench {
+
+/// Environment-tunable trial count so CI can shrink runs:
+/// GS_BENCH_TRIALS overrides the default.
+inline std::size_t trials_or(std::size_t default_trials) {
+    if (const char* env = std::getenv("GS_BENCH_TRIALS")) {
+        const auto v = std::strtoul(env, nullptr, 10);
+        if (v > 0) return v;
+    }
+    return default_trials;
+}
+
+/// One experiment instance: a connected UDG and the full backbone built
+/// with the requested engine. Seeds are derived from (base_seed, trial).
+struct Instance {
+    graph::GeometricGraph udg;
+    core::Backbone backbone;
+};
+
+inline std::optional<Instance> make_instance(std::size_t n, double side, double radius,
+                                             std::uint64_t seed, core::Engine engine) {
+    core::WorkloadConfig config;
+    config.node_count = n;
+    config.side = side;
+    config.radius = radius;
+    config.seed = seed;
+    auto udg = core::random_connected_udg(config);
+    if (!udg) return std::nullopt;
+    Instance instance{std::move(*udg), {}};
+    instance.backbone = core::build_backbone(instance.udg, {engine});
+    return instance;
+}
+
+/// Running max / mean accumulator for per-instance statistics.
+struct MaxAvg {
+    double max = 0.0;
+    double sum = 0.0;
+    std::size_t count = 0;
+
+    void add(double value) {
+        max = std::max(max, value);
+        sum += value;
+        ++count;
+    }
+    [[nodiscard]] double avg() const {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+};
+
+}  // namespace geospanner::bench

@@ -1,0 +1,70 @@
+// Mobility: the paper argues the backbone only needs updating when a
+// link it actually uses breaks, and leaves dynamic maintenance as future
+// work. This demo runs the standard random-waypoint mobility model and
+// the epoch-driven maintenance policy (src/mobility): per epoch, the
+// backbone survives unless one of its used links stretched beyond the
+// transmission range, in which case it is rebuilt with the distributed
+// protocols (broadcast cost accounted).
+//
+//   $ ./mobility [n] [side] [radius] [epochs] [max_speed] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/workload.h"
+#include "io/table.h"
+#include "mobility/maintenance.h"
+#include "mobility/waypoint.h"
+
+using namespace geospanner;
+
+int main(int argc, char** argv) {
+    core::WorkloadConfig config;
+    config.node_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+    config.side = argc > 2 ? std::strtod(argv[2], nullptr) : 250.0;
+    config.radius = argc > 3 ? std::strtod(argv[3], nullptr) : 60.0;
+    const std::size_t epochs = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 300;
+    const double max_speed = argc > 5 ? std::strtod(argv[5], nullptr) : 1.5;
+    config.seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 31;
+
+    const auto udg = core::random_connected_udg(config);
+    if (!udg) {
+        std::cerr << "no connected instance at this density\n";
+        return 1;
+    }
+
+    std::cout << "mobility: n=" << config.node_count << " radius=" << config.radius
+              << " epochs=" << epochs << "\n\n";
+    io::Table table({"max speed", "intact epochs %", "rebuilds", "longest lifetime",
+                     "broadcasts/rebuild"});
+    for (const double speed : {max_speed / 4, max_speed / 2, max_speed}) {
+        mobility::WaypointConfig wp;
+        wp.side = config.side;
+        wp.min_speed = speed / 3.0;
+        wp.max_speed = speed;
+        wp.pause = 5.0;
+        wp.seed = config.seed ^ 0x5eed;
+
+        mobility::RandomWaypointModel model(udg->points(), wp);
+        mobility::MaintainedBackbone mb(udg->points(), config.radius,
+                                        {core::Engine::kDistributed});
+        for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+            model.advance(1.0);
+            mb.update(model.positions());
+        }
+        const auto& stats = mb.stats();
+        table.begin_row()
+            .cell(speed)
+            .cell(100.0 * static_cast<double>(stats.intact_epochs) /
+                      static_cast<double>(stats.epochs),
+                  1)
+            .cell(stats.rebuilds)
+            .cell(stats.longest_lifetime)
+            .cell(stats.broadcasts_per_rebuild());
+    }
+    std::cout << table.str()
+              << "\nslower movement -> backbones survive many epochs untouched; the\n"
+                 "logical (planar) topology stays valid while its links hold, so\n"
+                 "maintenance cost scales with link-breakage rate, not with motion\n"
+                 "per se — the paper's central mobility argument.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: build the paper's planar backbone for a random wireless
+// network and print what you got.
+//
+//   $ ./quickstart [n] [side] [radius] [seed]
+//
+// Walks the full pipeline: random connected UDG -> distributed
+// clustering -> connector election -> induced backbone -> localized
+// Delaunay planarization, then reports sizes, degrees, stretch factors,
+// and per-node communication cost.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/backbone.h"
+#include "core/report.h"
+#include "core/workload.h"
+#include "graph/metrics.h"
+#include "graph/planarity.h"
+#include "io/table.h"
+
+using namespace geospanner;
+
+int main(int argc, char** argv) {
+    core::WorkloadConfig config;
+    config.node_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+    config.side = argc > 2 ? std::strtod(argv[2], nullptr) : 250.0;
+    config.radius = argc > 3 ? std::strtod(argv[3], nullptr) : 60.0;
+    config.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2002;
+
+    std::cout << "geospanner quickstart: n=" << config.node_count
+              << " side=" << config.side << " radius=" << config.radius
+              << " seed=" << config.seed << "\n\n";
+
+    const auto udg = core::random_connected_udg(config);
+    if (!udg) {
+        std::cerr << "could not generate a connected unit disk graph at this "
+                     "density; increase the radius or node count\n";
+        return 1;
+    }
+
+    // Build every backbone structure with the real distributed protocols.
+    const core::Backbone bb = core::build_backbone(*udg, {core::Engine::kDistributed});
+
+    std::size_t dominators = bb.cluster.dominator_count();
+    std::size_t connectors = 0;
+    for (const bool c : bb.is_connector) connectors += c ? 1 : 0;
+    std::cout << "nodes: " << udg->node_count() << "  UDG edges: " << udg->edge_count()
+              << "\nbackbone: " << dominators << " dominators + " << connectors
+              << " connectors = " << bb.backbone_size() << " nodes\n"
+              << "LDel(ICDS) planar: "
+              << (graph::is_plane_embedding(bb.ldel_icds) ? "yes" : "NO (bug!)")
+              << ", triangles kept: " << bb.ldel_triangles.size() << "\n\n";
+
+    io::Table table({"topology", "deg avg", "deg max", "len avg", "len max", "hop avg",
+                     "hop max", "edges"});
+    const auto add_row = [&](const char* name, const graph::GeometricGraph& topo,
+                             bool spanning) {
+        // Stretch over pairs more than one transmission radius apart,
+        // matching the paper's measurement convention.
+        const auto r = core::measure_topology(name, *udg, topo, spanning, config.radius);
+        table.begin_row().cell(std::string(name)).cell(r.degree.avg).cell(r.degree.max);
+        if (spanning) {
+            table.cell(r.length.avg).cell(r.length.max).cell(r.hops.avg).cell(r.hops.max);
+        } else {
+            table.dash().dash().dash().dash();
+        }
+        table.cell(r.edges);
+    };
+    add_row("UDG", *udg, true);
+    add_row("CDS", bb.cds, false);
+    add_row("CDS'", bb.cds_prime, true);
+    add_row("ICDS", bb.icds, false);
+    add_row("ICDS'", bb.icds_prime, true);
+    add_row("LDel(ICDS)", bb.ldel_icds, false);
+    add_row("LDel(ICDS')", bb.ldel_icds_prime, true);
+    std::cout << table.str() << '\n';
+
+    std::cout << "communication cost per node (broadcasts):\n"
+              << "  CDS:        max " << core::MessageStats::max_of(bb.messages.after_cds)
+              << ", avg " << core::MessageStats::avg_of(bb.messages.after_cds) << "\n"
+              << "  ICDS:       max " << core::MessageStats::max_of(bb.messages.after_icds)
+              << ", avg " << core::MessageStats::avg_of(bb.messages.after_icds) << "\n"
+              << "  LDel(ICDS): max " << core::MessageStats::max_of(bb.messages.after_ldel)
+              << ", avg " << core::MessageStats::avg_of(bb.messages.after_ldel) << "\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Geographic routing on the planar backbone: compares greedy, GFG on the
+// planarized localized Delaunay graph, and hierarchical dominating-set
+// routing against the true shortest paths, over many random source/
+// destination pairs.
+//
+//   $ ./routing_demo [n] [side] [radius] [seed] [pairs]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/backbone.h"
+#include "core/workload.h"
+#include "graph/shortest_paths.h"
+#include "io/table.h"
+#include "proximity/ldel.h"
+#include "random/rng.h"
+#include "routing/backbone_routing.h"
+#include "routing/router.h"
+
+using namespace geospanner;
+
+int main(int argc, char** argv) {
+    core::WorkloadConfig config;
+    config.node_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 150;
+    config.side = argc > 2 ? std::strtod(argv[2], nullptr) : 300.0;
+    config.radius = argc > 3 ? std::strtod(argv[3], nullptr) : 42.0;
+    config.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 99;
+    const std::size_t pairs = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 400;
+
+    const auto udg = core::random_connected_udg(config);
+    if (!udg) {
+        std::cerr << "no connected instance at this density\n";
+        return 1;
+    }
+    const core::Backbone bb = core::build_backbone(*udg, {core::Engine::kCentralized});
+    const auto pldel = proximity::build_pldel(*udg);
+
+    const routing::Router greedy_router(*udg);       // Greedy over the raw UDG.
+    const routing::Router pldel_router(pldel);       // GFG over planar PLDel(V).
+    const routing::BackboneRouter backbone_router(bb, *udg);
+
+    struct Tally {
+        std::size_t delivered = 0;
+        double hop_stretch_sum = 0.0;
+        double len_stretch_sum = 0.0;
+    };
+    Tally greedy_tally;
+    Tally gfg_tally;
+    Tally backbone_tally;
+
+    rnd::Xoshiro256 rng(config.seed ^ 0xabcdef);
+    const auto n = static_cast<graph::NodeId>(udg->node_count());
+    std::size_t measured = 0;
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const auto s = static_cast<graph::NodeId>(rng.below(n));
+        const auto t = static_cast<graph::NodeId>(rng.below(n));
+        if (s == t) continue;
+        ++measured;
+        const auto opt_hops = graph::bfs_hops(*udg, s)[t];
+        const auto opt_len = graph::dijkstra_lengths(*udg, s)[t];
+
+        const auto account = [&](Tally& tally, const routing::RouteResult& r) {
+            if (!r.delivered) return;
+            ++tally.delivered;
+            tally.hop_stretch_sum += static_cast<double>(r.hops()) / opt_hops;
+            tally.len_stretch_sum += r.length(*udg) / opt_len;
+        };
+        account(greedy_tally, greedy_router.greedy(s, t));
+        account(gfg_tally, pldel_router.gfg(s, t));
+        account(backbone_tally, backbone_router.route(s, t));
+    }
+
+    std::cout << "routing_demo: n=" << n << " radius=" << config.radius << " pairs="
+              << measured << "\n\n";
+    io::Table table({"protocol", "delivery %", "avg hop stretch", "avg len stretch"});
+    const auto row = [&](const char* name, const Tally& tally) {
+        table.begin_row().cell(std::string(name));
+        table.cell(100.0 * static_cast<double>(tally.delivered) /
+                   static_cast<double>(measured), 1);
+        if (tally.delivered > 0) {
+            table.cell(tally.hop_stretch_sum / static_cast<double>(tally.delivered));
+            table.cell(tally.len_stretch_sum / static_cast<double>(tally.delivered));
+        } else {
+            table.dash().dash();
+        }
+    };
+    row("greedy on UDG", greedy_tally);
+    row("GFG on PLDel(V)", gfg_tally);
+    row("backbone (CDS + GFG on LDel(ICDS))", backbone_tally);
+    std::cout << table.str();
+    std::cout << "\nGFG and backbone routing deliver 100% by construction (planar,\n"
+                 "connected substrates); greedy alone can stall at local minima.\n";
+    return 0;
+}

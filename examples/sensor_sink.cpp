@@ -1,0 +1,93 @@
+// Sensor-network data collection (the paper's motivating scenario: "the
+// data are typically sent to one specific node called sink").
+//
+// All nodes periodically report to a sink. Compares plain min-hop
+// routing on the full UDG against dominating-set backbone routing on the
+// planar LDel(ICDS) spanner, under the packet-level store-and-forward
+// simulator: delivery, latency, queue pressure, and how the forwarding
+// load concentrates on the backbone.
+//
+//   $ ./sensor_sink [n] [side] [radius] [packets] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/backbone.h"
+#include "core/workload.h"
+#include "graph/shortest_paths.h"
+#include "io/table.h"
+#include "netsim/simulator.h"
+#include "routing/backbone_routing.h"
+
+using namespace geospanner;
+
+int main(int argc, char** argv) {
+    core::WorkloadConfig config;
+    config.node_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+    config.side = argc > 2 ? std::strtod(argv[2], nullptr) : 280.0;
+    config.radius = argc > 3 ? std::strtod(argv[3], nullptr) : 60.0;
+    const std::size_t packets = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 2000;
+    config.seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 404;
+
+    const auto udg = core::random_connected_udg(config);
+    if (!udg) {
+        std::cerr << "no connected instance at this density\n";
+        return 1;
+    }
+    const core::Backbone bb = core::build_backbone(*udg, {core::Engine::kCentralized});
+    const routing::BackboneRouter backbone_router(bb, *udg);
+
+    // The sink: the node closest to the region center (a realistic
+    // gateway placement).
+    graph::NodeId sink = 0;
+    const geom::Point center{config.side / 2, config.side / 2};
+    for (graph::NodeId v = 1; v < udg->node_count(); ++v) {
+        if (geom::squared_distance(udg->point(v), center) <
+            geom::squared_distance(udg->point(sink), center)) {
+            sink = v;
+        }
+    }
+
+    const auto traffic =
+        netsim::sink_traffic(udg->node_count(), sink, packets, /*per_slot=*/3, 77);
+
+    const netsim::RouteFn udg_routes = [&](graph::NodeId s, graph::NodeId t) {
+        return graph::shortest_hop_path(*udg, s, t);
+    };
+    const netsim::RouteFn backbone_routes = [&](graph::NodeId s, graph::NodeId t) {
+        return backbone_router.route(s, t).path;
+    };
+
+    netsim::Config sim_config;
+    sim_config.queue_capacity = 64;
+    const auto udg_stats =
+        netsim::run_simulation(udg->node_count(), udg_routes, traffic, sim_config);
+    const auto bb_stats =
+        netsim::run_simulation(udg->node_count(), backbone_routes, traffic, sim_config);
+
+    std::cout << "sensor_sink: n=" << udg->node_count() << " sink=" << sink
+              << " packets=" << packets << "\n\n";
+    io::Table table({"scheme", "delivered", "avg latency", "max latency", "max queue",
+                     "tx total", "energy (beta=2)", "max load share"});
+    const auto row = [&](const char* name, const netsim::Stats& s,
+                         const graph::GeometricGraph& topo) {
+        std::size_t tx = 0;
+        for (const std::size_t t : s.transmissions) tx += t;
+        table.begin_row()
+            .cell(std::string(name))
+            .cell(s.delivered)
+            .cell(s.avg_latency())
+            .cell(s.max_latency)
+            .cell(s.max_queue_depth)
+            .cell(tx)
+            .cell(netsim::total_energy(s, topo, 2.0), 0)
+            .cell(s.max_load_share());
+    };
+    row("min-hop on UDG", udg_stats, *udg);
+    row("backbone LDel(ICDS)", bb_stats, bb.ldel_icds_prime);
+    std::cout << table.str()
+              << "\nBackbone routing pays slightly longer paths (more transmissions,\n"
+                 "higher latency) in exchange for the planar constant-degree\n"
+                 "substrate that keeps routing state local; with sink traffic the\n"
+                 "bottleneck is the sink's neighborhood under either scheme.\n";
+    return 0;
+}

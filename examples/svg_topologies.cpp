@@ -1,0 +1,70 @@
+// Reproduces the paper's Figures 6 and 7: renders one unit-disk-graph
+// instance and every derived topology (RNG, GG, LDel, CDS, CDS', ICDS,
+// ICDS', LDel(ICDS), LDel(ICDS')) as SVG files.
+//
+//   $ ./svg_topologies [output_dir] [n] [side] [radius] [seed]
+//
+// Dominators are drawn as large red squares, connectors as blue squares,
+// dominatees as grey circles (the legend of the paper's Figure 3).
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "core/backbone.h"
+#include "core/workload.h"
+#include "io/svg.h"
+#include "proximity/classic.h"
+#include "proximity/ldel.h"
+
+using namespace geospanner;
+
+int main(int argc, char** argv) {
+    const std::string out_dir = argc > 1 ? argv[1] : "topology_svgs";
+    core::WorkloadConfig config;
+    config.node_count = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 100;
+    config.side = argc > 3 ? std::strtod(argv[3], nullptr) : 250.0;
+    config.radius = argc > 4 ? std::strtod(argv[4], nullptr) : 60.0;
+    config.seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 6;
+
+    const auto udg = core::random_connected_udg(config);
+    if (!udg) {
+        std::cerr << "no connected instance at this density\n";
+        return 1;
+    }
+    const core::Backbone bb = core::build_backbone(*udg, {core::Engine::kCentralized});
+
+    std::vector<io::NodeClass> classes(udg->node_count(), io::NodeClass::kPlain);
+    for (graph::NodeId v = 0; v < udg->node_count(); ++v) {
+        if (bb.cluster.is_dominator(v)) {
+            classes[v] = io::NodeClass::kDominator;
+        } else if (bb.is_connector[v]) {
+            classes[v] = io::NodeClass::kConnector;
+        }
+    }
+
+    std::filesystem::create_directories(out_dir);
+    const auto emit = [&](const std::string& name, const graph::GeometricGraph& g) {
+        io::SvgStyle style;
+        style.title = name;
+        const std::string path = out_dir + "/" + name + ".svg";
+        if (!io::write_svg(path, g, classes, style)) {
+            std::cerr << "failed to write " << path << '\n';
+            std::exit(1);
+        }
+        std::cout << "wrote " << path << "  (" << g.edge_count() << " edges)\n";
+    };
+
+    emit("udg", *udg);                                  // Figure 6.
+    emit("rng", proximity::build_rng(*udg));            // Figure 7 panels.
+    emit("gabriel", proximity::build_gabriel(*udg));
+    emit("udel", proximity::build_udel(*udg));
+    emit("ldel", proximity::build_pldel(*udg));
+    emit("yao", proximity::build_yao(*udg));
+    emit("cds", bb.cds);
+    emit("cds_prime", bb.cds_prime);
+    emit("icds", bb.icds);
+    emit("icds_prime", bb.icds_prime);
+    emit("ldel_icds", bb.ldel_icds);
+    emit("ldel_icds_prime", bb.ldel_icds_prime);
+    return 0;
+}

@@ -1,0 +1,129 @@
+#include "core/backbone.h"
+
+#include <algorithm>
+
+#include "protocol/clustering.h"
+#include "proximity/classic.h"
+#include "proximity/ldel_k.h"
+#include "protocol/ldel2_protocol.h"
+#include "protocol/ldel_protocol.h"
+#include "protocol/messages.h"
+
+namespace geospanner::core {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+std::size_t MessageStats::max_of(const std::vector<std::size_t>& counts) {
+    std::size_t m = 0;
+    for (const std::size_t c : counts) m = std::max(m, c);
+    return m;
+}
+
+double MessageStats::avg_of(const std::vector<std::size_t>& counts) {
+    if (counts.empty()) return 0.0;
+    std::size_t total = 0;
+    for (const std::size_t c : counts) total += c;
+    return static_cast<double>(total) / static_cast<double>(counts.size());
+}
+
+namespace {
+
+/// UDG edges restricted to backbone nodes.
+GeometricGraph induce_on_backbone(const GeometricGraph& udg,
+                                  const std::vector<bool>& in_backbone) {
+    GeometricGraph g(udg.points());
+    for (const auto& [u, v] : udg.edges()) {
+        if (in_backbone[u] && in_backbone[v]) g.add_edge(u, v);
+    }
+    return g;
+}
+
+/// Adds every dominatee→dominator link to a copy of `base`.
+GeometricGraph with_dominatee_links(const GeometricGraph& base,
+                                    const protocol::ClusterState& cluster) {
+    GeometricGraph g = base;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (cluster.role[v] != protocol::Role::kDominatee) continue;
+        for (const NodeId d : cluster.dominators_of[v]) g.add_edge(v, d);
+    }
+    return g;
+}
+
+}  // namespace
+
+Backbone build_backbone(const GeometricGraph& udg, BuildOptions options) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    Backbone result;
+
+    protocol::ConnectorState connectors;
+    if (options.engine == Engine::kDistributed) {
+        protocol::Net net(udg);
+        result.cluster = protocol::run_clustering(net, udg, options.cluster_policy);
+        connectors = protocol::run_connectors(net, udg, result.cluster);
+        result.messages.after_cds = net.per_node_sent();
+
+        // One RoleAnnounce per node turns CDS knowledge into ICDS
+        // knowledge (each node learns which neighbors are backbone).
+        result.in_backbone.assign(n, false);
+        for (NodeId v = 0; v < n; ++v) {
+            result.in_backbone[v] =
+                result.cluster.is_dominator(v) || connectors.is_connector[v];
+            net.broadcast(v, protocol::RoleAnnounce{result.in_backbone[v]});
+        }
+        net.advance();
+        result.messages.after_icds = net.per_node_sent();
+
+        result.icds = induce_on_backbone(udg, result.in_backbone);
+
+        // The LDel negotiation runs among backbone nodes; its radio graph
+        // is exactly ICDS (backbone nodes within range hear each other).
+        protocol::Net backbone_net(result.icds);
+        protocol::LDelState ldel =
+            options.planarizer == Planarizer::kLdel1
+                ? protocol::run_ldel(backbone_net, result.icds,
+                                     /*announce_positions=*/false)
+                : protocol::run_ldel2(backbone_net, result.icds,
+                                      /*announce_positions=*/false);
+        result.ldel_triangles = std::move(ldel.triangles);
+        result.ldel_icds = std::move(ldel.graph);
+
+        result.messages.after_ldel = result.messages.after_icds;
+        result.messages.ldel_units.assign(n, 0);
+        for (NodeId v = 0; v < n; ++v) {
+            result.messages.after_ldel[v] += backbone_net.messages_sent(v);
+            result.messages.ldel_units[v] = backbone_net.units_sent(v);
+        }
+    } else {
+        result.cluster = protocol::cluster_reference(udg, options.cluster_policy);
+        connectors = protocol::find_connectors(udg, result.cluster);
+        result.in_backbone.assign(n, false);
+        for (NodeId v = 0; v < n; ++v) {
+            result.in_backbone[v] =
+                result.cluster.is_dominator(v) || connectors.is_connector[v];
+        }
+        result.icds = induce_on_backbone(udg, result.in_backbone);
+        result.ldel_triangles =
+            options.planarizer == Planarizer::kLdel1
+                ? proximity::planarize_triangles(result.icds,
+                                                 proximity::ldel1_triangles(result.icds))
+                : proximity::ldel_k_triangles(result.icds, 2);
+        result.ldel_icds = proximity::build_gabriel(result.icds);
+        for (const auto& t : result.ldel_triangles) {
+            result.ldel_icds.add_edge(t.a, t.b);
+            result.ldel_icds.add_edge(t.b, t.c);
+            result.ldel_icds.add_edge(t.a, t.c);
+        }
+    }
+
+    result.is_connector = connectors.is_connector;
+    result.cds = GeometricGraph(udg.points());
+    for (const auto& [u, v] : connectors.cds_edges) result.cds.add_edge(u, v);
+
+    result.cds_prime = with_dominatee_links(result.cds, result.cluster);
+    result.icds_prime = with_dominatee_links(result.icds, result.cluster);
+    result.ldel_icds_prime = with_dominatee_links(result.ldel_icds, result.cluster);
+    return result;
+}
+
+}  // namespace geospanner::core

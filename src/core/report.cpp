@@ -1,0 +1,52 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace geospanner::core {
+
+TopologyReport measure_topology(std::string name, const graph::GeometricGraph& udg,
+                                const graph::GeometricGraph& topo, bool spanning,
+                                double min_euclidean) {
+    TopologyReport report;
+    report.name = std::move(name);
+    report.degree = graph::degree_stats(topo);
+    report.edges = topo.edge_count();
+    report.has_stretch = spanning;
+    if (spanning) {
+        report.length = graph::length_stretch(udg, topo, min_euclidean);
+        report.hops = graph::hop_stretch(udg, topo, min_euclidean);
+    }
+    return report;
+}
+
+TopologyReport aggregate_reports(const std::vector<TopologyReport>& reports) {
+    assert(!reports.empty());
+    TopologyReport agg;
+    agg.name = reports.front().name;
+    agg.has_stretch = reports.front().has_stretch;
+    double edges = 0.0;
+    for (const auto& r : reports) {
+        agg.degree.avg += r.degree.avg;
+        agg.degree.max = std::max(agg.degree.max, r.degree.max);
+        edges += static_cast<double>(r.edges);
+        if (agg.has_stretch) {
+            agg.length.avg += r.length.avg;
+            agg.length.max = std::max(agg.length.max, r.length.max);
+            agg.hops.avg += r.hops.avg;
+            agg.hops.max = std::max(agg.hops.max, r.hops.max);
+            agg.length.pair_count += r.length.pair_count;
+            agg.length.disconnected_pairs += r.length.disconnected_pairs;
+            agg.hops.pair_count += r.hops.pair_count;
+            agg.hops.disconnected_pairs += r.hops.disconnected_pairs;
+        }
+    }
+    const auto k = static_cast<double>(reports.size());
+    agg.degree.avg /= k;
+    agg.length.avg /= k;
+    agg.hops.avg /= k;
+    agg.edges = static_cast<std::size_t>(edges / k + 0.5);
+    return agg;
+}
+
+}  // namespace geospanner::core

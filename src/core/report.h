@@ -1,0 +1,38 @@
+// Topology quality reports: one row of the paper's Table I per topology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+#include "graph/metrics.h"
+
+namespace geospanner::core {
+
+/// One Table-I row. Stretch fields are meaningful only when the topology
+/// spans all nodes (has_stretch); backbone-only graphs (CDS, ICDS,
+/// LDel(ICDS)) leave dominatees isolated, which the paper marks "-".
+struct TopologyReport {
+    std::string name;
+    graph::DegreeStats degree;
+    bool has_stretch = false;
+    graph::StretchStats length;
+    graph::StretchStats hops;
+    std::size_t edges = 0;
+};
+
+/// Measures `topo` against the base UDG. Set `spanning` when the topology
+/// is expected to connect all nodes (enables stretch computation).
+/// `min_euclidean` excludes close pairs from the stretch ratios (the
+/// paper measures only pairs more than one transmission radius apart).
+[[nodiscard]] TopologyReport measure_topology(std::string name,
+                                              const graph::GeometricGraph& udg,
+                                              const graph::GeometricGraph& topo,
+                                              bool spanning, double min_euclidean = 0.0);
+
+/// Averages reports of the same topology across instances: degree/stretch
+/// averages are means of per-instance averages, maxima are maxima of
+/// per-instance maxima (matching the paper's aggregation).
+[[nodiscard]] TopologyReport aggregate_reports(const std::vector<TopologyReport>& reports);
+
+}  // namespace geospanner::core

@@ -1,0 +1,79 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "graph/shortest_paths.h"
+#include "proximity/udg.h"
+#include "random/rng.h"
+
+namespace geospanner::core {
+
+using geom::Point;
+
+std::vector<Point> uniform_points(const WorkloadConfig& config) {
+    rnd::Xoshiro256 rng(config.seed);
+    std::vector<Point> pts;
+    pts.reserve(config.node_count);
+    for (std::size_t i = 0; i < config.node_count; ++i) {
+        pts.push_back({rng.uniform(0.0, config.side), rng.uniform(0.0, config.side)});
+    }
+    return pts;
+}
+
+std::vector<Point> clustered_points(const WorkloadConfig& config, std::size_t clusters) {
+    rnd::Xoshiro256 rng(config.seed);
+    std::vector<Point> centers;
+    centers.reserve(clusters);
+    for (std::size_t c = 0; c < clusters; ++c) {
+        centers.push_back({rng.uniform(0.0, config.side), rng.uniform(0.0, config.side)});
+    }
+    // Box-Muller Gaussian offsets with sigma a third of the radius so a
+    // blob stays mostly within one hop of its center.
+    const double sigma = config.radius / 3.0;
+    std::vector<Point> pts;
+    pts.reserve(config.node_count);
+    for (std::size_t i = 0; i < config.node_count; ++i) {
+        const Point center = centers[i % clusters];
+        const double u1 = rng.uniform01();
+        const double u2 = rng.uniform01();
+        const double r = sigma * std::sqrt(-2.0 * std::log(1.0 - u1));
+        const double theta = 2.0 * std::numbers::pi * u2;
+        Point p{center.x + r * std::cos(theta), center.y + r * std::sin(theta)};
+        p.x = std::clamp(p.x, 0.0, config.side);
+        p.y = std::clamp(p.y, 0.0, config.side);
+        pts.push_back(p);
+    }
+    return pts;
+}
+
+std::vector<Point> grid_points(const WorkloadConfig& config, double jitter) {
+    rnd::Xoshiro256 rng(config.seed);
+    const auto cols = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(config.node_count))));
+    const double spacing = config.side / static_cast<double>(cols + 1);
+    std::vector<Point> pts;
+    pts.reserve(config.node_count);
+    for (std::size_t i = 0; i < config.node_count; ++i) {
+        const auto row = i / cols;
+        const auto col = i % cols;
+        pts.push_back({spacing * static_cast<double>(col + 1) +
+                           rng.uniform(-jitter, jitter) * spacing,
+                       spacing * static_cast<double>(row + 1) +
+                           rng.uniform(-jitter, jitter) * spacing});
+    }
+    return pts;
+}
+
+std::optional<graph::GeometricGraph> random_connected_udg(WorkloadConfig config) {
+    for (std::size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+        auto udg = proximity::build_udg(uniform_points(config), config.radius);
+        if (graph::is_connected(udg)) return udg;
+        // Derive the next attempt's seed deterministically.
+        config.seed = rnd::splitmix64(config.seed);
+    }
+    return std::nullopt;
+}
+
+}  // namespace geospanner::core

@@ -1,0 +1,39 @@
+// Experiment workloads: random node deployments matching the paper's
+// simulation setup — n nodes uniform in a square, transmission radius R,
+// instances regenerated until the UDG is connected.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::core {
+
+struct WorkloadConfig {
+    std::size_t node_count = 100;
+    double side = 250.0;      ///< deployment square [0, side]²
+    double radius = 60.0;     ///< transmission radius
+    std::uint64_t seed = 1;
+    std::size_t max_attempts = 2000;  ///< connectivity rejection budget
+};
+
+/// Uniform points in the configured square (no connectivity requirement).
+[[nodiscard]] std::vector<geom::Point> uniform_points(const WorkloadConfig& config);
+
+/// Points arranged in `clusters` Gaussian blobs — a heterogeneous-density
+/// workload exercising the backbone under uneven deployment.
+[[nodiscard]] std::vector<geom::Point> clustered_points(const WorkloadConfig& config,
+                                                        std::size_t clusters);
+
+/// Regular grid with positional jitter (fraction of spacing).
+[[nodiscard]] std::vector<geom::Point> grid_points(const WorkloadConfig& config,
+                                                   double jitter);
+
+/// Draws uniform instances until the UDG is connected; nullopt if the
+/// attempt budget is exhausted (radius too small for the density).
+[[nodiscard]] std::optional<graph::GeometricGraph> random_connected_udg(
+    WorkloadConfig config);
+
+}  // namespace geospanner::core

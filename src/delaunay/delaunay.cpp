@@ -1,0 +1,330 @@
+#include "delaunay/delaunay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "geom/predicates.h"
+
+namespace geospanner::delaunay {
+
+namespace {
+
+using geom::Point;
+
+constexpr VertexId kGhost = static_cast<VertexId>(-1);
+
+/// Internal triangle record. Real triangles hold three point indices in
+/// counter-clockwise order. Ghost triangles hold (v, u, kGhost) where
+/// (u, v) is a hull edge in counter-clockwise hull order — i.e. the
+/// stored directed edge (v, u) has the exterior on its left, matching
+/// the interior-on-the-left convention of real triangles.
+struct Tri {
+    std::array<VertexId, 3> v{};
+    bool alive = true;
+};
+
+/// Key for a directed edge (a, b). Every directed edge of the closed
+/// triangulated surface (ghosts included) belongs to exactly one alive
+/// triangle, which makes the map double as the adjacency structure.
+constexpr std::uint64_t edge_key(VertexId a, VertexId b) noexcept {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+struct Builder {
+    const std::vector<Point>& pts;
+    std::vector<Tri> tris;
+    std::unordered_map<std::uint64_t, std::uint32_t> edge_tri;
+    std::uint32_t hint = 0;  // Recently created triangle: walk start.
+
+    explicit Builder(const std::vector<Point>& points) : pts(points) {}
+
+    [[nodiscard]] bool is_ghost(const Tri& t) const { return t.v[2] == kGhost; }
+
+    void register_tri(std::uint32_t id) {
+        const auto& v = tris[id].v;
+        edge_tri[edge_key(v[0], v[1])] = id;
+        edge_tri[edge_key(v[1], v[2])] = id;
+        edge_tri[edge_key(v[2], v[0])] = id;
+    }
+
+    void unregister_tri(std::uint32_t id) {
+        const auto& v = tris[id].v;
+        edge_tri.erase(edge_key(v[0], v[1]));
+        edge_tri.erase(edge_key(v[1], v[2]));
+        edge_tri.erase(edge_key(v[2], v[0]));
+    }
+
+    [[nodiscard]] std::uint32_t neighbor_across(VertexId a, VertexId b) const {
+        const auto it = edge_tri.find(edge_key(b, a));
+        assert(it != edge_tri.end() && "the surface is closed: every edge has two sides");
+        return it->second;
+    }
+
+    /// Is p inside the (open) circumdisk of triangle t? For ghosts the
+    /// circumdisk degenerates to the open half-plane left of the stored
+    /// real edge, plus the open edge segment itself (Shewchuk's rule;
+    /// this makes on-hull-edge and collinear-extension insertions
+    /// produce no degenerate triangles).
+    [[nodiscard]] bool in_circumdisk(const Tri& t, Point p) const {
+        if (!is_ghost(t)) {
+            return geom::incircle_ccw(pts[t.v[0]], pts[t.v[1]], pts[t.v[2]], p) > 0;
+        }
+        const Point a = pts[t.v[0]];
+        const Point b = pts[t.v[1]];
+        const int o = geom::orient_sign(a, b, p);
+        if (o > 0) return true;   // Strictly outside the hull across this edge.
+        if (o < 0) return false;  // Strictly on the triangulated side.
+        // Collinear: inside iff strictly between a and b.
+        const double t01 = dot(p - a, b - a);
+        return t01 > 0.0 && t01 < squared_norm(b - a);
+    }
+
+    /// Finds some triangle whose circumdisk contains p, by a visibility
+    /// walk from the hint (guaranteed to terminate on a Delaunay
+    /// triangulation with exact predicates; a full-scan fallback guards
+    /// the bound regardless).
+    [[nodiscard]] std::uint32_t locate_bad(Point p) const {
+        std::uint32_t cur = hint;
+        if (!tris[cur].alive) cur = 0;
+        while (!tris[cur].alive) ++cur;
+
+        const std::size_t bound = 4 * tris.size() + 16;
+        for (std::size_t step = 0; step < bound; ++step) {
+            const Tri& t = tris[cur];
+            if (!is_ghost(t)) {
+                // Leave through any edge that has p strictly outside.
+                std::uint32_t next = cur;
+                for (int e = 0; e < 3; ++e) {
+                    const VertexId a = t.v[e];
+                    const VertexId b = t.v[(e + 1) % 3];
+                    if (geom::orient_sign(pts[a], pts[b], p) < 0) {
+                        next = neighbor_across(a, b);
+                        break;
+                    }
+                }
+                if (next == cur) return cur;  // p in closed triangle => bad.
+                cur = next;
+                continue;
+            }
+            // Ghost triangle (v, u, kGhost) over hull edge (u, v).
+            if (in_circumdisk(t, p)) return cur;
+            const VertexId gv = t.v[0];
+            const VertexId gu = t.v[1];
+            const int o = geom::orient_sign(pts[gv], pts[gu], p);
+            if (o < 0) {
+                // p is on the interior side: re-enter the real mesh.
+                cur = neighbor_across(gv, gu);
+            } else {
+                // Collinear with the hull edge but outside the segment:
+                // slide along the ghost ring toward p.
+                assert(o == 0);
+                if (dot(p - pts[gv], pts[gu] - pts[gv]) > 0.0) {
+                    cur = neighbor_across(gu, kGhost);  // Beyond u.
+                } else {
+                    cur = neighbor_across(kGhost, gv);  // Beyond v.
+                }
+            }
+        }
+        // Defensive fallback: exhaustive scan (never expected).
+        for (std::uint32_t i = 0; i < tris.size(); ++i) {
+            if (tris[i].alive && in_circumdisk(tris[i], p)) return i;
+        }
+        assert(false && "point in no circumdisk");
+        return 0;
+    }
+
+    /// Inserts point index pi (not coincident with an existing vertex):
+    /// Bowyer–Watson with a BFS-grown cavity from one located bad
+    /// triangle.
+    void insert(VertexId pi) {
+        const Point p = pts[pi];
+
+        // Cavities are small (expected O(1) triangles), so plain vectors
+        // with linear membership tests beat tree/hash sets here.
+        std::vector<std::uint32_t> bad;
+        std::vector<std::uint32_t> stack{locate_bad(p)};
+        std::vector<std::uint32_t> seen{stack[0]};
+        const auto contains = [](const std::vector<std::uint32_t>& xs, std::uint32_t x) {
+            return std::find(xs.begin(), xs.end(), x) != xs.end();
+        };
+        while (!stack.empty()) {
+            const std::uint32_t id = stack.back();
+            stack.pop_back();
+            bad.push_back(id);
+            const auto& v = tris[id].v;
+            for (int e = 0; e < 3; ++e) {
+                const std::uint32_t nb = neighbor_across(v[e], v[(e + 1) % 3]);
+                if (contains(seen, nb)) continue;
+                seen.push_back(nb);
+                if (in_circumdisk(tris[nb], p)) stack.push_back(nb);
+            }
+        }
+
+        // Cavity boundary: directed edges of bad triangles whose outer
+        // neighbor is good. Gather before killing so adjacency is intact.
+        std::vector<std::pair<VertexId, VertexId>> boundary;
+        for (const std::uint32_t id : bad) {
+            const auto& v = tris[id].v;
+            for (int e = 0; e < 3; ++e) {
+                const VertexId a = v[e];
+                const VertexId b = v[(e + 1) % 3];
+                if (!contains(bad, neighbor_across(a, b))) boundary.push_back({a, b});
+            }
+        }
+        for (const std::uint32_t id : bad) {
+            unregister_tri(id);
+            tris[id].alive = false;
+        }
+
+        for (const auto& [a, b] : boundary) {
+            // Fan: new triangle (a, b, p), rotated so any ghost vertex
+            // lands in slot 2 (ghost canonical form).
+            Tri nt;
+            if (a == kGhost) {
+                nt.v = {b, pi, kGhost};
+            } else if (b == kGhost) {
+                nt.v = {pi, a, kGhost};
+            } else {
+                nt.v = {a, b, pi};
+            }
+            const auto id = static_cast<std::uint32_t>(tris.size());
+            tris.push_back(nt);
+            register_tri(id);
+            hint = id;
+        }
+    }
+};
+
+/// Comparator ordering points lexicographically; used for the degenerate
+/// all-collinear path and for duplicate detection.
+struct PointLess {
+    bool operator()(Point a, Point b) const {
+        return a.x < b.x || (a.x == b.x && a.y < b.y);
+    }
+};
+
+/// Interleaves the low 16 bits of x and y (Morton / Z-order code).
+std::uint32_t morton16(std::uint16_t x, std::uint16_t y) {
+    const auto spread = [](std::uint32_t v) {
+        v &= 0xFFFF;
+        v = (v | (v << 8)) & 0x00FF00FF;
+        v = (v | (v << 4)) & 0x0F0F0F0F;
+        v = (v | (v << 2)) & 0x33333333;
+        v = (v | (v << 1)) & 0x55555555;
+        return v;
+    };
+    return spread(x) | (spread(y) << 1);
+}
+
+/// Sorts ids along a Z-order curve over the point bounding box: makes
+/// consecutive insertions spatially local, so the visibility walk from
+/// the previous insertion is short (expected O(1) triangles).
+void morton_sort(const std::vector<Point>& pts, std::vector<VertexId>& ids) {
+    if (ids.size() < 3) return;
+    double min_x = pts[ids[0]].x, max_x = min_x;
+    double min_y = pts[ids[0]].y, max_y = min_y;
+    for (const VertexId i : ids) {
+        min_x = std::min(min_x, pts[i].x);
+        max_x = std::max(max_x, pts[i].x);
+        min_y = std::min(min_y, pts[i].y);
+        max_y = std::max(max_y, pts[i].y);
+    }
+    const double sx = max_x > min_x ? 65535.0 / (max_x - min_x) : 0.0;
+    const double sy = max_y > min_y ? 65535.0 / (max_y - min_y) : 0.0;
+    std::stable_sort(ids.begin(), ids.end(), [&](VertexId a, VertexId b) {
+        const auto code = [&](VertexId i) {
+            return morton16(static_cast<std::uint16_t>((pts[i].x - min_x) * sx),
+                            static_cast<std::uint16_t>((pts[i].y - min_y) * sy));
+        };
+        return code(a) < code(b);
+    });
+}
+
+}  // namespace
+
+DelaunayTriangulation::DelaunayTriangulation(std::vector<geom::Point> points)
+    : points_(std::move(points)) {
+    const auto n = static_cast<VertexId>(points_.size());
+
+    // Deduplicate: only first occurrences participate.
+    std::map<Point, VertexId, PointLess> first_index;
+    std::vector<VertexId> active;
+    active.reserve(n);
+    for (VertexId i = 0; i < n; ++i) {
+        if (first_index.try_emplace(points_[i], i).second) active.push_back(i);
+    }
+
+    if (active.size() < 2) {
+        degenerate_ = true;
+        return;
+    }
+
+    morton_sort(points_, active);
+
+    // Find an initial non-collinear triple (i0, i1, ik).
+    const VertexId i0 = active[0];
+    const VertexId i1 = active[1];
+    std::size_t k = 2;
+    while (k < active.size() &&
+           geom::orient_sign(points_[i0], points_[i1], points_[active[k]]) == 0) {
+        ++k;
+    }
+
+    if (k == active.size()) {
+        // All points collinear: the limit Delaunay graph is the path of
+        // consecutive points along the line.
+        degenerate_ = true;
+        std::vector<VertexId> order = active;
+        std::sort(order.begin(), order.end(), [this](VertexId a, VertexId b) {
+            return PointLess{}(points_[a], points_[b]);
+        });
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            const VertexId u = std::min(order[i], order[i + 1]);
+            const VertexId v = std::max(order[i], order[i + 1]);
+            edges_.emplace_back(u, v);
+        }
+        std::sort(edges_.begin(), edges_.end());
+        return;
+    }
+
+    const VertexId i2 = active[k];
+    Builder builder(points_);
+
+    // Seed: one real triangle (CCW) plus three ghosts covering the plane.
+    VertexId a = i0;
+    VertexId b = i1;
+    const VertexId c = i2;
+    if (geom::orient_sign(points_[a], points_[b], points_[c]) < 0) std::swap(a, b);
+    builder.tris.push_back({{a, b, c}, true});
+    builder.tris.push_back({{b, a, kGhost}, true});  // Hull edge (a, b), reversed.
+    builder.tris.push_back({{c, b, kGhost}, true});  // Hull edge (b, c), reversed.
+    builder.tris.push_back({{a, c, kGhost}, true});  // Hull edge (c, a), reversed.
+    for (std::uint32_t id = 0; id < 4; ++id) builder.register_tri(id);
+
+    for (std::size_t j = 2; j < active.size(); ++j) {
+        if (active[j] == i2) continue;  // Already in the seed triangle.
+        builder.insert(active[j]);
+    }
+
+    // Harvest real triangles (canonical rotation) and edges.
+    std::set<std::pair<VertexId, VertexId>> edge_set;
+    for (const auto& t : builder.tris) {
+        if (!t.alive || t.v[2] == kGhost) continue;
+        std::array<VertexId, 3> v = t.v;
+        while (v[0] != std::min({v[0], v[1], v[2]})) {
+            std::rotate(v.begin(), v.begin() + 1, v.end());
+        }
+        triangles_.push_back({v[0], v[1], v[2]});
+        edge_set.insert({std::min(v[0], v[1]), std::max(v[0], v[1])});
+        edge_set.insert({std::min(v[1], v[2]), std::max(v[1], v[2])});
+        edge_set.insert({std::min(v[0], v[2]), std::max(v[0], v[2])});
+    }
+    std::sort(triangles_.begin(), triangles_.end());
+    edges_.assign(edge_set.begin(), edge_set.end());
+}
+
+}  // namespace geospanner::delaunay

@@ -1,0 +1,68 @@
+// Delaunay triangulation of a planar point set.
+//
+// Used in two roles:
+//  * the localized Delaunay protocol has every node compute the Delaunay
+//    triangulation of its 1-hop neighborhood (Algorithm 2, step 2);
+//  * the global "Del ∩ UDG" baseline of the paper's Table I.
+//
+// Implementation: incremental Bowyer–Watson insertion. Instead of an
+// enclosing super-triangle with large coordinates (which perturbs
+// circumcircle tests near the hull), the exterior is covered by *ghost
+// triangles* sharing a symbolic vertex at infinity; their "circumdisk"
+// test degenerates to an exact half-plane test. All decisions go through
+// the exact predicates in geom/predicates.h, so the triangulation is
+// correct for any input, including cocircular quadruples and points on
+// hull edges. Fully collinear inputs yield the degenerate Delaunay graph
+// (the path of consecutive points along the line) and no triangles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace geospanner::delaunay {
+
+using VertexId = std::uint32_t;
+
+/// A Delaunay triangle; vertices in counter-clockwise order, rotated so
+/// that a is the smallest index (canonical form, comparable across runs).
+struct Triangle {
+    VertexId a = 0;
+    VertexId b = 0;
+    VertexId c = 0;
+
+    friend bool operator==(Triangle, Triangle) = default;
+    friend auto operator<=>(Triangle, Triangle) = default;
+};
+
+class DelaunayTriangulation {
+  public:
+    /// Triangulates the given points. Duplicate points keep only their
+    /// first occurrence (later duplicates become isolated vertices).
+    explicit DelaunayTriangulation(std::vector<geom::Point> points);
+
+    [[nodiscard]] const std::vector<geom::Point>& points() const noexcept { return points_; }
+
+    /// All Delaunay triangles in canonical form, sorted.
+    [[nodiscard]] const std::vector<Triangle>& triangles() const noexcept { return triangles_; }
+
+    /// All Delaunay edges (u < v, sorted). For degenerate (collinear)
+    /// inputs this is the path along the line.
+    [[nodiscard]] const std::vector<std::pair<VertexId, VertexId>>& edges() const noexcept {
+        return edges_;
+    }
+
+    /// True iff the input had no three non-collinear points.
+    [[nodiscard]] bool degenerate() const noexcept { return degenerate_; }
+
+  private:
+    std::vector<geom::Point> points_;
+    std::vector<Triangle> triangles_;
+    std::vector<std::pair<VertexId, VertexId>> edges_;
+    bool degenerate_ = false;
+};
+
+}  // namespace geospanner::delaunay

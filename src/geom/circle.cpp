@@ -1,0 +1,19 @@
+#include "geom/circle.h"
+
+#include <cmath>
+
+namespace geospanner::geom {
+
+std::optional<Circle> circumcircle(Point a, Point b, Point c) {
+    const Vec2 ab = b - a;
+    const Vec2 ac = c - a;
+    const double d = 2.0 * cross(ab, ac);
+    if (d == 0.0) return std::nullopt;
+    const double ab2 = squared_norm(ab);
+    const double ac2 = squared_norm(ac);
+    const Point center{a.x + (ac.y * ab2 - ab.y * ac2) / d,
+                       a.y + (ab.x * ac2 - ac.x * ab2) / d};
+    return Circle{center, distance(center, a)};
+}
+
+}  // namespace geospanner::geom

@@ -1,0 +1,28 @@
+// Circumscribed-circle computations (inexact, for measurement/rendering).
+//
+// Exact point-in-circle decisions must go through predicates.h; the
+// floating-point center/radius here are for SVG output, radius statistics,
+// and walking heuristics where a rounded value is acceptable.
+#pragma once
+
+#include <optional>
+
+#include "geom/vec2.h"
+
+namespace geospanner::geom {
+
+struct Circle {
+    Point center;
+    double radius = 0.0;
+};
+
+/// Circle through three points; nullopt if they are (numerically)
+/// collinear.
+[[nodiscard]] std::optional<Circle> circumcircle(Point a, Point b, Point c);
+
+/// Circle with segment (u, v) as diameter.
+[[nodiscard]] inline Circle diametral_circle(Point u, Point v) {
+    return {midpoint(u, v), distance(u, v) / 2.0};
+}
+
+}  // namespace geospanner::geom

@@ -1,0 +1,88 @@
+#include "geom/expansion.h"
+
+#include <algorithm>
+
+namespace geospanner::geom::exact {
+
+namespace {
+
+/// TwoSum specialisation valid when |a| >= |b| (Dekker's FastTwoSum).
+void fast_two_sum(double a, double b, double& hi, double& lo) noexcept {
+    hi = a + b;
+    const double bv = hi - a;
+    lo = b - bv;
+}
+
+}  // namespace
+
+Expansion add(const Expansion& e, const Expansion& f) {
+    if (e.empty()) return f;
+    if (f.empty()) return e;
+
+    // Merge the two component streams by increasing magnitude, then sweep a
+    // running TwoSum accumulator over the merged stream, emitting the exact
+    // round-off terms (Shewchuk's fast_expansion_sum_zeroelim).
+    Expansion g;
+    g.reserve(e.size() + f.size());
+    std::merge(e.begin(), e.end(), f.begin(), f.end(), std::back_inserter(g),
+               [](double a, double b) { return std::fabs(a) < std::fabs(b); });
+
+    Expansion h;
+    h.reserve(g.size());
+    double q = g[0];
+    for (std::size_t i = 1; i < g.size(); ++i) {
+        double qnew = 0.0;
+        double err = 0.0;
+        two_sum(q, g[i], qnew, err);
+        if (err != 0.0) h.push_back(err);
+        q = qnew;
+    }
+    if (q != 0.0 || h.empty()) {
+        if (q != 0.0) h.push_back(q);
+    }
+    return h;
+}
+
+Expansion scale(const Expansion& e, double b) {
+    if (e.empty() || b == 0.0) return {};
+
+    Expansion h;
+    h.reserve(2 * e.size());
+    double q = 0.0;
+    double hh = 0.0;
+    two_product(e[0], b, q, hh);
+    if (hh != 0.0) h.push_back(hh);
+    for (std::size_t i = 1; i < e.size(); ++i) {
+        double t1 = 0.0;
+        double t0 = 0.0;
+        two_product(e[i], b, t1, t0);
+        double sum = 0.0;
+        two_sum(q, t0, sum, hh);
+        if (hh != 0.0) h.push_back(hh);
+        fast_two_sum(t1, sum, q, hh);
+        if (hh != 0.0) h.push_back(hh);
+    }
+    if (q != 0.0) h.push_back(q);
+    return h;
+}
+
+Expansion multiply(const Expansion& e, const Expansion& f) {
+    Expansion result;
+    for (const double component : f) {
+        result = add(result, scale(e, component));
+    }
+    return result;
+}
+
+Expansion negate(Expansion e) {
+    for (double& component : e) component = -component;
+    return e;
+}
+
+double estimate(const Expansion& e) noexcept {
+    double sum = 0.0;
+    for (const double component : e) sum += component;
+    return sum;
+}
+
+}  // namespace geospanner::geom::exact

@@ -1,0 +1,90 @@
+// Exact floating-point expansion arithmetic (Shewchuk 1997).
+//
+// An *expansion* is a sum of doubles, stored ordered by increasing
+// magnitude and pairwise non-overlapping in their bit ranges, so the
+// sequence represents its mathematical sum exactly. Sums and products of
+// doubles can be carried out exactly in this representation, which gives
+// us exact signs for the orientation and in-circle determinants when the
+// fast floating-point filter cannot decide (see predicates.h).
+//
+// Only the small kernel needed by the predicates is implemented: exact
+// two-term sum/difference/product, expansion addition with zero
+// elimination, scaling an expansion by a double, and expansion products.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace geospanner::geom::exact {
+
+/// An exact multi-term floating-point value. Components are ordered by
+/// increasing magnitude and non-overlapping; an empty vector denotes zero.
+using Expansion = std::vector<double>;
+
+/// Exact a + b as (hi, lo) with hi = fl(a + b). Knuth's TwoSum; no
+/// precondition on magnitudes.
+inline void two_sum(double a, double b, double& hi, double& lo) noexcept {
+    hi = a + b;
+    const double bv = hi - a;
+    const double av = hi - bv;
+    lo = (a - av) + (b - bv);
+}
+
+/// Exact a - b as (hi, lo).
+inline void two_diff(double a, double b, double& hi, double& lo) noexcept {
+    hi = a - b;
+    const double bv = a - hi;
+    const double av = hi + bv;
+    lo = (a - av) + (bv - b);
+}
+
+/// Exact a * b as (hi, lo), using fused multiply-add for the error term.
+inline void two_product(double a, double b, double& hi, double& lo) noexcept {
+    hi = a * b;
+    lo = std::fma(a, b, -hi);
+}
+
+/// Exact two-component value from a single double.
+[[nodiscard]] inline Expansion expansion_from(double a) {
+    if (a == 0.0) return {};
+    return {a};
+}
+
+/// Exact two-component expansion from an exact (hi, lo) pair.
+[[nodiscard]] inline Expansion expansion_from(double hi, double lo) {
+    Expansion e;
+    if (lo != 0.0) e.push_back(lo);
+    if (hi != 0.0) e.push_back(hi);
+    return e;
+}
+
+/// Exact sum of two expansions (fast_expansion_sum_zeroelim). Inputs and
+/// output are increasing-magnitude, non-overlapping, zero-free.
+[[nodiscard]] Expansion add(const Expansion& e, const Expansion& f);
+
+/// Exact product of an expansion by a double (scale_expansion_zeroelim).
+[[nodiscard]] Expansion scale(const Expansion& e, double b);
+
+/// Exact product of two expansions (repeated scale-and-add; the operands
+/// in our predicates have at most a handful of components).
+[[nodiscard]] Expansion multiply(const Expansion& e, const Expansion& f);
+
+/// Exact negation.
+[[nodiscard]] Expansion negate(Expansion e);
+
+/// Exact difference e - f.
+[[nodiscard]] inline Expansion subtract(const Expansion& e, const Expansion& f) {
+    return add(e, negate(f));
+}
+
+/// Sign of the exact value: -1, 0, or +1. The largest-magnitude component
+/// (last) carries the sign of a non-overlapping expansion.
+[[nodiscard]] inline int sign(const Expansion& e) noexcept {
+    if (e.empty()) return 0;
+    return e.back() > 0.0 ? 1 : -1;
+}
+
+/// Closest double to the exact value (sum smallest-first).
+[[nodiscard]] double estimate(const Expansion& e) noexcept;
+
+}  // namespace geospanner::geom::exact

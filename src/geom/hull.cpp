@@ -1,0 +1,97 @@
+#include "geom/hull.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/predicates.h"
+
+namespace geospanner::geom {
+
+namespace {
+
+/// Monotone-chain scaffold shared by both hull variants. `keep` decides
+/// whether a point that is collinear with the current chain end
+/// survives: strict hulls pop it, inclusive hulls keep it.
+std::vector<std::size_t> hull_impl(const std::vector<Point>& points, bool keep_collinear) {
+    std::vector<std::size_t> order(points.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (points[a].x != points[b].x) return points[a].x < points[b].x;
+        if (points[a].y != points[b].y) return points[a].y < points[b].y;
+        return a < b;
+    });
+    // Drop exact duplicates (keep first occurrence in sorted order).
+    order.erase(std::unique(order.begin(), order.end(),
+                            [&](std::size_t a, std::size_t b) {
+                                return points[a] == points[b];
+                            }),
+                order.end());
+    const std::size_t n = order.size();
+    if (n <= 2) return order;
+
+    const auto pops = [&](const std::vector<std::size_t>& chain, std::size_t candidate) {
+        const int o = orient_sign(points[chain[chain.size() - 2]],
+                                  points[chain.back()], points[candidate]);
+        if (keep_collinear) return o < 0;  // Pop only on right turns.
+        return o <= 0;                     // Pop right turns and collinear.
+    };
+
+    std::vector<std::size_t> lower;
+    for (const std::size_t i : order) {
+        while (lower.size() >= 2 && pops(lower, i)) lower.pop_back();
+        lower.push_back(i);
+    }
+    std::vector<std::size_t> upper;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        while (upper.size() >= 2 && pops(upper, *it)) upper.pop_back();
+        upper.push_back(*it);
+    }
+    lower.pop_back();  // Endpoints shared with the other chain.
+    upper.pop_back();
+    lower.insert(lower.end(), upper.begin(), upper.end());
+    // Fully collinear input leaves both extreme points only... the
+    // chains then each contain the full run; for the inclusive variant
+    // that duplicates interior points, so dedupe while preserving order.
+    if (keep_collinear) {
+        std::vector<std::size_t> seen_order;
+        std::vector<char> seen(points.size(), 0);
+        for (const std::size_t i : lower) {
+            if (!seen[i]) {
+                seen[i] = 1;
+                seen_order.push_back(i);
+            }
+        }
+        return seen_order;
+    }
+    return lower;
+}
+
+}  // namespace
+
+std::vector<std::size_t> convex_hull(const std::vector<Point>& points) {
+    return hull_impl(points, /*keep_collinear=*/false);
+}
+
+std::vector<std::size_t> convex_hull_with_collinear(const std::vector<Point>& points) {
+    return hull_impl(points, /*keep_collinear=*/true);
+}
+
+bool strictly_inside_convex(const std::vector<Point>& ccw_polygon, Point p) {
+    const std::size_t n = ccw_polygon.size();
+    if (n < 3) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (orient_sign(ccw_polygon[i], ccw_polygon[(i + 1) % n], p) <= 0) return false;
+    }
+    return true;
+}
+
+double twice_signed_area(const std::vector<Point>& polygon) {
+    double area2 = 0.0;
+    const std::size_t n = polygon.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        area2 += cross(polygon[i], polygon[(i + 1) % n]);
+    }
+    return area2;
+}
+
+}  // namespace geospanner::geom

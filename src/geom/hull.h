@@ -1,0 +1,33 @@
+// Convex hulls and related utilities.
+//
+// Used by the test oracles (Euler-relation checks need the hull size),
+// the netsim deployment-region helpers, and the routing diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace geospanner::geom {
+
+/// Indices of the convex hull of `points`, counter-clockwise, starting
+/// from the lexicographically smallest point. Collinear points on the
+/// hull boundary are EXCLUDED (strict hull). Handles duplicates and
+/// degenerate (all-collinear) inputs: those return the 2 extreme points
+/// (or 1 / 0 for tiny inputs). Andrew's monotone chain with exact
+/// orientation tests.
+[[nodiscard]] std::vector<std::size_t> convex_hull(const std::vector<Point>& points);
+
+/// Variant that KEEPS collinear boundary points (every point lying on
+/// the hull boundary appears, in counter-clockwise walking order).
+[[nodiscard]] std::vector<std::size_t> convex_hull_with_collinear(
+    const std::vector<Point>& points);
+
+/// True iff p is strictly inside the convex polygon given by CCW
+/// vertices (exact).
+[[nodiscard]] bool strictly_inside_convex(const std::vector<Point>& ccw_polygon, Point p);
+
+/// Twice the signed area of a simple polygon (CCW positive).
+[[nodiscard]] double twice_signed_area(const std::vector<Point>& polygon);
+
+}  // namespace geospanner::geom

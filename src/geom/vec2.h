@@ -1,0 +1,68 @@
+// 2-D points and vectors.
+//
+// Wireless nodes live in the Euclidean plane; every structure in this
+// library (UDG, Gabriel graph, Delaunay triangulations, the CDS backbone)
+// is defined in terms of distances and angles between these points.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace geospanner::geom {
+
+/// A point (or displacement vector) in the plane. Plain value type; the
+/// coordinate pair carries no invariant beyond being finite, so data
+/// members are public (Core Guidelines C.2).
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+    friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+    friend constexpr Vec2 operator*(double s, Vec2 v) noexcept { return {s * v.x, s * v.y}; }
+    friend constexpr Vec2 operator*(Vec2 v, double s) noexcept { return s * v; }
+    friend constexpr Vec2 operator/(Vec2 v, double s) noexcept { return {v.x / s, v.y / s}; }
+    constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+    constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+
+    friend constexpr bool operator==(Vec2, Vec2) noexcept = default;
+    /// Lexicographic (x, then y); used for canonical orderings in tests.
+    friend constexpr auto operator<=>(Vec2, Vec2) noexcept = default;
+};
+
+using Point = Vec2;
+
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) noexcept { return a.x * b.x + a.y * b.y; }
+
+/// z-component of the 3-D cross product; twice the signed area of the
+/// triangle (origin, a, b).
+[[nodiscard]] constexpr double cross(Vec2 a, Vec2 b) noexcept { return a.x * b.y - a.y * b.x; }
+
+[[nodiscard]] constexpr double squared_norm(Vec2 v) noexcept { return dot(v, v); }
+[[nodiscard]] inline double norm(Vec2 v) noexcept { return std::hypot(v.x, v.y); }
+
+[[nodiscard]] constexpr double squared_distance(Point a, Point b) noexcept {
+    return squared_norm(a - b);
+}
+[[nodiscard]] inline double distance(Point a, Point b) noexcept { return norm(a - b); }
+
+[[nodiscard]] constexpr Point midpoint(Point a, Point b) noexcept {
+    return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+/// Angle of the vector in (-pi, pi], as given by atan2.
+[[nodiscard]] inline double angle_of(Vec2 v) noexcept { return std::atan2(v.y, v.x); }
+
+/// Interior angle at vertex `apex` of the wedge (a, apex, b), in [0, pi].
+[[nodiscard]] inline double angle_at(Point apex, Point a, Point b) noexcept {
+    const Vec2 u = a - apex;
+    const Vec2 v = b - apex;
+    const double c = cross(u, v);
+    const double d = dot(u, v);
+    return std::fabs(std::atan2(c, d));
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace geospanner::geom

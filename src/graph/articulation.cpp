@@ -1,0 +1,76 @@
+#include "graph/articulation.h"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.h"
+
+namespace geospanner::graph {
+
+std::vector<bool> articulation_points(const GeometricGraph& g) {
+    const auto n = static_cast<NodeId>(g.node_count());
+    std::vector<bool> result(n, false);
+    std::vector<int> disc(n, -1);
+    std::vector<int> low(n, 0);
+    int timer = 0;
+
+    // Iterative Tarjan DFS (explicit stack; recursion would overflow on
+    // long paths).
+    struct Frame {
+        NodeId v;
+        NodeId parent;
+        std::size_t next_index;
+        std::size_t children;
+    };
+    for (NodeId root = 0; root < n; ++root) {
+        if (disc[root] != -1) continue;
+        std::vector<Frame> stack{{root, kInvalidNode, 0, 0}};
+        disc[root] = low[root] = timer++;
+        while (!stack.empty()) {
+            Frame& frame = stack.back();
+            const auto nbrs = g.neighbors(frame.v);
+            if (frame.next_index < nbrs.size()) {
+                const NodeId u = nbrs[frame.next_index++];
+                if (u == frame.parent) continue;
+                if (disc[u] != -1) {
+                    low[frame.v] = std::min(low[frame.v], disc[u]);
+                } else {
+                    ++frame.children;
+                    disc[u] = low[u] = timer++;
+                    stack.push_back({u, frame.v, 0, 0});
+                }
+            } else {
+                const Frame done = frame;
+                stack.pop_back();
+                if (!stack.empty()) {
+                    Frame& up = stack.back();
+                    low[up.v] = std::min(low[up.v], low[done.v]);
+                    if (up.parent != kInvalidNode && low[done.v] >= disc[up.v]) {
+                        result[up.v] = true;
+                    }
+                }
+                if (done.parent == kInvalidNode && done.children >= 2) {
+                    result[done.v] = true;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+std::size_t articulation_count_within(const GeometricGraph& g,
+                                      const std::vector<bool>& subset) {
+    // Induce the subgraph on the subset and count its articulation
+    // points among members.
+    GeometricGraph induced(g.points());
+    for (const auto& [u, v] : g.edges()) {
+        if (subset[u] && subset[v]) induced.add_edge(u, v);
+    }
+    const auto cuts = articulation_points(induced);
+    std::size_t count = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        count += (subset[v] && cuts[v]) ? 1 : 0;
+    }
+    return count;
+}
+
+}  // namespace geospanner::graph

@@ -1,0 +1,23 @@
+// Articulation points (cut vertices) of a geometric graph — the
+// structural single points of failure that the robustness ablation
+// measures behaviorally. Tarjan's low-link algorithm, iterative.
+#pragma once
+
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::graph {
+
+/// Flags[v] is true iff removing v increases the number of connected
+/// components among the remaining nodes. Isolated nodes are never
+/// articulation points.
+[[nodiscard]] std::vector<bool> articulation_points(const GeometricGraph& g);
+
+/// Count of articulation points restricted to a node subset (e.g. the
+/// backbone): members whose removal disconnects the subgraph induced on
+/// the subset.
+[[nodiscard]] std::size_t articulation_count_within(const GeometricGraph& g,
+                                                    const std::vector<bool>& subset);
+
+}  // namespace geospanner::graph

@@ -1,0 +1,65 @@
+#include "graph/geometric_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace geospanner::graph {
+
+namespace {
+
+/// Inserts value into a sorted vector, keeping it sorted; returns false if
+/// already present.
+bool sorted_insert(std::vector<NodeId>& list, NodeId value) {
+    const auto it = std::lower_bound(list.begin(), list.end(), value);
+    if (it != list.end() && *it == value) return false;
+    list.insert(it, value);
+    return true;
+}
+
+bool sorted_erase(std::vector<NodeId>& list, NodeId value) {
+    const auto it = std::lower_bound(list.begin(), list.end(), value);
+    if (it == list.end() || *it != value) return false;
+    list.erase(it);
+    return true;
+}
+
+}  // namespace
+
+bool GeometricGraph::add_edge(NodeId u, NodeId v) {
+    assert(u != v && u < node_count() && v < node_count());
+    if (!sorted_insert(adjacency_[u], v)) return false;
+    sorted_insert(adjacency_[v], u);
+    ++edge_count_;
+    return true;
+}
+
+bool GeometricGraph::remove_edge(NodeId u, NodeId v) {
+    assert(u < node_count() && v < node_count());
+    if (!sorted_erase(adjacency_[u], v)) return false;
+    sorted_erase(adjacency_[v], u);
+    --edge_count_;
+    return true;
+}
+
+bool GeometricGraph::has_edge(NodeId u, NodeId v) const {
+    if (u >= node_count() || v >= node_count()) return false;
+    const auto& list = adjacency_[u];
+    return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> GeometricGraph::edges() const {
+    std::vector<std::pair<NodeId, NodeId>> result;
+    result.reserve(edge_count_);
+    for (NodeId u = 0; u < node_count(); ++u) {
+        for (const NodeId v : adjacency_[u]) {
+            if (u < v) result.emplace_back(u, v);
+        }
+    }
+    return result;
+}
+
+bool operator==(const GeometricGraph& a, const GeometricGraph& b) {
+    return a.points_ == b.points_ && a.adjacency_ == b.adjacency_;
+}
+
+}  // namespace geospanner::graph

@@ -1,0 +1,65 @@
+// Geometric graph: a fixed set of plane points plus an undirected edge set.
+//
+// Every topology this library builds — UDG, RNG, Gabriel, Yao, Delaunay
+// variants, CDS backbones — is a GeometricGraph over the same node set, so
+// they can be compared edge-for-edge and measured with the same metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace geospanner::graph {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Undirected graph on a fixed point set. Invariants: adjacency lists are
+/// sorted, duplicate-free, and symmetric (u in adj[v] iff v in adj[u]);
+/// no self-loops.
+class GeometricGraph {
+  public:
+    GeometricGraph() = default;
+    explicit GeometricGraph(std::vector<geom::Point> points)
+        : points_(std::move(points)), adjacency_(points_.size()) {}
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return points_.size(); }
+    [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+    [[nodiscard]] geom::Point point(NodeId v) const { return points_[v]; }
+    [[nodiscard]] const std::vector<geom::Point>& points() const noexcept { return points_; }
+
+    [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+        return adjacency_[v];
+    }
+    [[nodiscard]] std::size_t degree(NodeId v) const { return adjacency_[v].size(); }
+
+    /// Adds the undirected edge {u, v}; no-op if already present.
+    /// Returns true if the edge was inserted. Precondition: u != v.
+    bool add_edge(NodeId u, NodeId v);
+
+    /// Removes the undirected edge {u, v}; returns true if it was present.
+    bool remove_edge(NodeId u, NodeId v);
+
+    [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+    [[nodiscard]] double edge_length(NodeId u, NodeId v) const {
+        return geom::distance(points_[u], points_[v]);
+    }
+
+    /// All edges as (u, v) pairs with u < v, in lexicographic order.
+    [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+    /// Structural equality: same points, same edge set.
+    friend bool operator==(const GeometricGraph& a, const GeometricGraph& b);
+
+  private:
+    std::vector<geom::Point> points_;
+    std::vector<std::vector<NodeId>> adjacency_;
+    std::size_t edge_count_ = 0;
+};
+
+}  // namespace geospanner::graph

@@ -1,0 +1,31 @@
+#include "graph/khop.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace geospanner::graph {
+
+std::vector<NodeId> k_hop_neighborhood(const GeometricGraph& g, NodeId v, int k) {
+    std::vector<NodeId> result{v};
+    if (k <= 0) return result;
+    std::vector<int> depth(g.node_count(), -1);
+    depth[v] = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(v);
+    while (!frontier.empty()) {
+        const NodeId u = frontier.front();
+        frontier.pop();
+        if (depth[u] == k) continue;
+        for (const NodeId w : g.neighbors(u)) {
+            if (depth[w] == -1) {
+                depth[w] = depth[u] + 1;
+                result.push_back(w);
+                frontier.push(w);
+            }
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+}  // namespace geospanner::graph

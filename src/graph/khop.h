@@ -1,0 +1,16 @@
+// k-hop neighborhoods N_k(v): all nodes within k hops of v, including v
+// itself (the paper's notation for the local knowledge available to a
+// node after k rounds of neighbor exchange).
+#pragma once
+
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::graph {
+
+/// Nodes within `k` hops of v (including v), sorted by id.
+[[nodiscard]] std::vector<NodeId> k_hop_neighborhood(const GeometricGraph& g, NodeId v,
+                                                     int k);
+
+}  // namespace geospanner::graph

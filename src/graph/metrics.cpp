@@ -1,0 +1,122 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+#include "graph/shortest_paths.h"
+
+namespace geospanner::graph {
+
+DegreeStats degree_stats(const GeometricGraph& g) {
+    DegreeStats stats;
+    if (g.node_count() == 0) return stats;
+    std::size_t total = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        const std::size_t d = g.degree(v);
+        stats.max = std::max(stats.max, d);
+        total += d;
+    }
+    stats.avg = static_cast<double>(total) / static_cast<double>(g.node_count());
+    return stats;
+}
+
+namespace {
+
+/// Shared stretch loop over a per-source distance oracle. `Dist` maps a
+/// source node to a vector of costs; `unreachable(x)` tests reachability.
+template <typename DistB, typename DistT, typename Value>
+StretchStats stretch_impl(const GeometricGraph& base, const GeometricGraph& topo,
+                          DistB base_dist, DistT topo_dist, Value unreachable_value,
+                          double min_euclidean) {
+    assert(base.node_count() == topo.node_count());
+    StretchStats stats;
+    const double min_d2 = min_euclidean * min_euclidean;
+    const auto n = static_cast<NodeId>(base.node_count());
+    for (NodeId u = 0; u < n; ++u) {
+        const auto db = base_dist(base, u);
+        const auto dt = topo_dist(topo, u);
+        for (NodeId v = u + 1; v < n; ++v) {
+            if (db[v] == unreachable_value) continue;  // Not comparable.
+            if (static_cast<double>(db[v]) == 0.0) continue;  // Coincident points.
+            if (geom::squared_distance(base.point(u), base.point(v)) <= min_d2) continue;
+            ++stats.pair_count;
+            if (dt[v] == unreachable_value) {
+                ++stats.disconnected_pairs;
+                continue;
+            }
+            const double ratio = static_cast<double>(dt[v]) / static_cast<double>(db[v]);
+            stats.avg += ratio;
+            stats.max = std::max(stats.max, ratio);
+        }
+    }
+    const std::size_t measured = stats.pair_count - stats.disconnected_pairs;
+    if (measured > 0) stats.avg /= static_cast<double>(measured);
+    return stats;
+}
+
+}  // namespace
+
+StretchStats length_stretch(const GeometricGraph& base, const GeometricGraph& topo,
+                            double min_euclidean) {
+    return stretch_impl(
+        base, topo, [](const GeometricGraph& g, NodeId s) { return dijkstra_lengths(g, s); },
+        [](const GeometricGraph& g, NodeId s) { return dijkstra_lengths(g, s); },
+        kUnreachableLength, min_euclidean);
+}
+
+StretchStats hop_stretch(const GeometricGraph& base, const GeometricGraph& topo,
+                         double min_euclidean) {
+    return stretch_impl(
+        base, topo, [](const GeometricGraph& g, NodeId s) { return bfs_hops(g, s); },
+        [](const GeometricGraph& g, NodeId s) { return bfs_hops(g, s); }, kUnreachableHops,
+        min_euclidean);
+}
+
+StretchStats power_stretch(const GeometricGraph& base, const GeometricGraph& topo,
+                           double beta, double min_euclidean) {
+    const auto oracle = [beta](const GeometricGraph& g, NodeId s) {
+        return dijkstra_powers(g, s, beta);
+    };
+    return stretch_impl(base, topo, oracle, oracle, kUnreachableLength, min_euclidean);
+}
+
+StretchWitness length_stretch_witness(const GeometricGraph& base,
+                                      const GeometricGraph& topo, double min_euclidean) {
+    assert(base.node_count() == topo.node_count());
+    StretchWitness witness;
+    const double min_d2 = min_euclidean * min_euclidean;
+    const auto n = static_cast<NodeId>(base.node_count());
+    for (NodeId u = 0; u < n; ++u) {
+        const auto db = dijkstra_lengths(base, u);
+        const auto dt = dijkstra_lengths(topo, u);
+        for (NodeId v = u + 1; v < n; ++v) {
+            if (db[v] == kUnreachableLength || db[v] == 0.0) continue;
+            if (dt[v] == kUnreachableLength) continue;
+            if (geom::squared_distance(base.point(u), base.point(v)) <= min_d2) continue;
+            const double ratio = dt[v] / db[v];
+            if (ratio > witness.ratio) {
+                witness = {u, v, ratio, db[v], dt[v]};
+            }
+        }
+    }
+    return witness;
+}
+
+PowerAssignment power_assignment(const GeometricGraph& topo, double beta) {
+    PowerAssignment result;
+    if (topo.node_count() == 0) return result;
+    for (NodeId v = 0; v < topo.node_count(); ++v) {
+        double farthest = 0.0;
+        for (const NodeId u : topo.neighbors(v)) {
+            farthest = std::max(farthest, topo.edge_length(v, u));
+        }
+        const double p = farthest == 0.0 ? 0.0 : std::pow(farthest, beta);
+        result.total += p;
+        result.max = std::max(result.max, p);
+    }
+    result.avg = result.total / static_cast<double>(topo.node_count());
+    return result;
+}
+
+}  // namespace geospanner::graph

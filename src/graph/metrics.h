@@ -1,0 +1,77 @@
+// Topology quality measurements (the quantities in the paper's Table I).
+//
+// A topology T is compared against the base unit-disk graph G on the same
+// node set: for every ordered-once pair (u < v) connected in G we compute
+// the ratio of shortest-path costs T/G under hop, length, and power cost
+// models. avg/max over pairs give the spanning (stretch) ratios; degree
+// statistics and edge counts complete a Table I row.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::graph {
+
+struct DegreeStats {
+    std::size_t max = 0;
+    double avg = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const GeometricGraph& g);
+
+struct StretchStats {
+    double avg = 0.0;
+    double max = 0.0;
+    std::size_t pair_count = 0;           ///< pairs connected in the base graph
+    std::size_t disconnected_pairs = 0;   ///< of those, pairs not connected in topo
+};
+
+/// Euclidean length stretch of `topo` relative to `base`. Pairs at base
+/// distance 0 (coincident points) are skipped, as are pairs closer than
+/// `min_euclidean` (the paper measures stretch only for nodes more than
+/// one transmission radius apart — nearby pairs trivially inflate the
+/// ratio).
+[[nodiscard]] StretchStats length_stretch(const GeometricGraph& base,
+                                          const GeometricGraph& topo,
+                                          double min_euclidean = 0.0);
+
+/// Hop-count stretch of `topo` relative to `base`.
+[[nodiscard]] StretchStats hop_stretch(const GeometricGraph& base,
+                                       const GeometricGraph& topo,
+                                       double min_euclidean = 0.0);
+
+/// Power stretch with exponent beta (energy model: edge cost |uv|^beta).
+[[nodiscard]] StretchStats power_stretch(const GeometricGraph& base,
+                                         const GeometricGraph& topo, double beta,
+                                         double min_euclidean = 0.0);
+
+/// The node pair realizing the maximum length stretch, with its ratio —
+/// a checkable certificate for the reported maximum (ratio 0 when no
+/// pair qualifies).
+struct StretchWitness {
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    double ratio = 0.0;
+    double base_distance = 0.0;
+    double topo_distance = 0.0;
+};
+
+[[nodiscard]] StretchWitness length_stretch_witness(const GeometricGraph& base,
+                                                    const GeometricGraph& topo,
+                                                    double min_euclidean = 0.0);
+
+/// Topology-control power assignment: each node's transmission power is
+/// set to reach its farthest neighbor in the topology, p(v) =
+/// max |uv|^beta over incident edges (0 for isolated nodes). Sparser
+/// topologies with shorter edges let nodes radio at lower power — the
+/// energy argument behind topology control.
+struct PowerAssignment {
+    double total = 0.0;
+    double max = 0.0;
+    double avg = 0.0;
+};
+
+[[nodiscard]] PowerAssignment power_assignment(const GeometricGraph& topo, double beta);
+
+}  // namespace geospanner::graph

@@ -1,0 +1,77 @@
+#include "graph/planarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "geom/predicates.h"
+
+namespace geospanner::graph {
+
+namespace {
+
+struct CellKey {
+    long long x = 0;
+    long long y = 0;
+    friend bool operator==(CellKey, CellKey) = default;
+};
+
+struct CellKeyHash {
+    std::size_t operator()(CellKey k) const noexcept {
+        return std::hash<long long>{}(k.x * 1000003LL + k.y);
+    }
+};
+
+}  // namespace
+
+std::vector<EdgeCrossing> crossing_edge_pairs(const GeometricGraph& g, std::size_t limit) {
+    std::vector<EdgeCrossing> crossings;
+    const auto edge_list = g.edges();
+    if (edge_list.size() < 2) return crossings;
+
+    // Bucket edges on a uniform grid whose cell size is the longest edge,
+    // so any two crossing edges share at least one overlapped cell.
+    double cell = 0.0;
+    for (const auto& [u, v] : edge_list) cell = std::max(cell, g.edge_length(u, v));
+    if (cell <= 0.0) return crossings;
+
+    std::unordered_map<CellKey, std::vector<std::size_t>, CellKeyHash> buckets;
+    for (std::size_t i = 0; i < edge_list.size(); ++i) {
+        const auto [u, v] = edge_list[i];
+        const geom::Point a = g.point(u);
+        const geom::Point b = g.point(v);
+        const auto x0 = static_cast<long long>(std::floor(std::min(a.x, b.x) / cell));
+        const auto x1 = static_cast<long long>(std::floor(std::max(a.x, b.x) / cell));
+        const auto y0 = static_cast<long long>(std::floor(std::min(a.y, b.y) / cell));
+        const auto y1 = static_cast<long long>(std::floor(std::max(a.y, b.y) / cell));
+        for (long long cx = x0; cx <= x1; ++cx) {
+            for (long long cy = y0; cy <= y1; ++cy) {
+                buckets[{cx, cy}].push_back(i);
+            }
+        }
+    }
+
+    std::set<std::pair<std::size_t, std::size_t>> reported;
+    for (const auto& [key, members] : buckets) {
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                const auto i = std::min(members[a], members[b]);
+                const auto j = std::max(members[a], members[b]);
+                const auto [u1, v1] = edge_list[i];
+                const auto [u2, v2] = edge_list[j];
+                if (u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2) continue;
+                if (reported.contains({i, j})) continue;
+                if (geom::segments_properly_cross(g.point(u1), g.point(v1), g.point(u2),
+                                                  g.point(v2))) {
+                    reported.insert({i, j});
+                    crossings.push_back({edge_list[i], edge_list[j]});
+                    if (limit != 0 && crossings.size() >= limit) return crossings;
+                }
+            }
+        }
+    }
+    return crossings;
+}
+
+}  // namespace geospanner::graph

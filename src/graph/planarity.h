@@ -1,0 +1,30 @@
+// Geometric planarity of an embedded graph.
+//
+// The paper's planarity claim is about the *straight-line embedding*: no
+// two backbone links cross in the plane (a requirement of face/perimeter
+// routing). That is what we check — not abstract graph planarity.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::graph {
+
+/// An unordered pair of edges that properly cross.
+using EdgeCrossing =
+    std::pair<std::pair<NodeId, NodeId>, std::pair<NodeId, NodeId>>;
+
+/// All pairs of edges that properly cross (interior intersection, no
+/// shared endpoint), up to `limit` pairs (0 = unlimited). Uses a uniform
+/// grid over edge bounding boxes to avoid the full quadratic pair scan.
+[[nodiscard]] std::vector<EdgeCrossing> crossing_edge_pairs(const GeometricGraph& g,
+                                                            std::size_t limit = 0);
+
+/// True iff the straight-line embedding of g has no proper edge crossing.
+[[nodiscard]] inline bool is_plane_embedding(const GeometricGraph& g) {
+    return crossing_edge_pairs(g, 1).empty();
+}
+
+}  // namespace geospanner::graph

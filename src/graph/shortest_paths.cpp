@@ -1,0 +1,156 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace geospanner::graph {
+
+std::vector<int> bfs_hops(const GeometricGraph& g, NodeId src) {
+    std::vector<int> dist(g.node_count(), kUnreachableHops);
+    std::queue<NodeId> frontier;
+    dist[src] = 0;
+    frontier.push(src);
+    while (!frontier.empty()) {
+        const NodeId u = frontier.front();
+        frontier.pop();
+        for (const NodeId v : g.neighbors(u)) {
+            if (dist[v] == kUnreachableHops) {
+                dist[v] = dist[u] + 1;
+                frontier.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<NodeId> bfs_tree(const GeometricGraph& g, NodeId src) {
+    std::vector<NodeId> parent(g.node_count(), kInvalidNode);
+    std::vector<char> seen(g.node_count(), 0);
+    std::queue<NodeId> frontier;
+    seen[src] = 1;
+    frontier.push(src);
+    while (!frontier.empty()) {
+        const NodeId u = frontier.front();
+        frontier.pop();
+        for (const NodeId v : g.neighbors(u)) {
+            if (!seen[v]) {
+                seen[v] = 1;
+                parent[v] = u;
+                frontier.push(v);
+            }
+        }
+    }
+    return parent;
+}
+
+namespace {
+
+/// Generic Dijkstra over a per-edge cost functor.
+template <typename Cost>
+std::vector<double> dijkstra_impl(const GeometricGraph& g, NodeId src, Cost cost) {
+    std::vector<double> dist(g.node_count(), kUnreachableLength);
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[src] = 0.0;
+    heap.emplace(0.0, src);
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u]) continue;  // Stale entry.
+        for (const NodeId v : g.neighbors(u)) {
+            const double nd = d + cost(u, v);
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                heap.emplace(nd, v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<NodeId> extract_path(const std::vector<NodeId>& parent, NodeId src, NodeId dst) {
+    std::vector<NodeId> path;
+    if (parent[dst] == kInvalidNode && dst != src) return path;
+    for (NodeId v = dst; v != kInvalidNode; v = parent[v]) path.push_back(v);
+    std::reverse(path.begin(), path.end());
+    assert(path.front() == src);
+    return path;
+}
+
+}  // namespace
+
+std::vector<double> dijkstra_lengths(const GeometricGraph& g, NodeId src) {
+    return dijkstra_impl(g, src, [&g](NodeId u, NodeId v) { return g.edge_length(u, v); });
+}
+
+std::vector<double> dijkstra_powers(const GeometricGraph& g, NodeId src, double beta) {
+    return dijkstra_impl(
+        g, src, [&g, beta](NodeId u, NodeId v) { return std::pow(g.edge_length(u, v), beta); });
+}
+
+std::vector<NodeId> shortest_hop_path(const GeometricGraph& g, NodeId src, NodeId dst) {
+    if (src == dst) return {src};
+    return extract_path(bfs_tree(g, src), src, dst);
+}
+
+std::vector<NodeId> shortest_length_path(const GeometricGraph& g, NodeId src, NodeId dst) {
+    if (src == dst) return {src};
+    // Dijkstra with parent tracking.
+    std::vector<double> dist(g.node_count(), kUnreachableLength);
+    std::vector<NodeId> parent(g.node_count(), kInvalidNode);
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[src] = 0.0;
+    heap.emplace(0.0, src);
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u]) continue;
+        for (const NodeId v : g.neighbors(u)) {
+            const double nd = d + g.edge_length(u, v);
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                parent[v] = u;
+                heap.emplace(nd, v);
+            }
+        }
+    }
+    return extract_path(parent, src, dst);
+}
+
+bool is_connected(const GeometricGraph& g) {
+    if (g.node_count() == 0) return true;
+    const auto hops = bfs_hops(g, 0);
+    return std::none_of(hops.begin(), hops.end(),
+                        [](int h) { return h == kUnreachableHops; });
+}
+
+bool is_connected_on(const GeometricGraph& g, const std::vector<bool>& subset) {
+    assert(subset.size() == g.node_count());
+    const auto first = std::find(subset.begin(), subset.end(), true);
+    if (first == subset.end()) return true;
+    const auto start = static_cast<NodeId>(first - subset.begin());
+
+    std::vector<char> seen(g.node_count(), 0);
+    std::queue<NodeId> frontier;
+    seen[start] = 1;
+    frontier.push(start);
+    std::size_t reached = 1;
+    while (!frontier.empty()) {
+        const NodeId u = frontier.front();
+        frontier.pop();
+        for (const NodeId v : g.neighbors(u)) {
+            if (!seen[v] && subset[v]) {
+                seen[v] = 1;
+                ++reached;
+                frontier.push(v);
+            }
+        }
+    }
+    const auto total = static_cast<std::size_t>(std::count(subset.begin(), subset.end(), true));
+    return reached == total;
+}
+
+}  // namespace geospanner::graph

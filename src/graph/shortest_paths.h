@@ -1,0 +1,49 @@
+// Shortest paths on geometric graphs.
+//
+// The paper's quality measures are ratios of shortest-path costs between
+// a topology and the original unit-disk graph, under two cost models:
+// hop count (BFS) and Euclidean length (Dijkstra). A power cost model
+// (sum of |edge|^beta, the energy metric of Li et al. [12]) is provided
+// as well for the power-stretch extension.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::graph {
+
+inline constexpr int kUnreachableHops = -1;
+inline constexpr double kUnreachableLength = std::numeric_limits<double>::infinity();
+
+/// Hop distance from src to every node (kUnreachableHops if disconnected).
+[[nodiscard]] std::vector<int> bfs_hops(const GeometricGraph& g, NodeId src);
+
+/// Euclidean-length distance from src to every node.
+[[nodiscard]] std::vector<double> dijkstra_lengths(const GeometricGraph& g, NodeId src);
+
+/// Power-cost distance: each edge costs |uv|^beta.
+[[nodiscard]] std::vector<double> dijkstra_powers(const GeometricGraph& g, NodeId src,
+                                                  double beta);
+
+/// Parent array of a BFS tree rooted at src (kInvalidNode for src itself
+/// and for unreachable nodes). Used to extract explicit min-hop paths.
+[[nodiscard]] std::vector<NodeId> bfs_tree(const GeometricGraph& g, NodeId src);
+
+/// Explicit min-hop path src -> dst (inclusive); empty if unreachable.
+[[nodiscard]] std::vector<NodeId> shortest_hop_path(const GeometricGraph& g, NodeId src,
+                                                    NodeId dst);
+
+/// Explicit min-length path src -> dst (inclusive); empty if unreachable.
+[[nodiscard]] std::vector<NodeId> shortest_length_path(const GeometricGraph& g, NodeId src,
+                                                       NodeId dst);
+
+/// True iff all nodes are reachable from node 0 (vacuously true for empty).
+[[nodiscard]] bool is_connected(const GeometricGraph& g);
+
+/// True iff all nodes of `subset` lie in one connected component of g's
+/// subgraph induced on `subset` (membership flags, length node_count()).
+[[nodiscard]] bool is_connected_on(const GeometricGraph& g, const std::vector<bool>& subset);
+
+}  // namespace geospanner::graph

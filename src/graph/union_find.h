@@ -1,0 +1,53 @@
+// Disjoint-set union with path compression and union by size.
+//
+// Used for connectivity tests of generated unit-disk graphs and for
+// verifying that backbones stay connected.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace geospanner::graph {
+
+class UnionFind {
+  public:
+    explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+        std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    }
+
+    [[nodiscard]] std::size_t find(std::size_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];  // Path halving.
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /// Merges the sets of a and b; returns true if they were distinct.
+    bool unite(std::size_t a, std::size_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return false;
+        if (size_[a] < size_[b]) std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+        --component_deficit_;
+        return true;
+    }
+
+    [[nodiscard]] bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+    [[nodiscard]] std::size_t component_count() const noexcept {
+        return parent_.size() + component_deficit_;
+    }
+
+    [[nodiscard]] std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+
+  private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> size_;
+    std::ptrdiff_t component_deficit_ = 0;  // (#unions performed), negated.
+};
+
+}  // namespace geospanner::graph

@@ -1,0 +1,69 @@
+#include "io/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace geospanner::io {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+void write_graph(std::ostream& out, const GeometricGraph& g) {
+    out << "gsg 1\n" << g.node_count() << ' ' << g.edge_count() << '\n';
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const auto& p : g.points()) out << p.x << ' ' << p.y << '\n';
+    for (const auto& [u, v] : g.edges()) out << u << ' ' << v << '\n';
+}
+
+std::optional<GeometricGraph> read_graph(std::istream& in) {
+    std::string magic;
+    int version = 0;
+    if (!(in >> magic >> version) || magic != "gsg" || version != 1) return std::nullopt;
+    std::size_t n = 0;
+    std::size_t m = 0;
+    if (!(in >> n >> m)) return std::nullopt;
+    std::vector<geom::Point> points(n);
+    for (auto& p : points) {
+        if (!(in >> p.x >> p.y)) return std::nullopt;
+    }
+    GeometricGraph g(std::move(points));
+    for (std::size_t i = 0; i < m; ++i) {
+        NodeId u = 0;
+        NodeId v = 0;
+        if (!(in >> u >> v) || u >= n || v >= n || u == v) return std::nullopt;
+        g.add_edge(u, v);
+    }
+    if (g.edge_count() != m) return std::nullopt;  // Duplicate edges in input.
+    return g;
+}
+
+bool save_graph(const std::string& path, const GeometricGraph& g) {
+    std::ofstream file(path);
+    if (!file) return false;
+    write_graph(file, g);
+    return static_cast<bool>(file);
+}
+
+std::optional<GeometricGraph> load_graph(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) return std::nullopt;
+    return read_graph(file);
+}
+
+std::string to_dot(const GeometricGraph& g, const std::string& name) {
+    std::ostringstream out;
+    out << "graph " << name << " {\n  node [shape=point];\n";
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        out << "  n" << v << " [pos=\"" << g.point(v).x << ',' << g.point(v).y
+            << "!\"];\n";
+    }
+    for (const auto& [u, v] : g.edges()) {
+        out << "  n" << u << " -- n" << v << ";\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+}  // namespace geospanner::io

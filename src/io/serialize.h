@@ -1,0 +1,32 @@
+// Plain-text (de)serialization of geometric graphs, and Graphviz DOT
+// export — for archiving experiment instances and inspecting topologies
+// with external tools.
+//
+// Format ("gsg v1"):
+//   gsg 1
+//   <node_count> <edge_count>
+//   <x> <y>                 (node_count lines, max-precision doubles)
+//   <u> <v>                 (edge_count lines, u < v)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::io {
+
+void write_graph(std::ostream& out, const graph::GeometricGraph& g);
+[[nodiscard]] std::optional<graph::GeometricGraph> read_graph(std::istream& in);
+
+/// File-based convenience wrappers; return false / nullopt on I/O or
+/// parse failure.
+bool save_graph(const std::string& path, const graph::GeometricGraph& g);
+[[nodiscard]] std::optional<graph::GeometricGraph> load_graph(const std::string& path);
+
+/// Graphviz DOT (neato-friendly: nodes carry pos="x,y!" pins).
+[[nodiscard]] std::string to_dot(const graph::GeometricGraph& g,
+                                 const std::string& name = "topology");
+
+}  // namespace geospanner::io

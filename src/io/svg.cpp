@@ -1,0 +1,83 @@
+#include "io/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace geospanner::io {
+
+std::string render_svg(const graph::GeometricGraph& g,
+                       const std::vector<NodeClass>& classes, const SvgStyle& style) {
+    // World bounding box -> canvas transform (y flipped: SVG grows down).
+    double min_x = 0.0;
+    double min_y = 0.0;
+    double max_x = 1.0;
+    double max_y = 1.0;
+    if (g.node_count() > 0) {
+        min_x = max_x = g.point(0).x;
+        min_y = max_y = g.point(0).y;
+        for (const auto& p : g.points()) {
+            min_x = std::min(min_x, p.x);
+            max_x = std::max(max_x, p.x);
+            min_y = std::min(min_y, p.y);
+            max_y = std::max(max_y, p.y);
+        }
+    }
+    const double span = std::max({max_x - min_x, max_y - min_y, 1e-9});
+    const double scale = (style.canvas - 2.0 * style.margin) / span;
+    const auto tx = [&](geom::Point p) { return style.margin + (p.x - min_x) * scale; };
+    const auto ty = [&](geom::Point p) { return style.canvas - style.margin - (p.y - min_y) * scale; };
+
+    std::ostringstream out;
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << style.canvas
+        << "\" height=\"" << style.canvas << "\" viewBox=\"0 0 " << style.canvas << ' '
+        << style.canvas << "\">\n";
+    if (!style.title.empty()) {
+        out << "  <title>" << style.title << "</title>\n"
+            << "  <text x=\"" << style.margin << "\" y=\"" << style.margin * 0.75
+            << "\" font-family=\"sans-serif\" font-size=\"12\">" << style.title
+            << "</text>\n";
+    }
+    out << "  <g stroke=\"" << style.edge_color << "\" stroke-width=\"" << style.edge_width
+        << "\">\n";
+    for (const auto& [u, v] : g.edges()) {
+        out << "    <line x1=\"" << tx(g.point(u)) << "\" y1=\"" << ty(g.point(u))
+            << "\" x2=\"" << tx(g.point(v)) << "\" y2=\"" << ty(g.point(v)) << "\"/>\n";
+    }
+    out << "  </g>\n";
+
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+        const NodeClass cls = v < classes.size() ? classes[v] : NodeClass::kPlain;
+        const double x = tx(g.point(v));
+        const double y = ty(g.point(v));
+        const double r = style.node_radius;
+        switch (cls) {
+            case NodeClass::kDominator:
+                out << "  <rect x=\"" << x - 1.5 * r << "\" y=\"" << y - 1.5 * r
+                    << "\" width=\"" << 3.0 * r << "\" height=\"" << 3.0 * r
+                    << "\" fill=\"#c0392b\"/>\n";
+                break;
+            case NodeClass::kConnector:
+                out << "  <rect x=\"" << x - 1.2 * r << "\" y=\"" << y - 1.2 * r
+                    << "\" width=\"" << 2.4 * r << "\" height=\"" << 2.4 * r
+                    << "\" fill=\"#2980b9\"/>\n";
+                break;
+            case NodeClass::kPlain:
+                out << "  <circle cx=\"" << x << "\" cy=\"" << y << "\" r=\"" << r
+                    << "\" fill=\"#7f8c8d\"/>\n";
+                break;
+        }
+    }
+    out << "</svg>\n";
+    return out.str();
+}
+
+bool write_svg(const std::string& path, const graph::GeometricGraph& g,
+               const std::vector<NodeClass>& classes, const SvgStyle& style) {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << render_svg(g, classes, style);
+    return static_cast<bool>(file);
+}
+
+}  // namespace geospanner::io

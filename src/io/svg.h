@@ -1,0 +1,39 @@
+// SVG rendering of topologies — reproduces the paper's Figures 6 and 7
+// (a unit disk graph instance and each derived structure).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::io {
+
+struct SvgStyle {
+    double canvas = 640.0;          ///< output width/height in px
+    double margin = 20.0;           ///< px border around the drawing
+    double node_radius = 3.0;       ///< px
+    std::string edge_color = "#555555";
+    double edge_width = 1.0;
+    std::string title;
+};
+
+/// Node classes get distinct markers: dominators/connectors are drawn as
+/// filled squares, plain dominatees as circles (matching Figure 3's
+/// legend). Pass an empty vector to draw all nodes alike.
+enum class NodeClass : unsigned char {
+    kPlain = 0,
+    kDominator = 1,
+    kConnector = 2,
+};
+
+/// Renders the graph to an SVG document string.
+[[nodiscard]] std::string render_svg(const graph::GeometricGraph& g,
+                                     const std::vector<NodeClass>& classes,
+                                     const SvgStyle& style = {});
+
+/// Renders and writes to a file; returns false on I/O failure.
+bool write_svg(const std::string& path, const graph::GeometricGraph& g,
+               const std::vector<NodeClass>& classes, const SvgStyle& style = {});
+
+}  // namespace geospanner::io

@@ -1,0 +1,97 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace geospanner::io {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::begin_row() {
+    rows_.emplace_back();
+    return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return cell(out.str());
+}
+
+Table& Table::cell(std::size_t value) {
+    return cell(std::to_string(value));
+}
+
+Table& Table::dash() {
+    return cell(std::string("-"));
+}
+
+std::string Table::str() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream out;
+    const auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+        }
+        out << '\n';
+    };
+    emit(header_);
+    std::vector<std::string> rule;
+    rule.reserve(header_.size());
+    for (const std::size_t w : widths) rule.emplace_back(w, '-');
+    emit(rule);
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+std::string Table::csv() const {
+    const auto quote = [](const std::string& cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+        std::string quoted = "\"";
+        for (const char c : cell) {
+            if (c == '"') quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    std::ostringstream out;
+    const auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) out << ',';
+            out << quote(row[c]);
+        }
+        out << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+bool maybe_write_csv(const std::string& name, const Table& table) {
+    const char* dir = std::getenv("GS_BENCH_CSV_DIR");
+    if (dir == nullptr || *dir == '\0') return false;
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path path = std::filesystem::path(dir) / (name + ".csv");
+    std::ofstream file(path);
+    if (!file) return false;
+    file << table.csv();
+    return static_cast<bool>(file);
+}
+
+}  // namespace geospanner::io

@@ -1,0 +1,39 @@
+// Aligned-column text tables for benchmark output (the Table I format
+// and the per-figure data series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geospanner::io {
+
+/// Accumulates rows of string cells and formats them with aligned
+/// columns. Numeric helpers format with fixed precision.
+class Table {
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    Table& begin_row();
+    Table& cell(const std::string& text);
+    Table& cell(double value, int precision = 2);
+    Table& cell(std::size_t value);
+    /// The paper prints "-" for measurements that do not apply.
+    Table& dash();
+
+    [[nodiscard]] std::string str() const;
+
+    /// The same data as RFC-4180-ish CSV (values quoted when they
+    /// contain commas/quotes), for downstream plotting.
+    [[nodiscard]] std::string csv() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `table` as CSV into $GS_BENCH_CSV_DIR/<name>.csv when that
+/// environment variable is set; no-op otherwise. Returns true if a file
+/// was written. Lets every bench double as a data exporter for plots.
+bool maybe_write_csv(const std::string& name, const Table& table);
+
+}  // namespace geospanner::io

@@ -1,0 +1,68 @@
+#include "mobility/maintenance.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/shortest_paths.h"
+#include "proximity/udg.h"
+
+namespace geospanner::mobility {
+
+using graph::GeometricGraph;
+
+MaintainedBackbone::MaintainedBackbone(const std::vector<geom::Point>& points,
+                                       double radius, core::BuildOptions options)
+    : radius_(radius), options_(options) {
+    rebuild(points);
+}
+
+void MaintainedBackbone::rebuild(const std::vector<geom::Point>& points) {
+    udg_ = proximity::build_udg(points, radius_);
+    backbone_ = core::build_backbone(udg_, options_);
+    ++stats_.rebuilds;
+    account_build();
+    current_lifetime_ = 0;
+}
+
+void MaintainedBackbone::account_build() {
+    if (options_.engine != core::Engine::kDistributed) return;
+    for (const std::size_t m : backbone_.messages.after_ldel) {
+        stats_.total_broadcasts += m;
+    }
+}
+
+bool MaintainedBackbone::links_intact(const std::vector<geom::Point>& points) const {
+    const double r2 = radius_ * radius_;
+    // The links the routing scheme actually uses: the planar backbone
+    // plus the dominatee->dominator access links (== LDel(ICDS')).
+    for (const auto& [u, v] : backbone_.ldel_icds_prime.edges()) {
+        if (geom::squared_distance(points[u], points[v]) > r2) return false;
+    }
+    return true;
+}
+
+bool MaintainedBackbone::update(const std::vector<geom::Point>& points) {
+    assert(points.size() == udg_.node_count());
+    ++stats_.epochs;
+
+    if (links_intact(points)) {
+        ++stats_.intact_epochs;
+        ++current_lifetime_;
+        stats_.longest_lifetime = std::max(stats_.longest_lifetime, current_lifetime_);
+        return false;
+    }
+
+    // A used link broke. Rebuild from current positions — unless the
+    // network itself is partitioned, in which case nothing is valid and
+    // we wait for reconnection.
+    const GeometricGraph fresh = proximity::build_udg(points, radius_);
+    if (!graph::is_connected(fresh)) {
+        ++stats_.disconnected_epochs;
+        current_lifetime_ = 0;
+        return false;
+    }
+    rebuild(points);
+    return true;
+}
+
+}  // namespace geospanner::mobility

@@ -1,0 +1,67 @@
+// Epoch-driven backbone maintenance under mobility.
+//
+// The paper's observation (Section I): "our algorithms do not need to
+// update the network topology when nodes are moving as long as no link
+// used in the final network topology is broken" — the *logical* backbone
+// stays valid even though the drawn embedding shifts. This class
+// implements that policy: each epoch it checks whether every link the
+// current backbone uses (backbone links and dominatee→dominator links)
+// is still within transmission range, and rebuilds only on breakage,
+// accounting the rebuild broadcasts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/backbone.h"
+
+namespace geospanner::mobility {
+
+struct MaintenanceStats {
+    std::size_t epochs = 0;
+    std::size_t intact_epochs = 0;        ///< backbone survived unchanged
+    std::size_t rebuilds = 0;             ///< includes the initial build
+    std::size_t disconnected_epochs = 0;  ///< UDG itself was partitioned
+    std::size_t total_broadcasts = 0;     ///< across all (re)builds
+    std::size_t longest_lifetime = 0;     ///< epochs, best backbone
+
+    [[nodiscard]] double broadcasts_per_rebuild() const {
+        return rebuilds == 0 ? 0.0
+                             : static_cast<double>(total_broadcasts) /
+                                   static_cast<double>(rebuilds);
+    }
+};
+
+class MaintainedBackbone {
+  public:
+    /// Builds the initial backbone from `points` (must form a connected
+    /// UDG at `radius`).
+    MaintainedBackbone(const std::vector<geom::Point>& points, double radius,
+                       core::BuildOptions options = {});
+
+    /// One maintenance epoch at the given (moved) positions. Returns
+    /// true if the backbone had to be rebuilt. Epochs where the UDG is
+    /// disconnected are counted and skipped (no topology can help).
+    bool update(const std::vector<geom::Point>& points);
+
+    [[nodiscard]] const core::Backbone& backbone() const noexcept { return backbone_; }
+    [[nodiscard]] const graph::GeometricGraph& udg() const noexcept { return udg_; }
+    [[nodiscard]] const MaintenanceStats& stats() const noexcept { return stats_; }
+
+    /// True iff every link used by the current backbone is within range
+    /// at the given positions (the paper's validity condition).
+    [[nodiscard]] bool links_intact(const std::vector<geom::Point>& points) const;
+
+  private:
+    void rebuild(const std::vector<geom::Point>& points);
+    void account_build();
+
+    double radius_;
+    core::BuildOptions options_;
+    graph::GeometricGraph udg_;   ///< UDG at the last rebuild
+    core::Backbone backbone_;
+    MaintenanceStats stats_;
+    std::size_t current_lifetime_ = 0;
+};
+
+}  // namespace geospanner::mobility

@@ -1,0 +1,52 @@
+#include "mobility/waypoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geospanner::mobility {
+
+using geom::Point;
+
+RandomWaypointModel::RandomWaypointModel(std::vector<Point> initial,
+                                         const WaypointConfig& config)
+    : config_(config), rng_(config.seed), positions_(std::move(initial)),
+      state_(positions_.size()) {
+    for (std::size_t i = 0; i < positions_.size(); ++i) pick_waypoint(i);
+}
+
+void RandomWaypointModel::pick_waypoint(std::size_t i) {
+    state_[i].target = {rng_.uniform(0.0, config_.side), rng_.uniform(0.0, config_.side)};
+    state_[i].speed = rng_.uniform(config_.min_speed, config_.max_speed);
+    state_[i].pause_left = 0.0;
+}
+
+void RandomWaypointModel::advance(double dt) {
+    time_ += dt;
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+        double remaining = dt;
+        while (remaining > 1e-12) {
+            NodeState& s = state_[i];
+            if (s.pause_left > 0.0) {
+                const double rest = std::min(s.pause_left, remaining);
+                s.pause_left -= rest;
+                remaining -= rest;
+                continue;
+            }
+            const geom::Vec2 to_target = s.target - positions_[i];
+            const double dist = norm(to_target);
+            const double reach = s.speed * remaining;
+            if (reach >= dist) {
+                // Arrive, pause, then head for a fresh waypoint.
+                positions_[i] = s.target;
+                remaining -= s.speed > 0.0 ? dist / s.speed : remaining;
+                pick_waypoint(i);
+                state_[i].pause_left = config_.pause;
+            } else {
+                positions_[i] += (reach / dist) * to_target;
+                remaining = 0.0;
+            }
+        }
+    }
+}
+
+}  // namespace geospanner::mobility

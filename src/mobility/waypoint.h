@@ -1,0 +1,56 @@
+// Random-waypoint mobility (the standard ad hoc network mobility model):
+// every node picks a uniform destination in the region and moves toward
+// it at a uniform-random speed, pauses, then repeats. Deterministic in
+// the seed.
+//
+// The paper assumes nodes are "almost-static in a reasonable period of
+// time" and leaves dynamic maintenance as future work; this module
+// supplies the movement substrate for studying that regime (see
+// maintenance.h and the mobility example).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "random/rng.h"
+
+namespace geospanner::mobility {
+
+struct WaypointConfig {
+    double side = 250.0;      ///< square region [0, side]²
+    double min_speed = 0.5;   ///< units per time step
+    double max_speed = 2.0;
+    double pause = 3.0;       ///< time steps to rest at each waypoint
+    std::uint64_t seed = 1;
+};
+
+class RandomWaypointModel {
+  public:
+    RandomWaypointModel(std::vector<geom::Point> initial, const WaypointConfig& config);
+
+    /// Advances all nodes by `dt` time steps (movement + pauses).
+    void advance(double dt);
+
+    [[nodiscard]] const std::vector<geom::Point>& positions() const noexcept {
+        return positions_;
+    }
+    [[nodiscard]] double time() const noexcept { return time_; }
+
+  private:
+    struct NodeState {
+        geom::Point target{};
+        double speed = 0.0;
+        double pause_left = 0.0;
+    };
+
+    void pick_waypoint(std::size_t i);
+
+    WaypointConfig config_;
+    rnd::Xoshiro256 rng_;
+    std::vector<geom::Point> positions_;
+    std::vector<NodeState> state_;
+    double time_ = 0.0;
+};
+
+}  // namespace geospanner::mobility

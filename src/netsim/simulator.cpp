@@ -1,0 +1,243 @@
+#include "netsim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+#include "random/rng.h"
+
+namespace geospanner::netsim {
+
+using graph::NodeId;
+
+double Stats::max_load_share() const {
+    std::size_t total = 0;
+    std::size_t peak = 0;
+    for (const std::size_t t : transmissions) {
+        total += t;
+        peak = std::max(peak, t);
+    }
+    return total == 0 ? 0.0 : static_cast<double>(peak) / static_cast<double>(total);
+}
+
+namespace {
+
+struct InFlight {
+    std::vector<NodeId> route;
+    std::size_t position = 0;     // Index of the node currently holding it.
+    std::size_t injected_at = 0;
+};
+
+}  // namespace
+
+Stats run_simulation(std::size_t node_count, const RouteFn& route,
+                     const std::vector<Injection>& traffic, const Config& config) {
+    assert(std::is_sorted(traffic.begin(), traffic.end(),
+                          [](const Injection& a, const Injection& b) {
+                              return a.slot < b.slot;
+                          }));
+    Stats stats;
+    stats.transmissions.assign(node_count, 0);
+
+    std::vector<InFlight> packets;
+    // Per-node FIFO of packet ids (indices into `packets`).
+    std::vector<std::deque<std::size_t>> queues(node_count);
+    std::size_t live = 0;
+    std::size_t next_injection = 0;
+
+    for (std::size_t slot = 0; slot < config.max_slots; ++slot) {
+        // Inject this slot's traffic.
+        while (next_injection < traffic.size() && traffic[next_injection].slot <= slot) {
+            const Injection& inj = traffic[next_injection];
+            ++next_injection;
+            ++stats.injected;
+            if (inj.src == inj.dst) {
+                ++stats.delivered;  // Zero-latency self-delivery.
+                continue;
+            }
+            auto path = route(inj.src, inj.dst);
+            if (path.size() < 2 || path.front() != inj.src || path.back() != inj.dst) {
+                ++stats.dropped_no_route;
+                continue;
+            }
+            if (queues[inj.src].size() >= config.queue_capacity) {
+                ++stats.dropped_queue_full;
+                continue;
+            }
+            packets.push_back({std::move(path), 0, slot});
+            queues[inj.src].push_back(packets.size() - 1);
+            ++live;
+        }
+        if (live == 0 && next_injection >= traffic.size()) {
+            stats.slots_used = slot;
+            return stats;
+        }
+
+        // Forwarding phase: every node transmits the head of its queue.
+        // Arrivals are staged so a packet moves at most one hop per slot.
+        std::vector<std::pair<NodeId, std::size_t>> arrivals;  // (node, packet)
+        for (NodeId v = 0; v < node_count; ++v) {
+            stats.max_queue_depth = std::max(stats.max_queue_depth, queues[v].size());
+            if (queues[v].empty()) continue;
+            const std::size_t pid = queues[v].front();
+            queues[v].pop_front();
+            InFlight& p = packets[pid];
+            ++stats.transmissions[v];
+            const NodeId next = p.route[p.position + 1];
+            ++p.position;
+            if (p.position + 1 == p.route.size()) {
+                // Arrived at the destination.
+                const std::size_t latency = slot + 1 - p.injected_at;
+                ++stats.delivered;
+                stats.total_latency += latency;
+                stats.max_latency = std::max(stats.max_latency, latency);
+                --live;
+            } else {
+                arrivals.push_back({next, pid});
+            }
+        }
+        for (const auto& [node, pid] : arrivals) {
+            if (queues[node].size() >= config.queue_capacity) {
+                ++stats.dropped_queue_full;
+                --live;
+            } else {
+                queues[node].push_back(pid);
+            }
+        }
+    }
+    stats.slots_used = config.max_slots;
+    for (const auto& q : queues) stats.stuck_in_queues += q.size();
+    return stats;
+}
+
+Stats run_hop_by_hop(std::size_t node_count, const StepperFactory& factory,
+                     const std::vector<Injection>& traffic, const Config& config) {
+    Stats stats;
+    stats.transmissions.assign(node_count, 0);
+
+    struct Live {
+        std::function<NodeId(NodeId)> stepper;
+        NodeId at = 0;
+        NodeId dst = 0;
+        std::size_t injected_at = 0;
+    };
+    std::vector<Live> packets;
+    std::vector<std::deque<std::size_t>> queues(node_count);
+    std::size_t live = 0;
+    std::size_t next_injection = 0;
+
+    for (std::size_t slot = 0; slot < config.max_slots; ++slot) {
+        while (next_injection < traffic.size() && traffic[next_injection].slot <= slot) {
+            const Injection& inj = traffic[next_injection];
+            ++next_injection;
+            ++stats.injected;
+            if (inj.src == inj.dst) {
+                ++stats.delivered;
+                continue;
+            }
+            if (queues[inj.src].size() >= config.queue_capacity) {
+                ++stats.dropped_queue_full;
+                continue;
+            }
+            packets.push_back({factory(inj.src, inj.dst), inj.src, inj.dst, slot});
+            queues[inj.src].push_back(packets.size() - 1);
+            ++live;
+        }
+        if (live == 0 && next_injection >= traffic.size()) {
+            stats.slots_used = slot;
+            return stats;
+        }
+
+        std::vector<std::pair<NodeId, std::size_t>> arrivals;
+        for (NodeId v = 0; v < node_count; ++v) {
+            stats.max_queue_depth = std::max(stats.max_queue_depth, queues[v].size());
+            if (queues[v].empty()) continue;
+            const std::size_t pid = queues[v].front();
+            queues[v].pop_front();
+            Live& p = packets[pid];
+            const NodeId next = p.stepper(p.at);
+            if (next == graph::kInvalidNode) {
+                ++stats.dropped_no_route;  // The router gave up.
+                --live;
+                continue;
+            }
+            ++stats.transmissions[v];
+            p.at = next;
+            if (next == p.dst) {
+                const std::size_t latency = slot + 1 - p.injected_at;
+                ++stats.delivered;
+                stats.total_latency += latency;
+                stats.max_latency = std::max(stats.max_latency, latency);
+                --live;
+            } else {
+                arrivals.push_back({next, pid});
+            }
+        }
+        for (const auto& [node, pid] : arrivals) {
+            if (queues[node].size() >= config.queue_capacity) {
+                ++stats.dropped_queue_full;
+                --live;
+            } else {
+                queues[node].push_back(pid);
+            }
+        }
+    }
+    stats.slots_used = config.max_slots;
+    for (const auto& q : queues) stats.stuck_in_queues += q.size();
+    return stats;
+}
+
+double total_energy(const Stats& stats, const graph::GeometricGraph& topo, double beta) {
+    double energy = 0.0;
+    for (NodeId v = 0; v < stats.transmissions.size() && v < topo.node_count(); ++v) {
+        if (stats.transmissions[v] == 0) continue;
+        double farthest = 0.0;
+        for (const NodeId u : topo.neighbors(v)) {
+            farthest = std::max(farthest, topo.edge_length(v, u));
+        }
+        energy += static_cast<double>(stats.transmissions[v]) * std::pow(farthest, beta);
+    }
+    return energy;
+}
+
+std::vector<Injection> uniform_traffic(std::size_t node_count, std::size_t packets,
+                                       std::size_t per_slot, std::uint64_t seed) {
+    rnd::Xoshiro256 rng(seed);
+    std::vector<Injection> traffic;
+    traffic.reserve(packets);
+    std::size_t slot = 0;
+    while (traffic.size() < packets) {
+        for (std::size_t k = 0; k < per_slot && traffic.size() < packets; ++k) {
+            const auto src = static_cast<NodeId>(rng.below(node_count));
+            auto dst = static_cast<NodeId>(rng.below(node_count));
+            while (dst == src && node_count > 1) {
+                dst = static_cast<NodeId>(rng.below(node_count));
+            }
+            traffic.push_back({slot, src, dst});
+        }
+        ++slot;
+    }
+    return traffic;
+}
+
+std::vector<Injection> sink_traffic(std::size_t node_count, NodeId sink,
+                                    std::size_t packets, std::size_t per_slot,
+                                    std::uint64_t seed) {
+    rnd::Xoshiro256 rng(seed);
+    std::vector<Injection> traffic;
+    traffic.reserve(packets);
+    std::size_t slot = 0;
+    while (traffic.size() < packets) {
+        for (std::size_t k = 0; k < per_slot && traffic.size() < packets; ++k) {
+            auto src = static_cast<NodeId>(rng.below(node_count));
+            while (src == sink && node_count > 1) {
+                src = static_cast<NodeId>(rng.below(node_count));
+            }
+            traffic.push_back({slot, src, sink});
+        }
+        ++slot;
+    }
+    return traffic;
+}
+
+}  // namespace geospanner::netsim

@@ -1,0 +1,29 @@
+// Asynchronous clustering (the paper's Section III-A remark: the
+// protocol works with asynchronous communications when each node knows
+// its 1-hop neighbor ids a priori).
+//
+// Decision rule at a white node v: as soon as *every* smaller-id
+// neighbor is known to have decided (v heard IamDominator or the first
+// IamDominatee from each) and v is still white, v elects itself
+// dominator. Receiving IamDominator always turns a white node into a
+// dominatee first, so two adjacent nodes can never both elect. The
+// elected set is the lexicographically-first MIS — identical to the
+// synchronous protocol's — for EVERY message-delay interleaving, which
+// the tests verify across many delay seeds.
+#pragma once
+
+#include "protocol/cluster_state.h"
+#include "protocol/messages.h"
+#include "sim/async_network.h"
+
+namespace geospanner::protocol {
+
+using AsyncNet = sim::AsyncNetwork<Payload>;
+
+/// Runs the asynchronous clustering protocol to quiescence. Produces the
+/// same ClusterState (roles, dominator lists, two-hop dominator lists)
+/// as the synchronous run_clustering with the lowest-id policy.
+[[nodiscard]] ClusterState run_async_clustering(AsyncNet& net,
+                                                const graph::GeometricGraph& udg);
+
+}  // namespace geospanner::protocol

@@ -1,0 +1,109 @@
+#include "protocol/broadcast.h"
+
+#include "graph/shortest_paths.h"
+#include "random/rng.h"
+#include "sim/network.h"
+
+namespace geospanner::protocol {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+namespace {
+
+/// Payload for the broadcast protocols: one opaque data message.
+struct Data {};
+using BroadcastNet = sim::Network<std::variant<Data>>;
+
+/// Generic relay simulation: `relays[v]` says whether v retransmits the
+/// first copy it receives. The source always transmits.
+BroadcastResult run_relay(const GeometricGraph& udg, const std::vector<bool>& relays,
+                          NodeId source) {
+    BroadcastResult result;
+    result.reached.assign(udg.node_count(), false);
+    result.reached[source] = true;
+
+    BroadcastNet net(udg);
+    net.broadcast(source, Data{});
+    ++result.transmissions;
+    while (net.advance()) {
+        ++result.rounds;
+        for (NodeId v = 0; v < udg.node_count(); ++v) {
+            if (net.inbox(v).empty() || result.reached[v]) continue;
+            result.reached[v] = true;
+            if (relays[v]) {
+                net.broadcast(v, Data{});
+                ++result.transmissions;
+            }
+        }
+    }
+    for (const bool r : result.reached) result.covered += r ? 1 : 0;
+    return result;
+}
+
+}  // namespace
+
+BroadcastResult flood_broadcast(const GeometricGraph& udg, NodeId source) {
+    return run_relay(udg, std::vector<bool>(udg.node_count(), true), source);
+}
+
+BroadcastResult backbone_broadcast(const GeometricGraph& udg,
+                                   const std::vector<bool>& in_backbone, NodeId source) {
+    return run_relay(udg, in_backbone, source);
+}
+
+BroadcastResult tree_broadcast(const GeometricGraph& udg, NodeId source) {
+    const auto parent = graph::bfs_tree(udg, source);
+    std::vector<bool> internal(udg.node_count(), false);
+    for (NodeId v = 0; v < udg.node_count(); ++v) {
+        if (parent[v] != graph::kInvalidNode) internal[parent[v]] = true;
+    }
+    return run_relay(udg, internal, source);
+}
+
+BroadcastResult collision_broadcast(const GeometricGraph& udg,
+                                    const std::vector<bool>& relays, NodeId source,
+                                    const CollisionConfig& config) {
+    BroadcastResult result;
+    const auto n = static_cast<NodeId>(udg.node_count());
+    result.reached.assign(n, false);
+    result.reached[source] = true;
+
+    rnd::Xoshiro256 rng(config.seed);
+    constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> tx_slot(n, kNever);
+    tx_slot[source] = 0;  // The source transmits alone in slot 0.
+
+    std::size_t pending = 1;
+    for (std::size_t slot = 0; slot < config.max_slots && pending > 0; ++slot) {
+        // Who transmits this slot?
+        std::vector<NodeId> transmitters;
+        for (NodeId v = 0; v < n; ++v) {
+            if (tx_slot[v] == slot) transmitters.push_back(v);
+        }
+        if (transmitters.empty()) continue;
+        pending -= transmitters.size();
+        result.transmissions += transmitters.size();
+        result.rounds = slot + 1;
+
+        // Deliveries: a node receives iff exactly one neighbor transmits.
+        std::vector<std::uint8_t> heard(n, 0);
+        for (const NodeId t : transmitters) {
+            for (const NodeId u : udg.neighbors(t)) {
+                if (heard[u] < 2) ++heard[u];
+            }
+        }
+        for (NodeId u = 0; u < n; ++u) {
+            if (heard[u] != 1 || result.reached[u]) continue;
+            result.reached[u] = true;
+            if (relays[u] && tx_slot[u] == kNever) {
+                tx_slot[u] = slot + 1 + rng.below(config.window);
+                ++pending;
+            }
+        }
+    }
+    for (const bool r : result.reached) result.covered += r ? 1 : 0;
+    return result;
+}
+
+}  // namespace geospanner::protocol

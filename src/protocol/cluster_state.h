@@ -1,0 +1,37 @@
+// Output of the clustering phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::protocol {
+
+enum class Role : std::uint8_t {
+    kDominatee = 0,
+    kDominator = 1,
+};
+
+/// Result of the lowest-ID maximal-independent-set clustering. For every
+/// dominatee, `dominators_of` lists its adjacent dominators (<= 5 by
+/// Lemma 1) and `two_hop_dominators_of` the dominators exactly two hops
+/// away that it learned about from neighbors' IamDominatee broadcasts.
+/// Lists are sorted by node id.
+struct ClusterState {
+    std::vector<Role> role;
+    std::vector<std::vector<graph::NodeId>> dominators_of;
+    std::vector<std::vector<graph::NodeId>> two_hop_dominators_of;
+
+    [[nodiscard]] bool is_dominator(graph::NodeId v) const {
+        return role[v] == Role::kDominator;
+    }
+
+    [[nodiscard]] std::size_t dominator_count() const {
+        std::size_t c = 0;
+        for (const Role r : role) c += (r == Role::kDominator) ? 1 : 0;
+        return c;
+    }
+};
+
+}  // namespace geospanner::protocol

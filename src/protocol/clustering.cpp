@@ -1,0 +1,201 @@
+#include "protocol/clustering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace geospanner::protocol {
+
+using graph::GeometricGraph;
+
+namespace {
+
+/// Inserts v into a sorted unique vector; returns true if newly added.
+bool sorted_insert(std::vector<NodeId>& list, NodeId value) {
+    const auto it = std::lower_bound(list.begin(), list.end(), value);
+    if (it != list.end() && *it == value) return false;
+    list.insert(it, value);
+    return true;
+}
+
+/// Election ranking: smaller key wins. kLowestId ranks by id alone;
+/// kHighestDegree prefers larger degree, then smaller id.
+struct Key {
+    std::size_t primary = 0;
+    NodeId id = 0;
+    friend auto operator<=>(const Key&, const Key&) = default;
+};
+
+Key key_of(const GeometricGraph& udg, NodeId v, ClusterPolicy policy) {
+    switch (policy) {
+        case ClusterPolicy::kLowestId:
+            return {0, v};
+        case ClusterPolicy::kHighestDegree:
+            // Invert degree so that operator< means "wins".
+            return {udg.node_count() - udg.degree(v), v};
+    }
+    return {0, v};
+}
+
+/// Harvest pass shared by both engines: dominator lists come from
+/// adjacency + roles; two-hop dominators from dominatee neighbors'
+/// lists (what IamDominatee traffic reveals).
+void derive_lists(const GeometricGraph& udg, ClusterState& state) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    for (NodeId v = 0; v < n; ++v) {
+        if (state.role[v] != Role::kDominatee) continue;
+        for (const NodeId u : udg.neighbors(v)) {
+            if (state.role[u] == Role::kDominator) state.dominators_of[v].push_back(u);
+        }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+        for (const NodeId w : udg.neighbors(v)) {
+            if (state.role[w] != Role::kDominatee) continue;
+            for (const NodeId d : state.dominators_of[w]) {
+                if (d != v && !udg.has_edge(v, d)) {
+                    sorted_insert(state.two_hop_dominators_of[v], d);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+ClusterState run_clustering(Net& net, const GeometricGraph& udg, ClusterPolicy policy) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    ClusterState state;
+    state.role.assign(n, Role::kDominatee);
+    state.dominators_of.resize(n);
+    state.two_hop_dominators_of.resize(n);
+
+    // Per-node protocol state: whiteness of self and of each neighbor as
+    // currently known (updated from received announcements). Election
+    // keys of neighbors are known from the Hello beacons (id + degree).
+    std::vector<char> white(n, 1);
+    std::vector<std::set<Key>> white_neighbors(n);
+    for (NodeId v = 0; v < n; ++v) {
+        for (const NodeId u : udg.neighbors(v)) {
+            white_neighbors[v].insert(key_of(udg, u, policy));
+        }
+    }
+
+    // Initial beacon: every node announces its id/position (and thereby
+    // its degree) once, which is how nodes learn their 1-hop neighbor
+    // sets in the paper's model.
+    for (NodeId v = 0; v < n; ++v) net.broadcast(v, Hello{udg.point(v)});
+    net.advance();
+
+    while (true) {
+        // Process this round's inbox: track neighbors leaving the white
+        // state, acquire dominators, harvest two-hop dominators.
+        for (NodeId v = 0; v < n; ++v) {
+            for (const auto& env : net.inbox(v)) {
+                if (std::holds_alternative<IamDominator>(env.payload)) {
+                    white_neighbors[v].erase(key_of(udg, env.from, policy));
+                    if (white[v]) {
+                        // First dominator: v leaves the white state.
+                        white[v] = 0;
+                        state.role[v] = Role::kDominatee;
+                    }
+                    if (state.role[v] == Role::kDominatee &&
+                        sorted_insert(state.dominators_of[v], env.from)) {
+                        net.broadcast(v, IamDominatee{env.from});
+                    }
+                } else if (const auto* msg = std::get_if<IamDominatee>(&env.payload)) {
+                    white_neighbors[v].erase(key_of(udg, env.from, policy));
+                    const NodeId d = msg->dominator;
+                    if (d != v && !udg.has_edge(v, d)) {
+                        sorted_insert(state.two_hop_dominators_of[v], d);
+                    }
+                }
+            }
+        }
+        // Decision step: a white node that ranks best among its
+        // still-white neighbors elects itself dominator.
+        for (NodeId v = 0; v < n; ++v) {
+            if (!white[v]) continue;
+            const Key mine = key_of(udg, v, policy);
+            if (white_neighbors[v].empty() || mine < *white_neighbors[v].begin()) {
+                white[v] = 0;
+                state.role[v] = Role::kDominator;
+                net.broadcast(v, IamDominator{});
+            }
+        }
+        if (!net.advance()) break;
+    }
+
+    assert(std::none_of(white.begin(), white.end(), [](char w) { return w != 0; }));
+    return state;
+}
+
+ClusterState cluster_reference(const GeometricGraph& udg, ClusterPolicy policy) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    ClusterState state;
+    state.role.assign(n, Role::kDominatee);
+    state.dominators_of.resize(n);
+    state.two_hop_dominators_of.resize(n);
+
+    // Synchronized rounds: in each round, every white node that is a
+    // local optimum among white neighbors becomes a dominator; its white
+    // neighbors become dominatees. This mirrors the protocol exactly.
+    std::vector<char> white(n, 1);
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        std::vector<NodeId> winners;
+        for (NodeId v = 0; v < n; ++v) {
+            if (!white[v]) continue;
+            const Key mine = key_of(udg, v, policy);
+            bool best = true;
+            for (const NodeId u : udg.neighbors(v)) {
+                if (white[u] && key_of(udg, u, policy) < mine) {
+                    best = false;
+                    break;
+                }
+            }
+            if (best) winners.push_back(v);
+        }
+        assert(!winners.empty() && "a global optimum always wins");
+        for (const NodeId v : winners) {
+            white[v] = 0;
+            state.role[v] = Role::kDominator;
+            --remaining;
+        }
+        for (const NodeId v : winners) {
+            for (const NodeId u : udg.neighbors(v)) {
+                if (white[u]) {
+                    white[u] = 0;
+                    state.role[u] = Role::kDominatee;
+                    --remaining;
+                }
+            }
+        }
+    }
+    derive_lists(udg, state);
+    return state;
+}
+
+ClusterState lowest_id_mis(const GeometricGraph& udg) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    ClusterState state;
+    state.role.assign(n, Role::kDominatee);
+    state.dominators_of.resize(n);
+    state.two_hop_dominators_of.resize(n);
+
+    // Lexicographically-first MIS: in increasing id order, v becomes a
+    // dominator iff no smaller-id neighbor already is one.
+    for (NodeId v = 0; v < n; ++v) {
+        bool dominated = false;
+        for (const NodeId u : udg.neighbors(v)) {
+            if (u < v && state.role[u] == Role::kDominator) {
+                dominated = true;
+                break;
+            }
+        }
+        state.role[v] = dominated ? Role::kDominatee : Role::kDominator;
+    }
+    derive_lists(udg, state);
+    return state;
+}
+
+}  // namespace geospanner::protocol

@@ -1,0 +1,57 @@
+// Finding connectors (Algorithm 1 of the paper).
+//
+// After clustering, dominators that are two or three UDG hops apart must
+// be joined through dominatees. Candidates announce themselves with
+// TryConnector and an election picks, among mutually audible candidates,
+// the ones with locally smallest id (several non-adjacent candidates can
+// win for the same dominator pair — the paper shows at most 2 for a
+// two-hop pair, and notes the redundancy increases backbone robustness).
+//
+//  * Two-hop pairs: a dominatee adjacent to both dominators u and v is a
+//    candidate; a winner w contributes backbone edges (u,w), (w,v).
+//  * Three-hop pairs (ordered: u searches a path to v): a dominatee w of
+//    u that knows v as a two-hop dominator is a first-leg candidate; a
+//    winner w contributes (u,w) and triggers the second-leg election
+//    among dominatees x of v adjacent to some winner w, contributing
+//    (w,x) and (x,v).
+//
+// The dominators + elected connectors with these edges form the CDS
+// backbone graph.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "protocol/cluster_state.h"
+#include "protocol/messages.h"
+
+namespace geospanner::protocol {
+
+struct ConnectorState {
+    std::vector<bool> is_connector;                       ///< per node
+    std::vector<std::pair<NodeId, NodeId>> cds_edges;     ///< backbone links, u < v, sorted
+};
+
+/// Runs the distributed connector election over the UDG radio graph,
+/// continuing from a completed clustering (same Net for cumulative
+/// message counts).
+[[nodiscard]] ConnectorState run_connectors(Net& net, const graph::GeometricGraph& udg,
+                                            const ClusterState& cluster);
+
+/// Centralized reference producing bit-identical output (same elections
+/// evaluated directly on the graph).
+[[nodiscard]] ConnectorState find_connectors(const graph::GeometricGraph& udg,
+                                             const ClusterState& cluster);
+
+/// The alternative prior art the paper reviews (Alzoubi/Wan/Frieder):
+/// dominator-initiated selection. For every ordered dominator pair
+/// (u, v) at most 3 hops apart, u picks the smallest-id dominatee
+/// adjacent to both (2 hops), or the smallest-id neighbor w that is two
+/// hops from v, which in turn picks the smallest-id node completing the
+/// path (3 hops). Exactly one path per ordered pair — a leaner CDS than
+/// Algorithm 1's election, with none of its redundancy (see
+/// bench_ablation_robustness).
+[[nodiscard]] ConnectorState find_connectors_alzoubi(const graph::GeometricGraph& udg,
+                                                     const ClusterState& cluster);
+
+}  // namespace geospanner::protocol

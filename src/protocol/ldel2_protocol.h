@@ -1,0 +1,25 @@
+// Distributed 2-localized Delaunay graph LDel⁽²⁾.
+//
+// The k = 2 variant of Algorithm 2: each node first broadcasts its 1-hop
+// neighbor list (one aggregate message), computes the Delaunay
+// triangulation of its now-known 2-hop neighborhood, and negotiates
+// incident unit triangles with Proposal/Accept/Reject exactly as in the
+// k = 1 protocol. Because 2-hop knowledge already rules out every
+// crossing (Li et al.), no planarization pass is needed — the trade-off
+// against LDel⁽¹⁾+Algorithm 3 is heavier messages (neighbor lists are
+// O(degree) sized) for a protocol that is one phase shorter.
+//
+// Output equals the centralized proximity::ldel_k_triangles(g, 2)
+// exactly; tests assert this across parameter sweeps.
+#pragma once
+
+#include "protocol/ldel_protocol.h"
+
+namespace geospanner::protocol {
+
+/// Runs the LDel⁽²⁾ protocol over the radio graph of `net` (== `g`).
+/// If announce_positions is set, Hello beacons are broadcast first.
+[[nodiscard]] LDelState run_ldel2(Net& net, const graph::GeometricGraph& g,
+                                  bool announce_positions);
+
+}  // namespace geospanner::protocol

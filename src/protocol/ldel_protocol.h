@@ -1,0 +1,41 @@
+// Distributed localized Delaunay triangulation and planarization
+// (Algorithms 2 and 3 of the paper) over an arbitrary unit-disk-style
+// radio graph — the induced backbone ICDS in the paper's pipeline, or the
+// full UDG when building PLDel(V) directly.
+//
+// Every participating node computes the Delaunay triangulation of its
+// 1-hop neighborhood, proposes each incident triangle whose angle at the
+// proposer is at least π/3 (so every genuine triangle has a proposer),
+// and the other two vertices accept iff the triangle also appears in
+// their local Delaunay triangulations. Planarization then exchanges two
+// aggregate triangle broadcasts: announce (drop an own triangle whose
+// circumcircle contains a vertex of an intersecting known triangle) and
+// keep (a triangle survives iff all three vertices kept it).
+//
+// The result equals the centralized proximity::build_pldel exactly; the
+// tests assert this across parameter sweeps.
+#pragma once
+
+#include <vector>
+
+#include "protocol/messages.h"
+#include "proximity/ldel.h"
+
+namespace geospanner::protocol {
+
+struct LDelState {
+    /// Triangles surviving acceptance and planarization, sorted.
+    std::vector<proximity::TriangleKey> triangles;
+    /// Gabriel edges ∪ surviving triangle edges, over the full node set.
+    graph::GeometricGraph graph;
+};
+
+/// Runs Algorithms 2 + 3 over the radio graph of `net`, which must be
+/// `g` itself (nodes with no neighbors in g do not participate). If
+/// `announce_positions` is set, each participating node first broadcasts
+/// a Hello beacon (set when running standalone; the backbone pipeline
+/// already knows positions from the clustering beacons).
+[[nodiscard]] LDelState run_ldel(Net& net, const graph::GeometricGraph& g,
+                                 bool announce_positions);
+
+}  // namespace geospanner::protocol

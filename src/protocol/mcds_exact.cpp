@@ -1,0 +1,97 @@
+#include "protocol/mcds_exact.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace geospanner::protocol {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+namespace {
+
+constexpr std::size_t kMaxNodes = 20;
+
+/// Closed-neighborhood bitmasks: bit v of closed[u] iff v == u or v~u.
+std::vector<std::uint32_t> closed_neighborhoods(const GeometricGraph& g) {
+    std::vector<std::uint32_t> closed(g.node_count());
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+        closed[u] = 1u << u;
+        for (const NodeId v : g.neighbors(u)) closed[u] |= 1u << v;
+    }
+    return closed;
+}
+
+bool dominates(std::uint32_t subset, const std::vector<std::uint32_t>& closed,
+               std::uint32_t all) {
+    std::uint32_t covered = 0;
+    for (std::uint32_t rest = subset; rest != 0; rest &= rest - 1) {
+        covered |= closed[std::countr_zero(rest)];
+    }
+    return covered == all;
+}
+
+bool induces_connected(std::uint32_t subset, const std::vector<std::uint32_t>& closed) {
+    if (subset == 0) return false;
+    const auto start = static_cast<std::uint32_t>(std::countr_zero(subset));
+    std::uint32_t reached = 1u << start;
+    // Fixed-point BFS over masks: expand by neighbors within the subset.
+    while (true) {
+        std::uint32_t next = reached;
+        for (std::uint32_t rest = reached; rest != 0; rest &= rest - 1) {
+            next |= closed[std::countr_zero(rest)] & subset;
+        }
+        if (next == reached) break;
+        reached = next;
+    }
+    return reached == subset;
+}
+
+/// Enumerates subsets of {0..n-1} in increasing cardinality (Gosper's
+/// hack within each size) and returns the first satisfying `pred`.
+template <typename Pred>
+std::optional<std::vector<NodeId>> smallest_subset(std::size_t n, Pred pred) {
+    const std::uint32_t all = n == 32 ? ~0u : (1u << n) - 1u;
+    for (std::size_t k = 1; k <= n; ++k) {
+        std::uint32_t subset = (1u << k) - 1u;
+        while (subset <= all) {
+            if (pred(subset)) {
+                std::vector<NodeId> result;
+                for (std::uint32_t rest = subset; rest != 0; rest &= rest - 1) {
+                    result.push_back(static_cast<NodeId>(std::countr_zero(rest)));
+                }
+                return result;
+            }
+            // Gosper's hack: next subset with k bits.
+            const std::uint32_t c = subset & -subset;
+            const std::uint32_t r = subset + c;
+            if (r == 0) break;  // Overflow: done with this k.
+            subset = (((r ^ subset) >> 2) / c) | r;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> minimum_connected_dominating_set(
+    const GeometricGraph& g) {
+    const std::size_t n = g.node_count();
+    if (n == 0 || n > kMaxNodes) return std::nullopt;
+    const auto closed = closed_neighborhoods(g);
+    const std::uint32_t all = (1u << n) - 1u;
+    return smallest_subset(n, [&](std::uint32_t subset) {
+        return dominates(subset, closed, all) && induces_connected(subset, closed);
+    });
+}
+
+std::optional<std::vector<NodeId>> minimum_dominating_set(const GeometricGraph& g) {
+    const std::size_t n = g.node_count();
+    if (n == 0 || n > kMaxNodes) return std::nullopt;
+    const auto closed = closed_neighborhoods(g);
+    const std::uint32_t all = (1u << n) - 1u;
+    return smallest_subset(
+        n, [&](std::uint32_t subset) { return dominates(subset, closed, all); });
+}
+
+}  // namespace geospanner::protocol

@@ -1,0 +1,110 @@
+// Message vocabulary of the distributed backbone protocols.
+//
+// These are exactly the primitives enumerated by the paper (Sections
+// III-A and III-C, plus the simulation section): the clustering pair
+// IamDominator / IamDominatee, the connector-election pair TryConnector /
+// IamConnector (with a stage tag distinguishing 2-hop connectors and the
+// first/second node of a 3-hop connection), the localized-Delaunay
+// triangle negotiation Proposal / Accept / Reject, and the aggregate
+// planarization broadcasts. A one-shot Hello beacon carries id+position,
+// and RoleAnnounce is the single message per node the paper charges for
+// deriving ICDS from CDS.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/geometric_graph.h"
+#include "proximity/ldel.h"
+#include "sim/network.h"
+
+namespace geospanner::protocol {
+
+using graph::NodeId;
+
+/// Which leg of a dominator-dominator connection a connector message is
+/// about (the integer field of the paper's TryConnector/IamConnector).
+enum class ConnectorStage : std::uint8_t {
+    kTwoHop = 0,        ///< sole connector for dominators 2 hops apart
+    kThreeHopFirst = 1, ///< first connector on a 3-hop dominator path
+    kThreeHopSecond = 2 ///< second connector on a 3-hop dominator path
+};
+
+/// Initial beacon: every node announces its id and position once.
+struct Hello {
+    geom::Point position;
+};
+
+/// The sender has elected itself dominator (clusterhead).
+struct IamDominator {};
+
+/// The sender is a dominatee of `dominator`.
+struct IamDominatee {
+    NodeId dominator = 0;
+};
+
+/// The sender proposes itself as connector for dominators (u, v).
+struct TryConnector {
+    NodeId u = 0;
+    NodeId v = 0;
+    ConnectorStage stage = ConnectorStage::kTwoHop;
+};
+
+/// The sender won the election as connector for dominators (u, v).
+struct IamConnector {
+    NodeId u = 0;
+    NodeId v = 0;
+    ConnectorStage stage = ConnectorStage::kTwoHop;
+};
+
+/// One broadcast per node after connector election, telling neighbors its
+/// final role; the paper's one-message cost of ICDS over CDS.
+struct RoleAnnounce {
+    bool backbone = false;  ///< dominator or connector
+};
+
+/// Algorithm 2: the sender proposes 1-localized Delaunay triangle (s,v,w)
+/// where s is the sender.
+struct Proposal {
+    NodeId v = 0;
+    NodeId w = 0;
+};
+
+/// Algorithm 2: the sender confirms triangle (u, v, w) is in its local
+/// Delaunay triangulation.
+struct Accept {
+    proximity::TriangleKey triangle;
+};
+
+/// Algorithm 2: the sender's local Delaunay triangulation lacks (u,v,w).
+struct Reject {
+    proximity::TriangleKey triangle;
+};
+
+/// Algorithm 3 steps 1 and 3: aggregate broadcast of the sender's
+/// currently held incident triangles (step 1 additionally carries its
+/// Gabriel edges; receivers only need the triangles for the removal
+/// rule, and Gabriel endpoints are implied by the edge itself).
+struct TriangleAnnounce {
+    std::vector<proximity::TriangleKey> triangles;
+};
+
+struct TriangleKeep {
+    std::vector<proximity::TriangleKey> triangles;
+};
+
+/// LDel⁽²⁾ (Algorithm 2 with k = 2): one aggregate broadcast of the
+/// sender's 1-hop neighbor ids and positions, giving every receiver its
+/// 2-hop neighborhood.
+struct NeighborList {
+    std::vector<std::pair<NodeId, geom::Point>> neighbors;
+};
+
+using Payload = std::variant<Hello, IamDominator, IamDominatee, TryConnector, IamConnector,
+                             RoleAnnounce, Proposal, Accept, Reject, TriangleAnnounce,
+                             TriangleKeep, NeighborList>;
+
+using Net = sim::Network<Payload>;
+
+}  // namespace geospanner::protocol

@@ -1,0 +1,59 @@
+#include "protocol/pruning.h"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.h"
+
+namespace geospanner::protocol {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+namespace {
+
+/// Is the backbone (dominators + active connectors) connected within the
+/// given edge set?
+bool backbone_connected(const GeometricGraph& udg, const ClusterState& cluster,
+                        const std::vector<bool>& connector,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+    GeometricGraph g(udg.points());
+    for (const auto& [u, v] : edges) {
+        const bool u_ok = cluster.is_dominator(u) || connector[u];
+        const bool v_ok = cluster.is_dominator(v) || connector[v];
+        if (u_ok && v_ok) g.add_edge(u, v);
+    }
+    std::vector<bool> members(udg.node_count());
+    for (NodeId v = 0; v < udg.node_count(); ++v) {
+        members[v] = cluster.is_dominator(v) || connector[v];
+    }
+    return graph::is_connected_on(g, members);
+}
+
+}  // namespace
+
+ConnectorState prune_connectors(const GeometricGraph& udg, const ClusterState& cluster,
+                                const ConnectorState& connectors) {
+    ConnectorState pruned = connectors;
+    const auto n = static_cast<NodeId>(udg.node_count());
+
+    // Try to drop connectors from the largest id down; keep a drop only
+    // if the dominator-spanning backbone survives.
+    for (NodeId v = n; v-- > 0;) {
+        if (!pruned.is_connector[v]) continue;
+        std::vector<bool> trial = pruned.is_connector;
+        trial[v] = false;
+        if (backbone_connected(udg, cluster, trial, pruned.cds_edges)) {
+            pruned.is_connector = std::move(trial);
+        }
+    }
+
+    // Drop edges touching removed connectors.
+    std::erase_if(pruned.cds_edges, [&](const std::pair<NodeId, NodeId>& e) {
+        const bool u_ok = cluster.is_dominator(e.first) || pruned.is_connector[e.first];
+        const bool v_ok = cluster.is_dominator(e.second) || pruned.is_connector[e.second];
+        return !(u_ok && v_ok);
+    });
+    return pruned;
+}
+
+}  // namespace geospanner::protocol

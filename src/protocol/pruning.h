@@ -1,0 +1,26 @@
+// Backbone pruning: a centralized post-pass that strips redundant
+// connectors.
+//
+// Algorithm 1 deliberately keeps several connectors per dominator pair
+// (mutually inaudible winners, both directions of 3-hop searches) — the
+// paper notes this "increases the robustness of the backbone". This
+// module quantifies the other side of that trade-off: `prune_connectors`
+// greedily removes connectors (largest id first) while the remaining
+// backbone still spans all dominators, yielding a near-minimal CDS to
+// compare size and fault-tolerance against.
+#pragma once
+
+#include "protocol/cluster_state.h"
+#include "protocol/connectors.h"
+
+namespace geospanner::protocol {
+
+/// Greedy pruning: repeatedly drop the largest-id connector whose
+/// removal (with its incident backbone edges) keeps all dominators in
+/// one connected component of the backbone graph. The result is a
+/// minimal-in-inclusion CDS with the same dominator set.
+[[nodiscard]] ConnectorState prune_connectors(const graph::GeometricGraph& udg,
+                                              const ClusterState& cluster,
+                                              const ConnectorState& connectors);
+
+}  // namespace geospanner::protocol

@@ -1,0 +1,237 @@
+#include "proximity/ldel.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <set>
+
+#include "delaunay/delaunay.h"
+#include "geom/predicates.h"
+#include "proximity/classic.h"
+
+namespace geospanner::proximity {
+
+using geom::Point;
+using graph::GeometricGraph;
+using graph::NodeId;
+
+TriangleKey make_triangle_key(NodeId x, NodeId y, NodeId z) {
+    std::array<NodeId, 3> v{x, y, z};
+    std::sort(v.begin(), v.end());
+    return {v[0], v[1], v[2]};
+}
+
+namespace {
+
+/// True iff p is strictly inside the CCW triangle (a, b, c).
+bool strictly_inside_triangle(Point a, Point b, Point c, Point p) {
+    return geom::orient_sign(a, b, p) > 0 && geom::orient_sign(b, c, p) > 0 &&
+           geom::orient_sign(c, a, p) > 0;
+}
+
+struct TrianglePoints {
+    Point a, b, c;  // CCW.
+};
+
+TrianglePoints ccw_points(const GeometricGraph& g, TriangleKey t) {
+    Point a = g.point(t.a);
+    Point b = g.point(t.b);
+    Point c = g.point(t.c);
+    if (geom::orient_sign(a, b, c) < 0) std::swap(b, c);
+    return {a, b, c};
+}
+
+bool intersect_impl(const TrianglePoints& s, const TrianglePoints& t) {
+    const std::array<std::pair<Point, Point>, 3> se{{{s.a, s.b}, {s.b, s.c}, {s.c, s.a}}};
+    const std::array<std::pair<Point, Point>, 3> te{{{t.a, t.b}, {t.b, t.c}, {t.c, t.a}}};
+    for (const auto& [p1, p2] : se) {
+        for (const auto& [q1, q2] : te) {
+            if (geom::segments_properly_cross(p1, p2, q1, q2)) return true;
+        }
+    }
+    for (const Point p : {t.a, t.b, t.c}) {
+        if (strictly_inside_triangle(s.a, s.b, s.c, p)) return true;
+    }
+    for (const Point p : {s.a, s.b, s.c}) {
+        if (strictly_inside_triangle(t.a, t.b, t.c, p)) return true;
+    }
+    return false;
+}
+
+bool cc_contains_impl(const TrianglePoints& s, const TrianglePoints& t) {
+    for (const Point p : {t.a, t.b, t.c}) {
+        if (geom::in_circumcircle(s.a, s.b, s.c, p) > 0) return true;
+    }
+    return false;
+}
+
+GeometricGraph graph_from(const GeometricGraph& udg,
+                          const std::vector<TriangleKey>& triangles) {
+    GeometricGraph g = build_gabriel(udg);
+    for (const auto& t : triangles) {
+        g.add_edge(t.a, t.b);
+        g.add_edge(t.b, t.c);
+        g.add_edge(t.a, t.c);
+    }
+    return g;
+}
+
+}  // namespace
+
+std::vector<TriangleKey> local_triangles_at(const GeometricGraph& udg, NodeId u) {
+    std::vector<TriangleKey> result;
+    const auto nbrs = udg.neighbors(u);
+    if (nbrs.size() < 2) return result;
+
+    // Local point set: u first, then its neighbors.
+    std::vector<Point> pts;
+    std::vector<NodeId> ids;
+    pts.reserve(nbrs.size() + 1);
+    ids.reserve(nbrs.size() + 1);
+    pts.push_back(udg.point(u));
+    ids.push_back(u);
+    for (const NodeId v : nbrs) {
+        pts.push_back(udg.point(v));
+        ids.push_back(v);
+    }
+
+    const delaunay::DelaunayTriangulation del(std::move(pts));
+    for (const auto& t : del.triangles()) {
+        const NodeId x = ids[t.a];
+        const NodeId y = ids[t.b];
+        const NodeId z = ids[t.c];
+        if (x != u && y != u && z != u) continue;  // Only triangles at u matter.
+        // All sides at most one unit <=> all sides UDG edges; sides
+        // incident to u are UDG edges by construction.
+        const auto [p, q] = [&] {
+            if (x == u) return std::pair{y, z};
+            if (y == u) return std::pair{x, z};
+            return std::pair{x, y};
+        }();
+        if (!udg.has_edge(p, q)) continue;
+        result.push_back(make_triangle_key(x, y, z));
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+bool triangles_intersect(const GeometricGraph& g, TriangleKey s, TriangleKey t) {
+    return intersect_impl(ccw_points(g, s), ccw_points(g, t));
+}
+
+bool circumcircle_contains_vertex_of(const GeometricGraph& g, TriangleKey s,
+                                     TriangleKey t) {
+    return cc_contains_impl(ccw_points(g, s), ccw_points(g, t));
+}
+
+std::vector<TriangleKey> ldel1_triangles(const GeometricGraph& udg) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    std::vector<std::set<TriangleKey>> local(n);
+    for (NodeId u = 0; u < n; ++u) {
+        const auto tris = local_triangles_at(udg, u);
+        local[u].insert(tris.begin(), tris.end());
+    }
+
+    // A triangle is 1-localized Delaunay iff it appears in the local
+    // Delaunay triangulation of all three of its vertices (equivalent to
+    // circumcircle emptiness over the union of their 1-hop neighborhoods,
+    // since a Delaunay triangle of N1(x) has its circumcircle empty of
+    // N1(x)).
+    std::vector<TriangleKey> result;
+    for (NodeId u = 0; u < n; ++u) {
+        for (const auto& t : local[u]) {
+            if (t.a != u) continue;  // Count each triangle once, at its least vertex.
+            if (local[t.b].contains(t) && local[t.c].contains(t)) result.push_back(t);
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+std::vector<TriangleKey> ldel1_triangles_reference(const GeometricGraph& udg) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    std::vector<TriangleKey> result;
+    for (NodeId u = 0; u < n; ++u) {
+        const auto nbrs = udg.neighbors(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+                const NodeId v = nbrs[i];
+                const NodeId w = nbrs[j];
+                if (u > v || u > w) continue;  // Enumerate at the least vertex.
+                if (!udg.has_edge(v, w)) continue;
+                const Point pu = udg.point(u);
+                const Point pv = udg.point(v);
+                const Point pw = udg.point(w);
+                if (geom::orient_sign(pu, pv, pw) == 0) continue;  // Degenerate.
+                // Circumcircle must be empty of N1(u) ∪ N1(v) ∪ N1(w).
+                bool empty = true;
+                for (const NodeId center : {u, v, w}) {
+                    for (const NodeId x : udg.neighbors(center)) {
+                        if (x == u || x == v || x == w) continue;
+                        if (geom::in_circumcircle(pu, pv, pw, udg.point(x)) > 0) {
+                            empty = false;
+                            break;
+                        }
+                    }
+                    if (!empty) break;
+                }
+                if (empty) result.push_back(make_triangle_key(u, v, w));
+            }
+        }
+    }
+    std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+    return result;
+}
+
+std::vector<TriangleKey> planarize_triangles(const GeometricGraph& udg,
+                                             const std::vector<TriangleKey>& triangles) {
+    const std::size_t m = triangles.size();
+    std::vector<TrianglePoints> pts;
+    pts.reserve(m);
+    for (const auto& t : triangles) pts.push_back(ccw_points(udg, t));
+
+    std::vector<char> removed(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = i + 1; j < m; ++j) {
+            // Cheap bounding-box reject before the exact tests.
+            const auto& s = pts[i];
+            const auto& t = pts[j];
+            if (std::max({s.a.x, s.b.x, s.c.x}) < std::min({t.a.x, t.b.x, t.c.x}) ||
+                std::max({t.a.x, t.b.x, t.c.x}) < std::min({s.a.x, s.b.x, s.c.x}) ||
+                std::max({s.a.y, s.b.y, s.c.y}) < std::min({t.a.y, t.b.y, t.c.y}) ||
+                std::max({t.a.y, t.b.y, t.c.y}) < std::min({s.a.y, s.b.y, s.c.y})) {
+                continue;
+            }
+            if (!intersect_impl(s, t)) continue;
+            // Removal rule of Algorithm 3, applied symmetrically. The
+            // lemma of [30] guarantees at least one test fires for
+            // genuinely intersecting 1-localized Delaunay triangles in
+            // general position; for exactly-cocircular configurations
+            // (where each triangle's vertices lie ON the other's
+            // circumcircle and neither strict test fires) the larger
+            // canonical key is removed as a deterministic tie-break.
+            const bool s_removes_t = cc_contains_impl(t, s);
+            const bool t_removes_s = cc_contains_impl(s, t);
+            if (t_removes_s) removed[i] = 1;
+            if (s_removes_t) removed[j] = 1;
+            if (!t_removes_s && !s_removes_t) removed[j] = 1;  // j has the larger key.
+        }
+    }
+
+    std::vector<TriangleKey> kept;
+    for (std::size_t i = 0; i < m; ++i) {
+        if (!removed[i]) kept.push_back(triangles[i]);
+    }
+    return kept;
+}
+
+GeometricGraph build_ldel1(const GeometricGraph& udg) {
+    return graph_from(udg, ldel1_triangles(udg));
+}
+
+GeometricGraph build_pldel(const GeometricGraph& udg) {
+    return graph_from(udg, planarize_triangles(udg, ldel1_triangles(udg)));
+}
+
+}  // namespace geospanner::proximity

@@ -1,0 +1,78 @@
+// Localized Delaunay graph LDel⁽¹⁾ and its planarization PLDel
+// (Li, Calinescu, Wan [30]; Algorithms 2 and 3 of the paper).
+//
+// A triangle uvw with all sides in the UDG is a *1-localized Delaunay
+// triangle* iff its circumcircle contains no node of N1(u) ∪ N1(v) ∪
+// N1(w). LDel⁽¹⁾(V) consists of all Gabriel edges plus the edges of all
+// 1-localized Delaunay triangles; it has thickness 2. Algorithm 3 then
+// removes, from every pair of *intersecting* triangles, the one whose
+// circumcircle contains a vertex of the other, yielding the planar PLDel.
+//
+// These functions are the centralized reference; the message-passing
+// versions live in src/protocol and are tested for exact equality with
+// these results.
+#pragma once
+
+#include <compare>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::proximity {
+
+/// Canonical triangle key: a < b < c.
+struct TriangleKey {
+    graph::NodeId a = 0;
+    graph::NodeId b = 0;
+    graph::NodeId c = 0;
+
+    friend bool operator==(TriangleKey, TriangleKey) = default;
+    friend auto operator<=>(TriangleKey, TriangleKey) = default;
+};
+
+[[nodiscard]] TriangleKey make_triangle_key(graph::NodeId x, graph::NodeId y,
+                                            graph::NodeId z);
+
+/// Triangles incident to u in the Delaunay triangulation of N1(u) whose
+/// three sides are all UDG edges — what node u computes locally in
+/// Algorithm 2. Sorted canonical keys.
+[[nodiscard]] std::vector<TriangleKey> local_triangles_at(const graph::GeometricGraph& udg,
+                                                          graph::NodeId u);
+
+/// Strict geometric intersection of two distinct triangles: some edge
+/// pair properly crosses or a vertex of one lies strictly inside the
+/// other (sharing vertices or edges alone does not count). Exact.
+[[nodiscard]] bool triangles_intersect(const graph::GeometricGraph& g, TriangleKey s,
+                                       TriangleKey t);
+
+/// True iff the circumcircle of s strictly contains some vertex of t —
+/// Algorithm 3's removal trigger. Exact.
+[[nodiscard]] bool circumcircle_contains_vertex_of(const graph::GeometricGraph& g,
+                                                   TriangleKey s, TriangleKey t);
+
+/// All 1-localized Delaunay triangles of the UDG, sorted. Computed via
+/// per-node local Delaunay triangulations (the efficient O(d log d)-per-
+/// node formulation; equivalent to the circumcircle definition).
+[[nodiscard]] std::vector<TriangleKey> ldel1_triangles(const graph::GeometricGraph& udg);
+
+/// Definitional O(d^4)-per-node computation of the same triangle set:
+/// enumerates UDG triangles and tests circumcircle emptiness against the
+/// three 1-hop neighborhoods directly. For validation on small inputs.
+[[nodiscard]] std::vector<TriangleKey> ldel1_triangles_reference(
+    const graph::GeometricGraph& udg);
+
+/// Subset of `triangles` surviving Algorithm 3: a triangle is removed iff
+/// it intersects another triangle of the set and its circumcircle
+/// strictly contains one of the other's vertices. Sorted.
+[[nodiscard]] std::vector<TriangleKey> planarize_triangles(
+    const graph::GeometricGraph& udg, const std::vector<TriangleKey>& triangles);
+
+/// LDel⁽¹⁾(V): Gabriel edges plus edges of all 1-localized Delaunay
+/// triangles. Thickness 2; not necessarily planar.
+[[nodiscard]] graph::GeometricGraph build_ldel1(const graph::GeometricGraph& udg);
+
+/// PLDel(V): Gabriel edges plus edges of the Algorithm-3 surviving
+/// triangles. Planar.
+[[nodiscard]] graph::GeometricGraph build_pldel(const graph::GeometricGraph& udg);
+
+}  // namespace geospanner::proximity

@@ -1,0 +1,24 @@
+// k-localized Delaunay graphs LDel⁽ᵏ⁾ for k >= 1 (Li, Calinescu, Wan).
+//
+// A triangle uvw with all sides in the UDG is k-localized Delaunay iff
+// its circumcircle contains no node of N_k(u) ∪ N_k(v) ∪ N_k(w). The
+// paper's pipeline uses k = 1 (the only thickness-2 case, planarized by
+// Algorithm 3); for k >= 2 the graph is already planar, at the cost of
+// gathering k-hop neighborhoods — the accuracy/locality trade-off this
+// module makes measurable.
+#pragma once
+
+#include "proximity/ldel.h"
+
+namespace geospanner::proximity {
+
+/// All k-localized Delaunay triangles, sorted. k >= 1. (For k = 1 this
+/// equals ldel1_triangles.)
+[[nodiscard]] std::vector<TriangleKey> ldel_k_triangles(const graph::GeometricGraph& udg,
+                                                        int k);
+
+/// LDel⁽ᵏ⁾(V): Gabriel edges plus edges of all k-localized Delaunay
+/// triangles. Planar for k >= 2.
+[[nodiscard]] graph::GeometricGraph build_ldel_k(const graph::GeometricGraph& udg, int k);
+
+}  // namespace geospanner::proximity

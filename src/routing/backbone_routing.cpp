@@ -1,0 +1,84 @@
+#include "routing/backbone_routing.h"
+
+#include <cassert>
+
+namespace geospanner::routing {
+
+using graph::NodeId;
+
+BackboneRouter::BackboneRouter(const core::Backbone& backbone,
+                               const graph::GeometricGraph& udg)
+    : backbone_(&backbone), udg_(&udg), backbone_router_(backbone.ldel_icds) {}
+
+NodeId BackboneRouter::gateway(NodeId v, geom::Point toward) const {
+    if (backbone_->in_backbone[v]) return v;
+    const auto& dominators = backbone_->cluster.dominators_of[v];
+    assert(!dominators.empty() && "a dominatee always has a dominator");
+    NodeId best = dominators.front();
+    double best_d = geom::squared_distance(udg_->point(best), toward);
+    for (const NodeId d : dominators) {
+        const double dist = geom::squared_distance(udg_->point(d), toward);
+        if (dist < best_d) {
+            best = d;
+            best_d = dist;
+        }
+    }
+    return best;
+}
+
+NodeId BackboneRouter::step(NodeId current, NodeId dst, PacketState& state) const {
+    using Phase = PacketState::Phase;
+    if (current == dst) return dst;
+
+    if (state.phase == Phase::kStart) {
+        // Direct delivery whenever the destination is audible.
+        if (udg_->has_edge(current, dst)) return dst;
+        state.out_gateway = gateway(dst, udg_->point(current));
+        const NodeId in_gateway = gateway(current, udg_->point(dst));
+        state.phase = Phase::kSpine;
+        if (in_gateway != current) return in_gateway;  // Climb to the backbone.
+        // Already a backbone node: fall through to the spine phase.
+    }
+
+    if (state.phase == Phase::kSpine) {
+        if (current == state.out_gateway) {
+            state.phase = Phase::kLastHop;
+            return dst;  // The gateway dominates dst (or is dst itself).
+        }
+        if (udg_->has_edge(current, dst)) return dst;  // Shortcut if audible.
+        return backbone_router_.gpsr_step(current, state.out_gateway, state.spine);
+    }
+
+    // kLastHop: the previous step handed the packet to dst already; being
+    // asked again means something is inconsistent.
+    return graph::kInvalidNode;
+}
+
+RouteResult BackboneRouter::route(NodeId src, NodeId dst) const {
+    RouteResult result;
+    result.path.push_back(src);
+    if (src == dst) {
+        result.delivered = true;
+        return result;
+    }
+    if (udg_->has_edge(src, dst)) {
+        result.path.push_back(dst);
+        result.delivered = true;
+        return result;
+    }
+
+    const NodeId in_gw = gateway(src, udg_->point(dst));
+    const NodeId out_gw = gateway(dst, udg_->point(src));
+    if (in_gw != src) result.path.push_back(in_gw);
+
+    if (in_gw != out_gw) {
+        const RouteResult spine = backbone_router_.gfg(in_gw, out_gw);
+        if (!spine.delivered) return result;  // Should not happen on a connected UDG.
+        result.path.insert(result.path.end(), spine.path.begin() + 1, spine.path.end());
+    }
+    if (out_gw != dst) result.path.push_back(dst);
+    result.delivered = true;
+    return result;
+}
+
+}  // namespace geospanner::routing

@@ -1,0 +1,51 @@
+// Dominating-set-based routing over the planar backbone (the routing
+// scheme the paper's construction is built for): a source sends directly
+// when the destination is within range, otherwise hands the packet to a
+// dominator, the packet travels the planar LDel(ICDS) backbone under
+// greedy-face-greedy geographic routing, and the destination's dominator
+// delivers it in one final hop.
+#pragma once
+
+#include "core/backbone.h"
+#include "routing/router.h"
+
+namespace geospanner::routing {
+
+class BackboneRouter {
+  public:
+    /// Both references are borrowed and must outlive the router.
+    BackboneRouter(const core::Backbone& backbone, const graph::GeometricGraph& udg);
+
+    /// Routes src -> dst. Guaranteed to deliver when the UDG is connected
+    /// (the backbone is a connected planar spanner).
+    [[nodiscard]] RouteResult route(graph::NodeId src, graph::NodeId dst) const;
+
+    /// Hop-by-hop forwarding state for one packet: which phase of the
+    /// hierarchical route it is in, plus the embedded GPSR header for
+    /// the backbone leg.
+    struct PacketState {
+        enum class Phase : unsigned char { kStart, kSpine, kLastHop };
+        Phase phase = Phase::kStart;
+        graph::NodeId out_gateway = graph::kInvalidNode;
+        Router::GpsrPacketState spine{};
+    };
+
+    /// One localized forwarding decision (for netsim::run_hop_by_hop):
+    /// returns the next hop or kInvalidNode to drop. The backbone leg
+    /// uses GPSR's per-packet state machine (hop-local), whereas route()
+    /// uses GFG (delivery-guaranteed but with look-ahead face walks) —
+    /// on the planar backbone both deliver; paths can differ slightly.
+    [[nodiscard]] graph::NodeId step(graph::NodeId current, graph::NodeId dst,
+                                     PacketState& state) const;
+
+  private:
+    /// The backbone node acting as gateway for v: v itself if v is a
+    /// dominator or connector, otherwise its dominator closest to `toward`.
+    [[nodiscard]] graph::NodeId gateway(graph::NodeId v, geom::Point toward) const;
+
+    const core::Backbone* backbone_;
+    const graph::GeometricGraph* udg_;
+    Router backbone_router_;
+};
+
+}  // namespace geospanner::routing

@@ -1,0 +1,435 @@
+#include "routing/router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <optional>
+
+#include "geom/predicates.h"
+
+namespace geospanner::routing {
+
+using geom::Point;
+using graph::GeometricGraph;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+double RouteResult::length(const GeometricGraph& g) const {
+    double total = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        total += g.edge_length(path[i], path[i + 1]);
+    }
+    return total;
+}
+
+Router::Router(const GeometricGraph& g) : g_(&g), ring_(g.node_count()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+        const auto nbrs = g.neighbors(v);
+        ring_[v].assign(nbrs.begin(), nbrs.end());
+        const Point pv = g.point(v);
+        std::sort(ring_[v].begin(), ring_[v].end(), [&](NodeId a, NodeId b) {
+            const double aa = geom::angle_of(g.point(a) - pv);
+            const double ab = geom::angle_of(g.point(b) - pv);
+            if (aa != ab) return aa < ab;
+            return a < b;
+        });
+    }
+}
+
+NodeId Router::ccw_successor(NodeId v, NodeId from) const {
+    const auto& ring = ring_[v];
+    const auto it = std::find(ring.begin(), ring.end(), from);
+    assert(it != ring.end());
+    const auto next = std::next(it) == ring.end() ? ring.begin() : std::next(it);
+    return *next;
+}
+
+NodeId Router::first_ccw_from(NodeId v, double theta) const {
+    const auto& ring = ring_[v];
+    assert(!ring.empty());
+    const Point pv = g_->point(v);
+    for (const NodeId u : ring) {
+        if (geom::angle_of(g_->point(u) - pv) > theta) return u;
+    }
+    return ring.front();  // Wrap around.
+}
+
+std::vector<std::pair<NodeId, NodeId>> Router::walk_face(NodeId u, NodeId v) const {
+    std::vector<std::pair<NodeId, NodeId>> walk;
+    NodeId a = u;
+    NodeId b = v;
+    // A directed-edge walk under the ccw-successor rule always returns to
+    // its start; the bound guards against misuse on non-graph edges.
+    const std::size_t bound = 4 * g_->edge_count() + 4;
+    for (std::size_t step = 0; step < bound; ++step) {
+        walk.push_back({a, b});
+        const NodeId c = ccw_successor(b, a);
+        a = b;
+        b = c;
+        if (a == u && b == v) return walk;
+    }
+    assert(false && "face walk failed to close");
+    return walk;
+}
+
+RouteResult Router::greedy(NodeId src, NodeId dst, std::size_t max_steps) const {
+    if (max_steps == 0) max_steps = g_->node_count() + 2;
+    RouteResult result;
+    result.path.push_back(src);
+    const Point target = g_->point(dst);
+    NodeId v = src;
+    for (std::size_t step = 0; step < max_steps; ++step) {
+        if (v == dst) {
+            result.delivered = true;
+            return result;
+        }
+        const double here = geom::squared_distance(g_->point(v), target);
+        NodeId best = kInvalidNode;
+        double best_d = here;
+        for (const NodeId u : g_->neighbors(v)) {
+            const double d = geom::squared_distance(g_->point(u), target);
+            if (d < best_d || (d == best_d && best != kInvalidNode && u < best)) {
+                best = u;
+                best_d = d;
+            }
+        }
+        if (best == kInvalidNode) return result;  // Local minimum.
+        v = best;
+        result.path.push_back(v);
+    }
+    return result;
+}
+
+namespace {
+
+/// Intersection point of segments (a, b) and (c, d) that are known to
+/// properly cross (floating point; used only to order progress).
+Point crossing_point(Point a, Point b, Point c, Point d) {
+    const double denom = cross(b - a, d - c);
+    const double s = cross(c - a, d - c) / denom;
+    return {a.x + s * (b.x - a.x), a.y + s * (b.y - a.y)};
+}
+
+}  // namespace
+
+NodeId Router::face_phase(NodeId v, NodeId dst, double threshold, std::size_t max_steps,
+                          std::vector<NodeId>& path) const {
+    const Point target = g_->point(dst);
+    const Point anchor = g_->point(v);  // Fixed segment anchor for this phase.
+
+    if (g_->degree(v) == 0) return kInvalidNode;
+
+    // Progress along the anchor->target segment is tracked by the last
+    // *event* — an edge crossing or an on-segment node — and candidate
+    // events are ordered with the exact comparators, so two events
+    // closer together than floating-point precision (a segment passing
+    // within one ulp of a vertex) still advance strictly.
+    struct Event {
+        enum class Kind : unsigned char { kNone, kEdge, kNode } kind = Kind::kNone;
+        Point a{}, b{};  // kEdge: the crossed segment's endpoints.
+        Point w{};       // kNode: the on-segment node.
+    };
+    Event last;
+
+    // Is candidate event `e` strictly after `last` along anchor->target?
+    const auto after_last = [&](const Event& e) {
+        if (last.kind == Event::Kind::kNone) return true;
+        if (e.kind == Event::Kind::kEdge) {
+            if (last.kind == Event::Kind::kEdge) {
+                return geom::compare_crossings_along(anchor, target, e.a, e.b, last.a,
+                                                     last.b) > 0;
+            }
+            return geom::compare_crossing_vs_point_along(anchor, target, e.a, e.b,
+                                                         last.w) > 0;
+        }
+        if (last.kind == Event::Kind::kEdge) {
+            return geom::compare_crossing_vs_point_along(anchor, target, last.a, last.b,
+                                                         e.w) < 0;
+        }
+        return geom::compare_points_along(anchor, target, e.w, last.w) > 0;
+    };
+    // Is candidate `e` strictly after candidate `best` (same comparisons)?
+    const auto after = [&](const Event& e, const Event& best) {
+        Event saved = last;
+        last = best;
+        const bool result = after_last(e);
+        last = saved;
+        return result;
+    };
+
+    // Face to traverse first: the one containing the ray v -> target.
+    // A walk keeps its face on the *right* of each directed edge, so
+    // that face is the one of (v, n) with n the first neighbor counter-
+    // clockwise from the ray direction.
+    NodeId start_u = v;
+    NodeId start_v = first_ccw_from(v, geom::angle_of(target - g_->point(v)));
+
+    std::size_t steps = 0;
+    while (steps < max_steps) {
+        const auto walk = walk_face(start_u, start_v);
+        steps += walk.size();
+
+        // Scan the face boundary for (a) an early exit node — dst or a
+        // node within the GFG progress threshold; (b) the furthest-along
+        // event strictly after the last one: a boundary node exactly on
+        // the anchor segment, or a boundary edge properly crossing it.
+        std::optional<std::size_t> exit_at;  // index into walk (head of edge i)
+        Event best;
+        std::size_t best_at = 0;
+
+        for (std::size_t i = 0; i < walk.size(); ++i) {
+            const auto [a, b] = walk[i];
+            // Node checks apply to the tail `a` (so index i means we can
+            // stop after traversing walk[0..i-1]).
+            if (a == dst ||
+                std::sqrt(geom::squared_distance(g_->point(a), target)) < threshold) {
+                exit_at = i;
+                break;
+            }
+            if (i > 0 && geom::on_segment(anchor, target, g_->point(a)) &&
+                g_->point(a) != anchor) {
+                Event e;
+                e.kind = Event::Kind::kNode;
+                e.w = g_->point(a);
+                if (after_last(e) && (best.kind == Event::Kind::kNone || after(e, best))) {
+                    best = e;
+                    best_at = i;
+                }
+            }
+            if (geom::segments_properly_cross(g_->point(a), g_->point(b), anchor,
+                                              target)) {
+                Event e;
+                e.kind = Event::Kind::kEdge;
+                e.a = g_->point(a);
+                e.b = g_->point(b);
+                if (after_last(e) && (best.kind == Event::Kind::kNone || after(e, best))) {
+                    best = e;
+                    best_at = i;
+                }
+            }
+        }
+
+        if (exit_at) {
+            for (std::size_t i = 0; i < *exit_at; ++i) path.push_back(walk[i].second);
+            // walk[k] = (a_k, b_k); after traversing k edges we stand at
+            // a_{k} == b_{k-1}; the exit node is walk[*exit_at].first.
+            return *exit_at == 0 ? walk[0].first : path.back();
+        }
+        if (best.kind == Event::Kind::kNone) {
+            return kInvalidNode;  // No progress possible: unreachable.
+        }
+
+        if (best.kind == Event::Kind::kNode) {
+            // Jump to the on-segment node and restart from its face
+            // toward the target.
+            for (std::size_t i = 0; i < best_at; ++i) path.push_back(walk[i].second);
+            const NodeId w = walk[best_at].first;
+            last = best;
+            start_u = w;
+            start_v = first_ccw_from(w, geom::angle_of(target - g_->point(w)));
+            continue;
+        }
+
+        // Traverse the face boundary up to the crossing edge, cross it,
+        // and continue in the adjacent face.
+        const auto [x, y] = walk[best_at];
+        for (std::size_t i = 0; i <= best_at; ++i) path.push_back(walk[i].second);
+        last = best;
+        start_u = y;
+        start_v = x;
+    }
+    return kInvalidNode;
+}
+
+RouteResult Router::face(NodeId src, NodeId dst, std::size_t max_steps) const {
+    if (max_steps == 0) {
+        max_steps = 1000 + 50 * (g_->node_count() + g_->edge_count());
+    }
+    RouteResult result;
+    result.path.push_back(src);
+    if (src == dst) {
+        result.delivered = true;
+        return result;
+    }
+    // Pure FACE-1: the only exit is the destination itself (threshold 0
+    // can never trigger, distances are non-negative).
+    const NodeId reached = face_phase(src, dst, 0.0, max_steps, result.path);
+    result.delivered = (reached == dst);
+    return result;
+}
+
+RouteResult Router::compass(NodeId src, NodeId dst, std::size_t max_steps) const {
+    if (max_steps == 0) max_steps = 4 * g_->node_count() + 8;
+    RouteResult result;
+    result.path.push_back(src);
+    const Point target = g_->point(dst);
+    NodeId v = src;
+    NodeId prev = kInvalidNode;
+    for (std::size_t step = 0; step < max_steps; ++step) {
+        if (v == dst) {
+            result.delivered = true;
+            return result;
+        }
+        if (g_->degree(v) == 0) return result;
+        const double theta = geom::angle_of(target - g_->point(v));
+        NodeId best = kInvalidNode;
+        double best_angle = 0.0;
+        double best_d2 = 0.0;
+        for (const NodeId u : g_->neighbors(v)) {
+            double delta = geom::angle_of(g_->point(u) - g_->point(v)) - theta;
+            // Normalize to [0, pi].
+            while (delta > std::numbers::pi) delta -= 2.0 * std::numbers::pi;
+            while (delta < -std::numbers::pi) delta += 2.0 * std::numbers::pi;
+            delta = std::fabs(delta);
+            const double d2 = geom::squared_distance(g_->point(u), target);
+            if (best == kInvalidNode || delta < best_angle ||
+                (delta == best_angle && (d2 < best_d2 || (d2 == best_d2 && u < best)))) {
+                best = u;
+                best_angle = delta;
+                best_d2 = d2;
+            }
+        }
+        // Immediate two-node oscillation means compass is looping.
+        if (best == prev && prev != dst) return result;
+        prev = v;
+        v = best;
+        result.path.push_back(v);
+    }
+    return result;
+}
+
+NodeId Router::gpsr_step(NodeId current, NodeId dst, GpsrPacketState& state) const {
+    using Mode = GpsrPacketState::Mode;
+    const Point target = g_->point(dst);
+    const Point here = g_->point(current);
+
+    // Perimeter exit: strictly closer to the destination than the local
+    // minimum where the packet entered perimeter mode.
+    if (state.mode == Mode::kPerimeter &&
+        geom::squared_distance(here, target) <
+            geom::squared_distance(state.entry, target)) {
+        state.mode = Mode::kGreedy;
+    }
+
+    if (state.mode == Mode::kGreedy) {
+        const double here_d = geom::squared_distance(here, target);
+        NodeId best = kInvalidNode;
+        double best_d = here_d;
+        for (const NodeId u : g_->neighbors(current)) {
+            const double d = geom::squared_distance(g_->point(u), target);
+            if (d < best_d || (d == best_d && best != kInvalidNode && u < best)) {
+                best = u;
+                best_d = d;
+            }
+        }
+        if (best != kInvalidNode) {
+            state.prev = current;
+            return best;
+        }
+        if (g_->degree(current) == 0) return kInvalidNode;
+        // Local minimum: enter perimeter mode with fresh header state.
+        state.mode = Mode::kPerimeter;
+        state.entry = here;
+        state.face_entry = here;
+        state.prev = kInvalidNode;
+        state.first_edge = {kInvalidNode, kInvalidNode};
+    }
+
+    // Perimeter step: right-hand rule from the arrival edge (or from the
+    // destination direction on entry), with face changes whenever the
+    // candidate edge crosses (entry, target) closer to the target than
+    // the point where the packet entered the current face.
+    NodeId n = (state.prev == kInvalidNode)
+                   ? first_ccw_from(current, geom::angle_of(target - here))
+                   : ccw_successor(current, state.prev);
+    for (std::size_t guard = 0; guard < g_->degree(current); ++guard) {
+        if (!geom::segments_properly_cross(here, g_->point(n), state.entry, target)) {
+            break;
+        }
+        const Point x = crossing_point(here, g_->point(n), state.entry, target);
+        if (geom::squared_distance(x, target) >=
+            geom::squared_distance(state.face_entry, target)) {
+            break;
+        }
+        state.face_entry = x;
+        n = ccw_successor(current, n);
+    }
+    if (state.first_edge.first == kInvalidNode) {
+        state.first_edge = {current, n};
+    } else if (state.first_edge == std::pair{current, n}) {
+        return kInvalidNode;  // Perimeter closed without progress: drop.
+    }
+    state.prev = current;
+    return n;
+}
+
+RouteResult Router::gpsr(NodeId src, NodeId dst, std::size_t max_steps) const {
+    if (max_steps == 0) {
+        max_steps = 1000 + 50 * (g_->node_count() + g_->edge_count());
+    }
+    RouteResult result;
+    result.path.push_back(src);
+    GpsrPacketState state;
+    NodeId v = src;
+    for (std::size_t step = 0; step < max_steps; ++step) {
+        if (v == dst) {
+            result.delivered = true;
+            return result;
+        }
+        const NodeId next = gpsr_step(v, dst, state);
+        if (next == kInvalidNode) return result;
+        v = next;
+        result.path.push_back(v);
+    }
+    return result;
+}
+
+RouteResult Router::gfg(NodeId src, NodeId dst, std::size_t max_steps) const {
+    if (max_steps == 0) {
+        max_steps = 1000 + 50 * (g_->node_count() + g_->edge_count());
+    }
+    RouteResult result;
+    result.path.push_back(src);
+    const Point target = g_->point(dst);
+    NodeId v = src;
+    std::size_t budget = max_steps;
+    while (budget > 0) {
+        // Greedy descent.
+        while (v != dst && budget > 0) {
+            const double here = geom::squared_distance(g_->point(v), target);
+            NodeId best = kInvalidNode;
+            double best_d = here;
+            for (const NodeId u : g_->neighbors(v)) {
+                const double d = geom::squared_distance(g_->point(u), target);
+                if (d < best_d || (d == best_d && best != kInvalidNode && u < best)) {
+                    best = u;
+                    best_d = d;
+                }
+            }
+            if (best == kInvalidNode) break;  // Local minimum: recover.
+            v = best;
+            result.path.push_back(v);
+            --budget;
+        }
+        if (v == dst) {
+            result.delivered = true;
+            return result;
+        }
+        // Face-routing recovery until strictly closer than the minimum.
+        const double stuck_dist = std::sqrt(geom::squared_distance(g_->point(v), target));
+        const std::size_t before = result.path.size();
+        const NodeId reached = face_phase(v, dst, stuck_dist, budget, result.path);
+        if (reached == kInvalidNode) return result;
+        budget -= std::min(budget, result.path.size() - before);
+        v = reached;
+        if (v == dst) {
+            result.delivered = true;
+            return result;
+        }
+    }
+    return result;
+}
+
+}  // namespace geospanner::routing

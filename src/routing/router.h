@@ -1,0 +1,121 @@
+// Geographic routing on geometric graphs.
+//
+// The paper motivates its planar backbone with localized geographic
+// routing: greedy forwarding plus face-routing recovery (GPSR / GFG)
+// requires a *planar* substrate to guarantee delivery. This module
+// implements:
+//  * greedy forwarding (can fail at a local minimum),
+//  * FACE-1 face routing (guaranteed delivery on connected plane graphs),
+//  * GFG: greedy with face-routing recovery, the practical combination.
+//
+// All routing is memoryless per hop apart from the standard per-packet
+// state (destination position, recovery anchor), matching the protocols'
+// localized spirit; the implementation here simulates the packet walk
+// centrally and returns the traversed path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::routing {
+
+struct RouteResult {
+    bool delivered = false;
+    std::vector<graph::NodeId> path;  ///< nodes visited, starting at the source
+
+    [[nodiscard]] std::size_t hops() const {
+        return path.empty() ? 0 : path.size() - 1;
+    }
+    [[nodiscard]] double length(const graph::GeometricGraph& g) const;
+};
+
+/// Routing engine over one graph; precomputes angular adjacency rings.
+/// For face routing the graph must be a plane (non-crossing) embedding.
+class Router {
+  public:
+    explicit Router(const graph::GeometricGraph& g);
+
+    /// Greedy geographic forwarding: always move to the neighbor closest
+    /// to the destination, strictly closer than the current node.
+    /// Fails (delivered=false) at a local minimum.
+    [[nodiscard]] RouteResult greedy(graph::NodeId src, graph::NodeId dst,
+                                     std::size_t max_steps = 0) const;
+
+    /// FACE-1 face routing along the segment src→dst. Guaranteed to
+    /// deliver on a connected plane graph.
+    [[nodiscard]] RouteResult face(graph::NodeId src, graph::NodeId dst,
+                                   std::size_t max_steps = 0) const;
+
+    /// Greedy-Face-Greedy: greedy until a local minimum, then one face
+    /// traversal until progress, then greedy again. Guaranteed delivery
+    /// on a connected plane graph.
+    [[nodiscard]] RouteResult gfg(graph::NodeId src, graph::NodeId dst,
+                                  std::size_t max_steps = 0) const;
+
+    /// Compass routing (Kranakis-Singh-Urrutia): forward to the neighbor
+    /// whose direction is angularly closest to the destination's.
+    /// Delivers on Delaunay triangulations; can loop on general graphs
+    /// (bounded by max_steps, then reported undelivered).
+    [[nodiscard]] RouteResult compass(graph::NodeId src, graph::NodeId dst,
+                                      std::size_t max_steps = 0) const;
+
+    /// GPSR-style perimeter recovery (Karp & Kung): greedy, and at a
+    /// local minimum the right-hand rule with on-the-fly face changes
+    /// whenever the candidate edge crosses the line to the destination
+    /// closer than the current crossing. Heuristic: no formal delivery
+    /// guarantee (use gfg for that), but typically shorter recovery
+    /// walks. Implemented on top of gpsr_step, so the path equals what
+    /// hop-by-hop forwarding produces.
+    [[nodiscard]] RouteResult gpsr(graph::NodeId src, graph::NodeId dst,
+                                   std::size_t max_steps = 0) const;
+
+    /// Per-packet GPSR forwarding state — exactly what a real GPSR
+    /// packet header carries (mode flag, the position where the packet
+    /// entered perimeter mode, the current face-entry crossing, the
+    /// previous hop, and the first perimeter edge for loop detection).
+    struct GpsrPacketState {
+        enum class Mode : unsigned char { kGreedy, kPerimeter };
+        Mode mode = Mode::kGreedy;
+        geom::Point entry{};       ///< Lp: position at perimeter entry
+        geom::Point face_entry{};  ///< Lf: best crossing of (Lp, dst) so far
+        graph::NodeId prev = graph::kInvalidNode;
+        std::pair<graph::NodeId, graph::NodeId> first_edge{graph::kInvalidNode,
+                                                           graph::kInvalidNode};
+    };
+
+    /// One hop-local GPSR forwarding decision at `current` toward `dst`,
+    /// updating the packet state. Returns the next hop, or kInvalidNode
+    /// to drop (perimeter loop closed: destination unreachable). Only
+    /// uses information available at `current` plus the packet state —
+    /// this is the localized form run by netsim's hop-by-hop mode.
+    [[nodiscard]] graph::NodeId gpsr_step(graph::NodeId current, graph::NodeId dst,
+                                          GpsrPacketState& state) const;
+
+    /// The face walk starting at directed edge (u, v): successive
+    /// directed edges under the next-counter-clockwise-about-the-head
+    /// rule, until the walk returns to (u, v). Exposed for testing the
+    /// face-partition property.
+    [[nodiscard]] std::vector<std::pair<graph::NodeId, graph::NodeId>> walk_face(
+        graph::NodeId u, graph::NodeId v) const;
+
+  private:
+    /// Neighbor following `from` in counter-clockwise order around v.
+    [[nodiscard]] graph::NodeId ccw_successor(graph::NodeId v, graph::NodeId from) const;
+    /// First neighbor of v counter-clockwise from absolute angle `theta`.
+    [[nodiscard]] graph::NodeId first_ccw_from(graph::NodeId v, double theta) const;
+
+    /// One FACE-1 progress phase: starting at `v`, advance along the
+    /// plane graph until reaching a node strictly closer to dst than
+    /// `threshold` (GFG recovery) or dst itself. Appends visited nodes
+    /// to path. Returns the node reached, or kInvalidNode on failure.
+    [[nodiscard]] graph::NodeId face_phase(graph::NodeId v, graph::NodeId dst,
+                                           double threshold, std::size_t max_steps,
+                                           std::vector<graph::NodeId>& path) const;
+
+    const graph::GeometricGraph* g_;
+    std::vector<std::vector<graph::NodeId>> ring_;  ///< neighbors sorted by angle
+};
+
+}  // namespace geospanner::routing

@@ -1,0 +1,128 @@
+// Synchronous round-based radio network simulator.
+//
+// The paper's cost model charges one unit per *broadcast*: a node sends a
+// message once and every 1-hop neighbor in the radio graph receives it.
+// Figures 10 and 12 report the maximum and average number of broadcasts
+// per node needed to build CDS, ICDS, and LDel(ICDS); this simulator
+// produces those counts while executing the actual distributed protocols.
+//
+// Execution model: time advances in rounds. During a round each node may
+// broadcast any number of messages; `advance()` then delivers every
+// message to all neighbors of its sender at once. Delivery is reliable
+// and in-order per sender (an idealized MAC layer, as assumed by the
+// paper). Inboxes are presented sorted by sender id, so protocol
+// execution is fully deterministic.
+//
+// The payload type is supplied by the protocol layer as a std::variant;
+// per-type counters are indexed by the variant alternative index.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "graph/geometric_graph.h"
+
+namespace geospanner::sim {
+
+template <typename Payload>
+class Network {
+  public:
+    struct Envelope {
+        graph::NodeId from = 0;
+        Payload payload;
+    };
+
+    static constexpr std::size_t kTypeCount = std::variant_size_v<Payload>;
+
+    /// `radio` defines who hears whom: a broadcast by v is delivered to
+    /// every neighbor of v in this graph. The graph is borrowed and must
+    /// outlive the network.
+    explicit Network(const graph::GeometricGraph& radio)
+        : radio_(&radio),
+          inboxes_(radio.node_count()),
+          outboxes_(radio.node_count()),
+          sent_(radio.node_count(), 0),
+          units_sent_(radio.node_count(), 0),
+          sent_by_type_(radio.node_count()) {}
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return radio_->node_count(); }
+
+    /// Queues a broadcast; delivered to all radio neighbors at the next
+    /// advance(). Counts one message against `from`. `units` measures
+    /// the payload size in protocol-defined units (default 1): aggregate
+    /// messages like neighbor lists or triangle batches pass their entry
+    /// count, so units_sent() exposes the bandwidth the unit-message
+    /// count hides.
+    void broadcast(graph::NodeId from, Payload payload, std::size_t units = 1) {
+        ++sent_[from];
+        units_sent_[from] += units;
+        ++sent_by_type_[from][payload.index()];
+        outboxes_[from].push_back(std::move(payload));
+    }
+
+    /// Delivers all queued broadcasts; returns true if anything was
+    /// delivered (i.e. the protocol is not yet quiescent).
+    bool advance() {
+        ++rounds_;
+        for (auto& inbox : inboxes_) inbox.clear();
+        bool any = false;
+        // Iterate senders in id order so each inbox ends up sorted by
+        // sender id — determinism for lowest-ID tie-breaking rules.
+        for (graph::NodeId v = 0; v < node_count(); ++v) {
+            if (outboxes_[v].empty()) continue;
+            any = true;
+            for (const graph::NodeId u : radio_->neighbors(v)) {
+                for (const Payload& p : outboxes_[v]) {
+                    inboxes_[u].push_back(Envelope{v, p});
+                }
+            }
+            outboxes_[v].clear();
+        }
+        return any;
+    }
+
+    /// Messages delivered to v in the round just advanced to.
+    [[nodiscard]] std::span<const Envelope> inbox(graph::NodeId v) const {
+        return inboxes_[v];
+    }
+
+    [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+    [[nodiscard]] std::size_t messages_sent(graph::NodeId v) const { return sent_[v]; }
+
+    [[nodiscard]] std::size_t messages_sent_of_type(graph::NodeId v,
+                                                    std::size_t type_index) const {
+        return sent_by_type_[v][type_index];
+    }
+
+    [[nodiscard]] std::size_t total_messages() const noexcept {
+        std::size_t total = 0;
+        for (const std::size_t s : sent_) total += s;
+        return total;
+    }
+
+    /// Per-node totals (for max/avg communication-cost statistics).
+    [[nodiscard]] const std::vector<std::size_t>& per_node_sent() const noexcept {
+        return sent_;
+    }
+
+    /// Payload units sent by v (== messages_sent(v) when every message
+    /// has unit weight).
+    [[nodiscard]] std::size_t units_sent(graph::NodeId v) const { return units_sent_[v]; }
+    [[nodiscard]] const std::vector<std::size_t>& per_node_units() const noexcept {
+        return units_sent_;
+    }
+
+  private:
+    const graph::GeometricGraph* radio_;
+    std::vector<std::vector<Envelope>> inboxes_;
+    std::vector<std::vector<Payload>> outboxes_;
+    std::vector<std::size_t> sent_;
+    std::vector<std::size_t> units_sent_;
+    std::vector<std::array<std::size_t, kTypeCount>> sent_by_type_;
+    std::size_t rounds_ = 0;
+};
+
+}  // namespace geospanner::sim

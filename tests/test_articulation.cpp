@@ -1,0 +1,118 @@
+// Articulation points: Tarjan vs brute-force removal, and the backbone
+// cut-vertex counts that explain the robustness ablation.
+#include "graph/articulation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/backbone.h"
+#include "graph/shortest_paths.h"
+#include "protocol/pruning.h"
+#include "test_util.h"
+
+namespace geospanner::graph {
+namespace {
+
+/// Brute force: v is an articulation point iff removing it splits its
+/// connected component.
+std::vector<bool> brute_force_cuts(const GeometricGraph& g) {
+    const auto n = static_cast<NodeId>(g.node_count());
+    std::vector<bool> result(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+        if (g.degree(v) < 2) continue;
+        GeometricGraph without(g.points());
+        for (const auto& [a, b] : g.edges()) {
+            if (a != v && b != v) without.add_edge(a, b);
+        }
+        // Components among nodes other than v that had edges... simply:
+        // count reachability from one neighbor of v to all others.
+        const NodeId start = g.neighbors(v)[0];
+        const auto hops = bfs_hops(without, start);
+        for (const NodeId u : g.neighbors(v)) {
+            if (hops[u] == kUnreachableHops) {
+                result[v] = true;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+TEST(Articulation, PathAndCycle) {
+    GeometricGraph path({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+    for (NodeId v = 0; v + 1 < 4; ++v) path.add_edge(v, v + 1);
+    EXPECT_EQ(articulation_points(path),
+              (std::vector<bool>{false, true, true, false}));
+
+    GeometricGraph cycle({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+    for (NodeId v = 0; v < 4; ++v) cycle.add_edge(v, (v + 1) % 4);
+    EXPECT_EQ(articulation_points(cycle), std::vector<bool>(4, false));
+}
+
+TEST(Articulation, StarCenterIsTheOnlyCut) {
+    GeometricGraph star({{0, 0}, {1, 0}, {0, 1}, {-1, 0}, {0, -1}});
+    for (NodeId v = 1; v < 5; ++v) star.add_edge(0, v);
+    const auto cuts = articulation_points(star);
+    EXPECT_TRUE(cuts[0]);
+    for (NodeId v = 1; v < 5; ++v) EXPECT_FALSE(cuts[v]);
+}
+
+TEST(Articulation, TwoTrianglesSharingAVertex) {
+    GeometricGraph g({{0, 0}, {1, 0}, {0.5, 1}, {2, 0}, {1.5, 1}});
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 2);
+    g.add_edge(1, 3);
+    g.add_edge(1, 4);
+    g.add_edge(3, 4);
+    const auto cuts = articulation_points(g);
+    EXPECT_EQ(cuts, (std::vector<bool>{false, true, false, false, false}));
+}
+
+TEST(Articulation, IsolatedAndDisconnected) {
+    GeometricGraph g({{0, 0}, {1, 0}, {2, 0}, {10, 10}});
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    const auto cuts = articulation_points(g);
+    EXPECT_EQ(cuts, (std::vector<bool>{false, true, false, false}));
+}
+
+TEST(Articulation, MatchesBruteForceOnRandomUdgs) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 6ULL}) {
+        const auto udg = test::connected_udg(45, 200.0, 55.0, seed);
+        ASSERT_GT(udg.node_count(), 0u);
+        EXPECT_EQ(articulation_points(udg), brute_force_cuts(udg)) << "seed " << seed;
+    }
+}
+
+TEST(Articulation, BackboneHasFewerCutsThanPrunedBackbone) {
+    // The behavioral robustness result (bench_ablation_robustness) has a
+    // structural explanation: the elected backbone has few articulation
+    // points, the inclusion-minimal one is almost all articulation
+    // points (a tree-like skeleton).
+    const auto udg = test::connected_udg(90, 250.0, 60.0, 11);
+    ASSERT_GT(udg.node_count(), 0u);
+    const auto cluster = protocol::cluster_reference(udg);
+    const auto full = protocol::find_connectors(udg, cluster);
+    const auto pruned = protocol::prune_connectors(udg, cluster, full);
+
+    const auto backbone_flags = [&](const protocol::ConnectorState& conn) {
+        std::vector<bool> flags(udg.node_count());
+        for (NodeId v = 0; v < udg.node_count(); ++v) {
+            flags[v] = cluster.is_dominator(v) || conn.is_connector[v];
+        }
+        return flags;
+    };
+    const auto cds_graph = [&](const protocol::ConnectorState& conn) {
+        GeometricGraph g(udg.points());
+        for (const auto& [u, v] : conn.cds_edges) g.add_edge(u, v);
+        return g;
+    };
+    const std::size_t full_cuts =
+        articulation_count_within(cds_graph(full), backbone_flags(full));
+    const std::size_t pruned_cuts =
+        articulation_count_within(cds_graph(pruned), backbone_flags(pruned));
+    EXPECT_LT(full_cuts, pruned_cuts);
+}
+
+}  // namespace
+}  // namespace geospanner::graph

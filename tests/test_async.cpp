@@ -1,0 +1,150 @@
+// Asynchronous network semantics and the async clustering protocol: the
+// elected MIS must be interleaving-independent and equal the synchronous
+// result.
+#include "protocol/async_clustering.h"
+
+#include <gtest/gtest.h>
+#include <string>
+#include <variant>
+
+#include "protocol/clustering.h"
+#include "sim/async_network.h"
+#include "test_util.h"
+
+namespace geospanner::protocol {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+TEST(AsyncNetwork, DeliversToAllNeighborsInTimeOrder) {
+    GeometricGraph g({{0, 0}, {1, 0}, {0, 1}});
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    using Net = sim::AsyncNetwork<std::variant<int>>;
+    Net net(g, 42);
+    net.broadcast(0, 7);
+    std::vector<NodeId> receivers;
+    double last_time = -1.0;
+    const std::size_t delivered = net.run([&](NodeId to, const Net::Envelope& env) {
+        EXPECT_EQ(env.from, 0u);
+        EXPECT_EQ(std::get<int>(env.payload), 7);
+        EXPECT_GE(net.now(), last_time);
+        last_time = net.now();
+        receivers.push_back(to);
+    });
+    EXPECT_EQ(delivered, 2u);
+    std::sort(receivers.begin(), receivers.end());
+    EXPECT_EQ(receivers, (std::vector<NodeId>{1, 2}));
+    EXPECT_EQ(net.messages_sent(0), 1u);
+    EXPECT_EQ(net.total_messages(), 1u);
+}
+
+TEST(AsyncNetwork, HandlerCanChainBroadcasts) {
+    GeometricGraph g({{0, 0}, {1, 0}, {2, 0}});
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    using Net = sim::AsyncNetwork<std::variant<int>>;
+    Net net(g, 1);
+    net.broadcast(0, 1);
+    std::vector<int> seen_at_2;
+    net.run([&](NodeId to, const Net::Envelope& env) {
+        const int hop = std::get<int>(env.payload);
+        if (to == 2) {
+            seen_at_2.push_back(hop);
+        } else if (to == 1 && hop == 1) {
+            net.broadcast(1, 2);
+        }
+    });
+    EXPECT_EQ(seen_at_2, std::vector<int>{2});
+}
+
+TEST(AsyncNetwork, DeterministicForSeed) {
+    GeometricGraph g({{0, 0}, {1, 0}, {0, 1}, {1, 1}});
+    for (NodeId u = 0; u < 4; ++u) {
+        for (NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+    }
+    const auto order_for = [&](std::uint64_t seed) {
+        sim::AsyncNetwork<std::variant<int>> net(g, seed);
+        for (NodeId v = 0; v < 4; ++v) net.broadcast(v, static_cast<int>(v));
+        std::vector<std::pair<NodeId, int>> order;
+        net.run([&](NodeId to, const auto& env) {
+            order.push_back({to, std::get<int>(env.payload)});
+        });
+        return order;
+    };
+    EXPECT_EQ(order_for(5), order_for(5));
+    EXPECT_NE(order_for(5), order_for(6));
+}
+
+class AsyncClusteringSweep : public ::testing::TestWithParam<test::SweepParam> {
+  protected:
+    GeometricGraph udg_;
+    void SetUp() override {
+        const auto p = GetParam();
+        udg_ = test::connected_udg(p.n, 200.0, p.radius, p.seed);
+        ASSERT_GT(udg_.node_count(), 0u);
+    }
+};
+
+TEST_P(AsyncClusteringSweep, MisIsInterleavingIndependent) {
+    const ClusterState reference = lowest_id_mis(udg_);
+    // Many delay seeds -> many different event interleavings; the
+    // decision rule must be confluent.
+    for (const std::uint64_t delay_seed : {1ULL, 7ULL, 42ULL, 1000ULL, 31337ULL}) {
+        AsyncNet net(udg_, delay_seed);
+        const ClusterState async_state = run_async_clustering(net, udg_);
+        EXPECT_EQ(async_state.role, reference.role) << "seed " << delay_seed;
+        EXPECT_EQ(async_state.dominators_of, reference.dominators_of);
+        EXPECT_EQ(async_state.two_hop_dominators_of, reference.two_hop_dominators_of);
+    }
+}
+
+TEST_P(AsyncClusteringSweep, MessageCostMatchesSynchronousProtocol) {
+    // Same messages are sent (Hello + IamDominator + IamDominatee per
+    // dominator), just at different times.
+    AsyncNet anet(udg_, 99);
+    (void)run_async_clustering(anet, udg_);
+    Net snet(udg_);
+    (void)run_clustering(snet, udg_);
+    EXPECT_EQ(anet.per_node_sent(), snet.per_node_sent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AsyncClusteringSweep,
+                         ::testing::ValuesIn(test::standard_sweep()));
+
+TEST(AsyncNetwork, IsolatedNodeBroadcastGoesNowhere) {
+    GeometricGraph g({{0, 0}, {10, 10}});
+    sim::AsyncNetwork<std::variant<int>> net(g, 1);
+    net.broadcast(0, 1);
+    std::size_t delivered = net.run([](NodeId, const auto&) {});
+    EXPECT_EQ(delivered, 0u);  // No neighbors, no deliveries...
+    EXPECT_EQ(net.messages_sent(0), 1u);  // ...but the send is counted.
+}
+
+TEST(AsyncClustering, DisconnectedComponentsClusterIndependently) {
+    // Two far-apart triangles: each elects its own lowest-id dominator
+    // regardless of delays.
+    GeometricGraph g({{0, 0}, {1, 0}, {0.5, 1}, {100, 100}, {101, 100}, {100.5, 101}});
+    for (NodeId base : {NodeId{0}, NodeId{3}}) {
+        g.add_edge(base, base + 1);
+        g.add_edge(base + 1, base + 2);
+        g.add_edge(base, base + 2);
+    }
+    AsyncNet net(g, 5);
+    const ClusterState s = run_async_clustering(net, g);
+    EXPECT_TRUE(s.is_dominator(0));
+    EXPECT_TRUE(s.is_dominator(3));
+    EXPECT_EQ(s.dominator_count(), 2u);
+}
+
+TEST(AsyncClustering, LongDelaysDoNotChangeTheResult) {
+    const auto udg = test::connected_udg(40, 150.0, 50.0, 3);
+    ASSERT_GT(udg.node_count(), 0u);
+    const ClusterState reference = lowest_id_mis(udg);
+    AsyncNet slow(udg, 11, /*max_delay=*/1000.0);
+    EXPECT_EQ(run_async_clustering(slow, udg).role, reference.role);
+}
+
+}  // namespace
+}  // namespace geospanner::protocol

@@ -1,0 +1,296 @@
+// End-to-end backbone pipeline invariants: everything Section III claims,
+// checked per-instance across a parameter sweep.
+#include "core/backbone.h"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "graph/metrics.h"
+#include "graph/planarity.h"
+#include "graph/shortest_paths.h"
+#include "core/workload.h"
+#include "proximity/udg.h"
+#include "test_util.h"
+
+namespace geospanner::core {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+class BackboneSweep : public ::testing::TestWithParam<test::SweepParam> {
+  protected:
+    GeometricGraph udg_;
+    Backbone bb_;
+
+    void SetUp() override {
+        const auto p = GetParam();
+        udg_ = test::connected_udg(p.n, 200.0, p.radius, p.seed);
+        ASSERT_GT(udg_.node_count(), 0u);
+        bb_ = build_backbone(udg_, {Engine::kDistributed});
+    }
+};
+
+TEST_P(BackboneSweep, EnginesProduceIdenticalTopologies) {
+    const Backbone c = build_backbone(udg_, {Engine::kCentralized});
+    EXPECT_EQ(bb_.cds, c.cds);
+    EXPECT_EQ(bb_.cds_prime, c.cds_prime);
+    EXPECT_EQ(bb_.icds, c.icds);
+    EXPECT_EQ(bb_.icds_prime, c.icds_prime);
+    EXPECT_EQ(bb_.ldel_icds, c.ldel_icds);
+    EXPECT_EQ(bb_.ldel_icds_prime, c.ldel_icds_prime);
+    EXPECT_EQ(bb_.in_backbone, c.in_backbone);
+    EXPECT_EQ(bb_.ldel_triangles, c.ldel_triangles);
+    // Message stats only exist for the distributed engine.
+    EXPECT_FALSE(bb_.messages.after_ldel.empty());
+    EXPECT_TRUE(c.messages.after_ldel.empty());
+}
+
+TEST_P(BackboneSweep, SubgraphRelations) {
+    // CDS ⊆ ICDS; ICDS and the dominatee links partition ICDS'.
+    for (const auto& [u, v] : bb_.cds.edges()) {
+        ASSERT_TRUE(bb_.icds.has_edge(u, v));
+        ASSERT_TRUE(bb_.cds_prime.has_edge(u, v));
+    }
+    for (const auto& [u, v] : bb_.icds.edges()) {
+        ASSERT_TRUE(udg_.has_edge(u, v));
+        ASSERT_TRUE(bb_.in_backbone[u] && bb_.in_backbone[v]);
+        ASSERT_TRUE(bb_.icds_prime.has_edge(u, v));
+    }
+    for (const auto& [u, v] : bb_.ldel_icds.edges()) {
+        ASSERT_TRUE(bb_.icds.has_edge(u, v)) << "LDel(ICDS) must refine ICDS";
+        ASSERT_TRUE(bb_.ldel_icds_prime.has_edge(u, v));
+    }
+}
+
+TEST_P(BackboneSweep, BackboneGraphsConnectBackbone) {
+    EXPECT_TRUE(graph::is_connected_on(bb_.cds, bb_.in_backbone));
+    EXPECT_TRUE(graph::is_connected_on(bb_.icds, bb_.in_backbone));
+    EXPECT_TRUE(graph::is_connected_on(bb_.ldel_icds, bb_.in_backbone));
+}
+
+TEST_P(BackboneSweep, PrimedGraphsSpanAllNodes) {
+    EXPECT_TRUE(graph::is_connected(bb_.cds_prime));
+    EXPECT_TRUE(graph::is_connected(bb_.icds_prime));
+    EXPECT_TRUE(graph::is_connected(bb_.ldel_icds_prime));
+}
+
+TEST_P(BackboneSweep, LdelIcdsIsPlanar) {
+    EXPECT_TRUE(graph::is_plane_embedding(bb_.ldel_icds));
+}
+
+TEST_P(BackboneSweep, Ldel2PlanarizerVariant) {
+    // The LDel² planarizer yields a planar spanning backbone too, with
+    // engine equality and triangles a subset of the LDel¹ pipeline's.
+    BuildOptions options;
+    options.planarizer = Planarizer::kLdel2;
+    options.engine = Engine::kDistributed;
+    const Backbone d = build_backbone(udg_, options);
+    options.engine = Engine::kCentralized;
+    const Backbone c = build_backbone(udg_, options);
+    EXPECT_EQ(d.ldel_icds, c.ldel_icds);
+    EXPECT_EQ(d.ldel_triangles, c.ldel_triangles);
+    EXPECT_TRUE(graph::is_plane_embedding(d.ldel_icds));
+    EXPECT_TRUE(graph::is_connected_on(d.ldel_icds, d.in_backbone));
+    EXPECT_TRUE(graph::is_connected(d.ldel_icds_prime));
+    for (const auto& t : d.ldel_triangles) {
+        EXPECT_TRUE(std::binary_search(bb_.ldel_triangles.begin(),
+                                       bb_.ldel_triangles.end(), t))
+            << "LDel2 kept a triangle the LDel1 pipeline dropped";
+    }
+}
+
+TEST_P(BackboneSweep, HighestDegreePolicyPipeline) {
+    // The alternative clusterhead criterion flows through the whole
+    // pipeline with the same guarantees: engine equality, planarity,
+    // spanning, and the Lemma 5 bound.
+    BuildOptions options;
+    options.cluster_policy = protocol::ClusterPolicy::kHighestDegree;
+    options.engine = Engine::kDistributed;
+    const Backbone d = build_backbone(udg_, options);
+    options.engine = Engine::kCentralized;
+    const Backbone c = build_backbone(udg_, options);
+    EXPECT_EQ(d.ldel_icds_prime, c.ldel_icds_prime);
+    EXPECT_EQ(d.cds_prime, c.cds_prime);
+    EXPECT_TRUE(graph::is_plane_embedding(d.ldel_icds));
+    EXPECT_TRUE(graph::is_connected(d.ldel_icds_prime));
+    for (NodeId s = 0; s < udg_.node_count(); s += 4) {
+        const auto base = graph::bfs_hops(udg_, s);
+        const auto topo = graph::bfs_hops(d.cds_prime, s);
+        for (NodeId t = 0; t < udg_.node_count(); ++t) {
+            if (t == s) continue;
+            ASSERT_NE(topo[t], graph::kUnreachableHops);
+            EXPECT_LE(topo[t], 3 * base[t] + 2);
+        }
+    }
+}
+
+TEST_P(BackboneSweep, Lemma5HopStretchPerPair) {
+    // For every node pair: hops in CDS' at most 3h + 2 where h is the
+    // UDG hop distance — the exact bound of Lemma 5's construction.
+    for (NodeId s = 0; s < udg_.node_count(); ++s) {
+        const auto base = graph::bfs_hops(udg_, s);
+        const auto topo = graph::bfs_hops(bb_.cds_prime, s);
+        for (NodeId t = 0; t < udg_.node_count(); ++t) {
+            if (t == s) continue;
+            ASSERT_NE(topo[t], graph::kUnreachableHops);
+            EXPECT_LE(topo[t], 3 * base[t] + 2) << "pair " << s << "," << t;
+        }
+    }
+}
+
+TEST_P(BackboneSweep, Lemma6LengthStretchForFarPairs) {
+    // For pairs more than one transmission radius apart, the length
+    // stretch is bounded (the paper's constant works out to <= 16 at
+    // h = 2 and decreases with distance).
+    double radius = 0.0;
+    for (const auto& [u, v] : udg_.edges()) {
+        radius = std::max(radius, udg_.edge_length(u, v));
+    }
+    for (NodeId s = 0; s < udg_.node_count(); ++s) {
+        const auto base = graph::dijkstra_lengths(udg_, s);
+        const auto topo = graph::dijkstra_lengths(bb_.cds_prime, s);
+        for (NodeId t = s + 1; t < udg_.node_count(); ++t) {
+            if (geom::distance(udg_.point(s), udg_.point(t)) <= radius) continue;
+            EXPECT_LE(topo[t], 16.0 * base[t]) << "pair " << s << "," << t;
+        }
+    }
+}
+
+TEST_P(BackboneSweep, LdelPreservesSpannerUpToConstant) {
+    // LDel(ICDS') keeps the constant-stretch property (Section III-C).
+    const auto hop = graph::hop_stretch(udg_, bb_.ldel_icds_prime);
+    EXPECT_EQ(hop.disconnected_pairs, 0u);
+    const auto len = graph::length_stretch(udg_, bb_.ldel_icds_prime);
+    EXPECT_EQ(len.disconnected_pairs, 0u);
+    EXPECT_GE(len.avg, 1.0);
+}
+
+TEST_P(BackboneSweep, BackboneDegreesBounded) {
+    // CDS / ICDS / LDel(ICDS) degrees are bounded by constants that do
+    // not grow with n or density; these empirical caps pin that.
+    EXPECT_LE(graph::degree_stats(bb_.cds).max, 30u);
+    EXPECT_LE(graph::degree_stats(bb_.icds).max, 40u);
+    EXPECT_LE(graph::degree_stats(bb_.ldel_icds).max, 40u);
+}
+
+TEST_P(BackboneSweep, MessageCountsCumulativeAndBounded) {
+    const auto& m = bb_.messages;
+    ASSERT_EQ(m.after_cds.size(), udg_.node_count());
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        EXPECT_LE(m.after_cds[v], m.after_icds[v]);
+        EXPECT_LE(m.after_icds[v], m.after_ldel[v]);
+        // RoleAnnounce is exactly one message per node.
+        EXPECT_EQ(m.after_icds[v], m.after_cds[v] + 1);
+        // Constant bound per node (Lemma 3 + bounded backbone degree).
+        EXPECT_LE(m.after_ldel[v], 250u) << "node " << v;
+    }
+}
+
+TEST_P(BackboneSweep, DominatorCountWithinConstantOfMisBound) {
+    // |MIS| is within a constant factor of the minimum dominating set;
+    // here we sanity-check the backbone is not bloated: connectors at
+    // most a constant multiple of dominators.
+    const std::size_t dominators = bb_.cluster.dominator_count();
+    const std::size_t backbone = bb_.backbone_size();
+    EXPECT_GE(dominators, 1u);
+    EXPECT_LE(backbone, 30 * dominators);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BackboneSweep,
+                         ::testing::ValuesIn(test::standard_sweep()));
+
+/// Full-pipeline invariants on a given connected UDG (reused for the
+/// non-uniform workloads below).
+void expect_pipeline_invariants(const GeometricGraph& udg) {
+    ASSERT_TRUE(graph::is_connected(udg));
+    const Backbone bb = build_backbone(udg, {Engine::kDistributed});
+    const Backbone c = build_backbone(udg, {Engine::kCentralized});
+    EXPECT_EQ(bb.ldel_icds_prime, c.ldel_icds_prime);
+    EXPECT_TRUE(graph::is_plane_embedding(bb.ldel_icds));
+    EXPECT_TRUE(graph::is_connected_on(bb.ldel_icds, bb.in_backbone));
+    EXPECT_TRUE(graph::is_connected(bb.ldel_icds_prime));
+    for (NodeId s = 0; s < udg.node_count(); s += 3) {
+        const auto base = graph::bfs_hops(udg, s);
+        const auto topo = graph::bfs_hops(bb.cds_prime, s);
+        for (NodeId t = 0; t < udg.node_count(); ++t) {
+            if (t == s) continue;
+            ASSERT_NE(topo[t], graph::kUnreachableHops);
+            EXPECT_LE(topo[t], 3 * base[t] + 2);
+        }
+    }
+}
+
+TEST(Backbone, GridWorkload) {
+    // Jittered grid: near-cocircular structure everywhere; exercises the
+    // exact predicates through the whole pipeline.
+    WorkloadConfig config;
+    config.node_count = 81;
+    config.side = 240.0;
+    config.seed = 5;
+    for (const double jitter : {0.0, 0.05, 0.2}) {
+        const auto udg = proximity::build_udg(grid_points(config, jitter), 45.0);
+        expect_pipeline_invariants(udg);
+    }
+}
+
+TEST(Backbone, ClusteredWorkload) {
+    // Gaussian blobs: very uneven density (dense cores, sparse bridges).
+    for (const std::uint64_t seed : {3ULL, 17ULL, 90ULL}) {
+        WorkloadConfig config;
+        config.node_count = 90;
+        config.side = 220.0;
+        config.radius = 70.0;
+        config.seed = seed;
+        const auto udg = proximity::build_udg(clustered_points(config, 4), config.radius);
+        if (!graph::is_connected(udg)) continue;  // Blobs may not bridge.
+        expect_pipeline_invariants(udg);
+    }
+}
+
+TEST(Backbone, ExactGridWithoutJitterIsHandled) {
+    // A perfect integer grid: every unit square cocircular, many
+    // collinear triples. The pipeline must not crash and must produce a
+    // planar connected backbone (exact predicates + deterministic
+    // cocircular tie-breaking).
+    WorkloadConfig config;
+    config.node_count = 49;
+    config.side = 180.0;
+    config.seed = 1;
+    const auto udg = proximity::build_udg(grid_points(config, 0.0), 40.0);
+    expect_pipeline_invariants(udg);
+}
+
+TEST(Backbone, SingleNode) {
+    GeometricGraph udg({{0, 0}});
+    const Backbone bb = build_backbone(udg, {Engine::kDistributed});
+    EXPECT_TRUE(bb.in_backbone[0]);
+    EXPECT_EQ(bb.cds.edge_count(), 0u);
+    EXPECT_EQ(bb.ldel_icds_prime.edge_count(), 0u);
+}
+
+TEST(Backbone, TwoAdjacentNodes) {
+    GeometricGraph udg({{0, 0}, {0.5, 0}});
+    udg.add_edge(0, 1);
+    const Backbone bb = build_backbone(udg, {Engine::kDistributed});
+    // 0 is dominator, 1 its dominatee; CDS has no edges but CDS' links
+    // the dominatee to its dominator.
+    EXPECT_TRUE(bb.cluster.is_dominator(0));
+    EXPECT_FALSE(bb.cluster.is_dominator(1));
+    EXPECT_EQ(bb.cds.edge_count(), 0u);
+    EXPECT_TRUE(bb.cds_prime.has_edge(0, 1));
+    EXPECT_TRUE(graph::is_connected(bb.ldel_icds_prime));
+}
+
+TEST(Backbone, DeterministicAcrossRuns) {
+    const auto udg = test::connected_udg(60, 200.0, 55.0, 77);
+    ASSERT_GT(udg.node_count(), 0u);
+    const Backbone a = build_backbone(udg, {Engine::kDistributed});
+    const Backbone b = build_backbone(udg, {Engine::kDistributed});
+    EXPECT_EQ(a.ldel_icds_prime, b.ldel_icds_prime);
+    EXPECT_EQ(a.messages.after_ldel, b.messages.after_ldel);
+}
+
+}  // namespace
+}  // namespace geospanner::core

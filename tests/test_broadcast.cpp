@@ -1,0 +1,140 @@
+// Network-wide broadcast strategies: full coverage and the backbone
+// transmission savings.
+#include "protocol/broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include "core/backbone.h"
+#include "graph/shortest_paths.h"
+#include "test_util.h"
+
+namespace geospanner::protocol {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+class BroadcastSweep : public ::testing::TestWithParam<test::SweepParam> {
+  protected:
+    GeometricGraph udg_;
+    core::Backbone bb_;
+    void SetUp() override {
+        const auto p = GetParam();
+        udg_ = test::connected_udg(p.n, 200.0, p.radius, p.seed);
+        ASSERT_GT(udg_.node_count(), 0u);
+        bb_ = core::build_backbone(udg_, {core::Engine::kCentralized});
+    }
+};
+
+TEST_P(BroadcastSweep, AllStrategiesCoverEveryNode) {
+    for (const NodeId source : {NodeId{0}, static_cast<NodeId>(udg_.node_count() / 2)}) {
+        EXPECT_EQ(flood_broadcast(udg_, source).covered, udg_.node_count());
+        EXPECT_EQ(backbone_broadcast(udg_, bb_.in_backbone, source).covered, udg_.node_count());
+        EXPECT_EQ(tree_broadcast(udg_, source).covered, udg_.node_count());
+    }
+}
+
+TEST_P(BroadcastSweep, FloodingCostsOneTransmissionPerNode) {
+    const auto result = flood_broadcast(udg_, 0);
+    EXPECT_EQ(result.transmissions, udg_.node_count());
+}
+
+TEST_P(BroadcastSweep, BackboneRelaySavesTransmissions) {
+    const auto flood = flood_broadcast(udg_, 0);
+    const auto backbone = backbone_broadcast(udg_, bb_.in_backbone, 0);
+    // At most backbone size + 1 (the source may be a dominatee).
+    EXPECT_LE(backbone.transmissions, bb_.backbone_size() + 1);
+    EXPECT_LE(backbone.transmissions, flood.transmissions);
+}
+
+TEST_P(BroadcastSweep, RoundsBoundedByEccentricityPlusRelayDetour) {
+    // Flooding finishes in (eccentricity + 1) rounds; backbone relay can
+    // take a small constant factor longer (the message travels the CDS).
+    const auto flood = flood_broadcast(udg_, 0);
+    const auto backbone = backbone_broadcast(udg_, bb_.in_backbone, 0);
+    const auto hops = graph::bfs_hops(udg_, 0);
+    int ecc = 0;
+    for (const int h : hops) ecc = std::max(ecc, h);
+    EXPECT_EQ(flood.rounds, static_cast<std::size_t>(ecc) + 1);
+    EXPECT_LE(backbone.rounds, static_cast<std::size_t>(3 * ecc + 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BroadcastSweep,
+                         ::testing::ValuesIn(test::standard_sweep()));
+
+TEST_P(BroadcastSweep, CollisionModelBasics) {
+    CollisionConfig config;
+    config.window = 16;
+    config.seed = 7;
+    const std::vector<bool> all(udg_.node_count(), true);
+    const auto flood = collision_broadcast(udg_, all, 0, config);
+    // Every node transmits at most once; the source always reaches its
+    // neighbors (it transmits alone in slot 0).
+    EXPECT_LE(flood.transmissions, udg_.node_count());
+    for (const graph::NodeId u : udg_.neighbors(0)) {
+        EXPECT_TRUE(flood.reached[u]);
+    }
+    EXPECT_GE(flood.covered, 1u + udg_.neighbors(0).size());
+    // Determinism.
+    const auto again = collision_broadcast(udg_, all, 0, config);
+    EXPECT_EQ(again.covered, flood.covered);
+    EXPECT_EQ(again.transmissions, flood.transmissions);
+}
+
+TEST_P(BroadcastSweep, BackboneCoverageComparableUnderContention) {
+    // Under a tight contention window, flooding's redundant relays buy
+    // it some collision tolerance; the backbone must stay within a few
+    // percent of its coverage while transmitting far less. Averaged over
+    // backoff seeds to avoid flakiness.
+    CollisionConfig config;
+    config.window = 2;
+    double flood_cov = 0.0;
+    double backbone_cov = 0.0;
+    const std::vector<bool> all(udg_.node_count(), true);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        config.seed = seed;
+        flood_cov += static_cast<double>(collision_broadcast(udg_, all, 0, config).covered);
+        backbone_cov += static_cast<double>(
+            collision_broadcast(udg_, bb_.in_backbone, 0, config).covered);
+    }
+    EXPECT_GE(backbone_cov, flood_cov * 0.95);
+}
+
+TEST(Broadcast, CollisionAtSharedReceiver) {
+    // Two relays transmitting in the same slot collide at their common
+    // neighbor: with window 1 both forced into the same slot, node 3
+    // never receives.
+    GeometricGraph g({{0, 0}, {1, 0}, {1, 2}, {2, 1}});
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    CollisionConfig config;
+    config.window = 1;  // 1 and 2 both transmit in slot 1: collision at 3.
+    const std::vector<bool> all(4, true);
+    const auto result = collision_broadcast(g, all, 0, config);
+    EXPECT_TRUE(result.reached[1]);
+    EXPECT_TRUE(result.reached[2]);
+    EXPECT_FALSE(result.reached[3]);
+    EXPECT_EQ(result.covered, 3u);
+}
+
+TEST(Broadcast, SingleNodeNetwork) {
+    GeometricGraph udg({{0, 0}});
+    const auto bb = core::build_backbone(udg, {core::Engine::kCentralized});
+    EXPECT_EQ(flood_broadcast(udg, 0).covered, 1u);
+    EXPECT_EQ(backbone_broadcast(udg, bb.in_backbone, 0).covered, 1u);
+    EXPECT_EQ(tree_broadcast(udg, 0).covered, 1u);
+}
+
+TEST(Broadcast, PathNetworkTransmissionCounts) {
+    GeometricGraph udg({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+    for (NodeId v = 0; v + 1 < 4; ++v) udg.add_edge(v, v + 1);
+    // Tree broadcast from an endpoint: internal nodes are 0, 1, 2 (3 is
+    // a leaf) -> 3 transmissions; flooding -> 4.
+    EXPECT_EQ(tree_broadcast(udg, 0).transmissions, 3u);
+    EXPECT_EQ(flood_broadcast(udg, 0).transmissions, 4u);
+}
+
+}  // namespace
+}  // namespace geospanner::protocol

@@ -1,0 +1,161 @@
+// Classic proximity structures: subgraph relations, planarity, degree
+// bounds, and the known spanner/non-spanner properties from the paper's
+// related-work discussion.
+#include "proximity/classic.h"
+
+#include <gtest/gtest.h>
+
+#include "delaunay/delaunay.h"
+#include "graph/metrics.h"
+#include "graph/shortest_paths.h"
+#include "proximity/udg.h"
+#include "test_util.h"
+
+namespace geospanner::proximity {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+/// Every edge of a must be an edge of b.
+void expect_subgraph(const GeometricGraph& a, const GeometricGraph& b,
+                     const char* what) {
+    for (const auto& [u, v] : a.edges()) {
+        ASSERT_TRUE(b.has_edge(u, v)) << what << ": edge (" << u << "," << v << ")";
+    }
+}
+
+class ClassicSweep : public ::testing::TestWithParam<test::SweepParam> {
+  protected:
+    GeometricGraph udg_;
+    void SetUp() override {
+        const auto p = GetParam();
+        udg_ = test::connected_udg(p.n, 200.0, p.radius, p.seed);
+        ASSERT_GT(udg_.node_count(), 0u) << "instance generation failed";
+    }
+};
+
+TEST_P(ClassicSweep, SubgraphChain) {
+    const auto rng_graph = build_rng(udg_);
+    const auto gg = build_gabriel(udg_);
+    const auto udel = build_udel(udg_);
+    expect_subgraph(rng_graph, gg, "RNG ⊆ GG");
+    expect_subgraph(gg, udel, "GG ⊆ UDel");
+    expect_subgraph(udel, udg_, "UDel ⊆ UDG");
+}
+
+TEST_P(ClassicSweep, AllConnectedAndSpanning) {
+    // RNG (hence all supergraphs) stays connected when the UDG is.
+    EXPECT_TRUE(graph::is_connected(build_rng(udg_)));
+    EXPECT_TRUE(graph::is_connected(build_gabriel(udg_)));
+    EXPECT_TRUE(graph::is_connected(build_udel(udg_)));
+    EXPECT_TRUE(graph::is_connected(build_yao(udg_)));
+    EXPECT_TRUE(graph::is_connected(build_yao_sink(udg_)));
+}
+
+TEST_P(ClassicSweep, YaoIsSubgraphOfUdgAndSparse) {
+    const auto yao = build_yao(udg_, 8);
+    expect_subgraph(yao, udg_, "Yao ⊆ UDG");
+    // At most `cones` outgoing choices per node.
+    EXPECT_LE(yao.edge_count(), 8 * udg_.node_count());
+    const auto sink = build_yao_sink(udg_, 8);
+    expect_subgraph(sink, yao, "YaoSink ⊆ Yao");
+}
+
+TEST_P(ClassicSweep, ThetaGraphProperties) {
+    const auto theta = build_theta(udg_, 8);
+    expect_subgraph(theta, udg_, "Theta ⊆ UDG");
+    EXPECT_TRUE(graph::is_connected(theta));
+    EXPECT_LE(theta.edge_count(), 8 * udg_.node_count());
+    // Theta is a length spanner for >= 7 cones; random instances stay
+    // well inside the worst case.
+    const auto stretch = graph::length_stretch(udg_, theta);
+    EXPECT_EQ(stretch.disconnected_pairs, 0u);
+    EXPECT_LT(stretch.max, 4.0);
+}
+
+TEST_P(ClassicSweep, PowerAssignmentOrdering) {
+    // Per-node topology-control power: every UDG subgraph needs at most
+    // the UDG's assignment, and the backbone-ish structures need less.
+    const double beta = 2.0;
+    const auto udg_power = graph::power_assignment(udg_, beta);
+    const auto gg_power = graph::power_assignment(build_gabriel(udg_), beta);
+    const auto rng_power = graph::power_assignment(build_rng(udg_), beta);
+    EXPECT_LE(gg_power.total, udg_power.total + 1e-9);
+    EXPECT_LE(rng_power.total, gg_power.total + 1e-9);  // RNG ⊆ GG.
+    EXPECT_LE(rng_power.max, udg_power.max + 1e-9);
+    EXPECT_GT(rng_power.total, 0.0);
+}
+
+TEST_P(ClassicSweep, YaoSinkDegreeBounded) {
+    // The reverse-Yao step bounds degree: each node keeps at most `cones`
+    // incoming edges per its own election plus at most `cones` outgoing
+    // Yao winners that survived some sink election.
+    const auto sink = build_yao_sink(udg_, 8);
+    const auto stats = graph::degree_stats(sink);
+    EXPECT_LE(stats.max, 16u);
+}
+
+TEST_P(ClassicSweep, GabrielLengthStretchModerate) {
+    // GG is a Θ(√n) length spanner in the worst case but far better on
+    // random instances; this pins sane behavior, not the paper bound.
+    const auto gg = build_gabriel(udg_);
+    const auto stretch = graph::length_stretch(udg_, gg);
+    EXPECT_EQ(stretch.disconnected_pairs, 0u);
+    EXPECT_GE(stretch.max, 1.0);
+    EXPECT_LT(stretch.max, 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClassicSweep,
+                         ::testing::ValuesIn(test::standard_sweep()));
+
+TEST(Classic, GabrielDefinitionOnSmallConfig) {
+    // Diamond: the open disk on (0,1) contains node 2 -> not Gabriel;
+    // all short sides are Gabriel.
+    const GeometricGraph udg = build_udg({{0, 0}, {1, 0}, {0.5, 0.1}, {0.5, -0.6}}, 1.2);
+    const auto gg = build_gabriel(udg);
+    EXPECT_FALSE(gg.has_edge(0, 1));
+    EXPECT_TRUE(gg.has_edge(0, 2));
+    EXPECT_TRUE(gg.has_edge(2, 1));
+}
+
+TEST(Classic, RngLuneDefinitionOnSmallConfig) {
+    // Equilateral-ish triangle: the longest edge has the third node in
+    // its lune and is dropped by RNG but kept by GG when the disk on the
+    // edge is empty.
+    const GeometricGraph udg = build_udg({{0, 0}, {1, 0}, {0.5, 0.75}}, 2.0);
+    const auto rng_graph = build_rng(udg);
+    const auto gg = build_gabriel(udg);
+    // |01| = 1, |02| = |12| ≈ 0.901: node 2 is in the lune of (0,1).
+    EXPECT_FALSE(rng_graph.has_edge(0, 1));
+    EXPECT_TRUE(rng_graph.has_edge(0, 2));
+    EXPECT_TRUE(rng_graph.has_edge(1, 2));
+    // But 2 is outside the diametral circle of (0,1) (height 0.75 > 0.5).
+    EXPECT_TRUE(gg.has_edge(0, 1));
+}
+
+TEST(Classic, YaoPicksClosestPerCone) {
+    // Two nodes in the same cone of node 0: only the closer is kept as
+    // 0's outgoing choice; the undirected union may still add the other
+    // direction, so place the far node so that 0 is not its choice either.
+    const GeometricGraph udg = build_udg({{0, 0}, {1, 0}, {2.0, 0.1}}, 3.0);
+    const auto yao = build_yao(udg, 8);
+    EXPECT_TRUE(yao.has_edge(0, 1));
+    EXPECT_TRUE(yao.has_edge(1, 2));
+    EXPECT_FALSE(yao.has_edge(0, 2));  // 0 prefers 1; 2 prefers 1.
+}
+
+TEST(Classic, UdelEqualsDelaunayIntersectUdg) {
+    const auto udg = test::connected_udg(50, 150.0, 45.0, 21);
+    ASSERT_GT(udg.node_count(), 0u);
+    const auto udel = build_udel(udg);
+    const delaunay::DelaunayTriangulation del(udg.points());
+    GeometricGraph expected(udg.points());
+    for (const auto& [u, v] : del.edges()) {
+        if (udg.has_edge(u, v)) expected.add_edge(u, v);
+    }
+    EXPECT_EQ(udel, expected);
+}
+
+}  // namespace
+}  // namespace geospanner::proximity

@@ -1,0 +1,203 @@
+// Clustering protocol: MIS properties (with Lemmas 1 and 2), equality of
+// the distributed protocol and the centralized reference, and the
+// constant per-node message bound.
+#include "protocol/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "proximity/udg.h"
+#include "test_util.h"
+
+namespace geospanner::protocol {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+bool states_equal(const ClusterState& a, const ClusterState& b) {
+    return a.role == b.role && a.dominators_of == b.dominators_of &&
+           a.two_hop_dominators_of == b.two_hop_dominators_of;
+}
+
+class ClusteringSweep : public ::testing::TestWithParam<test::SweepParam> {
+  protected:
+    GeometricGraph udg_;
+    void SetUp() override {
+        const auto p = GetParam();
+        udg_ = test::connected_udg(p.n, 200.0, p.radius, p.seed);
+        ASSERT_GT(udg_.node_count(), 0u);
+    }
+};
+
+TEST_P(ClusteringSweep, DistributedEqualsCentralized) {
+    Net net(udg_);
+    const ClusterState distributed = run_clustering(net, udg_);
+    const ClusterState centralized = lowest_id_mis(udg_);
+    EXPECT_TRUE(states_equal(distributed, centralized));
+    // And the round-simulating reference agrees with both.
+    EXPECT_TRUE(states_equal(cluster_reference(udg_, ClusterPolicy::kLowestId),
+                             centralized));
+}
+
+TEST_P(ClusteringSweep, HighestDegreePolicyDistributedEqualsCentralized) {
+    Net net(udg_);
+    const ClusterState distributed =
+        run_clustering(net, udg_, ClusterPolicy::kHighestDegree);
+    const ClusterState centralized =
+        cluster_reference(udg_, ClusterPolicy::kHighestDegree);
+    EXPECT_TRUE(states_equal(distributed, centralized));
+}
+
+TEST_P(ClusteringSweep, HighestDegreePolicyYieldsValidMis) {
+    const ClusterState s = cluster_reference(udg_, ClusterPolicy::kHighestDegree);
+    for (const auto& [u, v] : udg_.edges()) {
+        EXPECT_FALSE(s.is_dominator(u) && s.is_dominator(v));
+    }
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        if (!s.is_dominator(v)) {
+            EXPECT_FALSE(s.dominators_of[v].empty());
+            EXPECT_LE(s.dominators_of[v].size(), 5u);  // Lemma 1 holds regardless.
+        }
+    }
+}
+
+TEST_P(ClusteringSweep, DominatorsFormMaximalIndependentSet) {
+    const ClusterState s = lowest_id_mis(udg_);
+    for (const auto& [u, v] : udg_.edges()) {
+        EXPECT_FALSE(s.is_dominator(u) && s.is_dominator(v))
+            << "adjacent dominators " << u << ", " << v;
+    }
+    // Maximality == domination: every dominatee has a dominator neighbor.
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        if (s.is_dominator(v)) continue;
+        EXPECT_FALSE(s.dominators_of[v].empty()) << "undominated node " << v;
+        for (const NodeId d : s.dominators_of[v]) {
+            EXPECT_TRUE(udg_.has_edge(v, d));
+            EXPECT_TRUE(s.is_dominator(d));
+        }
+    }
+}
+
+TEST_P(ClusteringSweep, Lemma1AtMostFiveDominators) {
+    const ClusterState s = lowest_id_mis(udg_);
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        EXPECT_LE(s.dominators_of[v].size(), 5u) << "node " << v;
+    }
+}
+
+TEST_P(ClusteringSweep, Lemma2BoundedDominatorsInKDisk) {
+    // Dominators are pairwise > radius apart, so the disk of radius
+    // k*radius around any node holds at most (2k+1)^2 of them (area
+    // argument with half-radius disks). Check k = 1, 2.
+    const ClusterState s = lowest_id_mis(udg_);
+    const double radius = 1.0;  // Work in units of the UDG radius.
+    // Recover the transmission radius from the longest edge.
+    double rmax = 0.0;
+    for (const auto& [u, v] : udg_.edges()) {
+        rmax = std::max(rmax, udg_.edge_length(u, v));
+    }
+    (void)radius;
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        for (const int k : {1, 2}) {
+            std::size_t count = 0;
+            for (NodeId d = 0; d < udg_.node_count(); ++d) {
+                if (!s.is_dominator(d)) continue;
+                if (geom::distance(udg_.point(v), udg_.point(d)) <= k * rmax) ++count;
+            }
+            const auto bound = static_cast<std::size_t>((2 * k + 1) * (2 * k + 1));
+            EXPECT_LE(count, bound) << "node " << v << " k=" << k;
+        }
+    }
+}
+
+TEST_P(ClusteringSweep, TwoHopDominatorListsAreCorrect) {
+    const ClusterState s = lowest_id_mis(udg_);
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        for (const NodeId d : s.two_hop_dominators_of[v]) {
+            EXPECT_TRUE(s.is_dominator(d));
+            EXPECT_FALSE(udg_.has_edge(v, d));
+            EXPECT_NE(v, d);
+            // Exactly two hops: a common neighbor exists.
+            bool common = false;
+            for (const NodeId w : udg_.neighbors(v)) {
+                if (udg_.has_edge(w, d)) {
+                    common = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(common) << "two-hop dominator " << d << " of " << v;
+        }
+    }
+}
+
+TEST_P(ClusteringSweep, ConstantMessagesPerNode) {
+    Net net(udg_);
+    (void)run_clustering(net, udg_);
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        // Hello + at most 1 IamDominator + at most 5 IamDominatee.
+        EXPECT_LE(net.messages_sent(v), 7u) << "node " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClusteringSweep,
+                         ::testing::ValuesIn(test::standard_sweep()));
+
+TEST(Clustering, LowestIdWinsOnPath) {
+    // Path 3-1-2-0: parallel lowest-id MIS elects {0, 1}.
+    GeometricGraph g({{2, 0}, {1, 0}, {3, 0}, {0, 0}});
+    g.add_edge(3, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    const ClusterState s = lowest_id_mis(g);
+    EXPECT_TRUE(s.is_dominator(0));
+    EXPECT_TRUE(s.is_dominator(1));
+    EXPECT_FALSE(s.is_dominator(2));
+    EXPECT_FALSE(s.is_dominator(3));
+    Net net(g);
+    EXPECT_TRUE(states_equal(run_clustering(net, g), s));
+}
+
+TEST(Clustering, SingletonAndIsolatedNodes) {
+    GeometricGraph g({{0, 0}, {10, 10}});
+    const ClusterState s = lowest_id_mis(g);
+    EXPECT_TRUE(s.is_dominator(0));
+    EXPECT_TRUE(s.is_dominator(1));  // Isolated nodes dominate themselves.
+    Net net(g);
+    EXPECT_TRUE(states_equal(run_clustering(net, g), s));
+}
+
+TEST(Clustering, HighestDegreeElectsTheHub) {
+    // Star: the center has degree 4 and wins under kHighestDegree even
+    // though it has the largest id; under kLowestId the leaves win.
+    GeometricGraph g({{1, 0}, {0, 1}, {-1, 0}, {0, -1}, {0, 0}});
+    for (NodeId v = 0; v < 4; ++v) g.add_edge(4, v);
+    const ClusterState by_degree = cluster_reference(g, ClusterPolicy::kHighestDegree);
+    EXPECT_TRUE(by_degree.is_dominator(4));
+    for (NodeId v = 0; v < 4; ++v) EXPECT_FALSE(by_degree.is_dominator(v));
+    const ClusterState by_id = cluster_reference(g, ClusterPolicy::kLowestId);
+    EXPECT_FALSE(by_id.is_dominator(4));
+}
+
+TEST(Clustering, HighestDegreeTieBreaksById) {
+    // Two adjacent nodes of equal degree: the smaller id wins.
+    GeometricGraph g({{0, 0}, {1, 0}});
+    g.add_edge(0, 1);
+    const ClusterState s = cluster_reference(g, ClusterPolicy::kHighestDegree);
+    EXPECT_TRUE(s.is_dominator(0));
+    EXPECT_FALSE(s.is_dominator(1));
+}
+
+TEST(Clustering, StarElectsCenterOrLeaf) {
+    // Star with center id 4: leaves 0..3 all become dominators (no two
+    // adjacent), center becomes dominatee of all of them... but leaves
+    // are pairwise non-adjacent so the MIS is all leaves.
+    GeometricGraph g({{1, 0}, {0, 1}, {-1, 0}, {0, -1}, {0, 0}});
+    for (NodeId v = 0; v < 4; ++v) g.add_edge(4, v);
+    const ClusterState s = lowest_id_mis(g);
+    for (NodeId v = 0; v < 4; ++v) EXPECT_TRUE(s.is_dominator(v));
+    EXPECT_FALSE(s.is_dominator(4));
+    EXPECT_EQ(s.dominators_of[4].size(), 4u);
+}
+
+}  // namespace
+}  // namespace geospanner::protocol

@@ -1,0 +1,249 @@
+// Delaunay triangulation: validated against the definition (empty
+// circumcircles) and a brute-force reference, including degenerate and
+// cocircular inputs.
+#include "delaunay/delaunay.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <set>
+
+#include "geom/hull.h"
+#include "geom/predicates.h"
+#include "test_util.h"
+
+namespace geospanner::delaunay {
+namespace {
+
+using geom::Point;
+
+/// Brute-force Delaunay triangles for points in general position: every
+/// non-degenerate triple whose circumcircle strictly contains no other
+/// point.
+std::vector<Triangle> brute_force_triangles(const std::vector<Point>& pts) {
+    std::vector<Triangle> result;
+    const auto n = static_cast<VertexId>(pts.size());
+    for (VertexId i = 0; i < n; ++i) {
+        for (VertexId j = i + 1; j < n; ++j) {
+            for (VertexId k = j + 1; k < n; ++k) {
+                if (geom::orient_sign(pts[i], pts[j], pts[k]) == 0) continue;
+                bool empty = true;
+                for (VertexId l = 0; l < n && empty; ++l) {
+                    if (l == i || l == j || l == k) continue;
+                    if (geom::in_circumcircle(pts[i], pts[j], pts[k], pts[l]) > 0) {
+                        empty = false;
+                    }
+                }
+                if (!empty) {
+                    continue;
+                }
+                // Canonical orientation: rotate so the smallest index is
+                // first (i already is), order (j, k) counter-clockwise.
+                if (geom::orient_sign(pts[i], pts[j], pts[k]) > 0) {
+                    result.push_back({i, j, k});
+                } else {
+                    result.push_back({i, k, j});
+                }
+            }
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+/// Convex hull size by brute force (a point is on the hull iff it is not
+/// strictly inside the hull: check via some half-plane having all points
+/// on one side of an edge through it).
+std::size_t hull_vertex_count(const std::vector<Point>& pts) {
+    std::size_t count = 0;
+    const std::size_t n = pts.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        bool on_hull = false;
+        for (std::size_t j = 0; j < n && !on_hull; ++j) {
+            if (j == i) continue;
+            // Edge (i, j) is a hull edge iff all other points are on one
+            // closed side.
+            bool all_left = true;
+            bool all_right = true;
+            for (std::size_t k = 0; k < n; ++k) {
+                if (k == i || k == j) continue;
+                const int s = geom::orient_sign(pts[i], pts[j], pts[k]);
+                all_left &= s >= 0;
+                all_right &= s <= 0;
+            }
+            on_hull = all_left || all_right;
+        }
+        count += on_hull ? 1 : 0;
+    }
+    return count;
+}
+
+TEST(Delaunay, SingleTriangle) {
+    const DelaunayTriangulation del({{0, 0}, {1, 0}, {0, 1}});
+    ASSERT_EQ(del.triangles().size(), 1u);
+    EXPECT_EQ(del.triangles()[0], (Triangle{0, 1, 2}));
+    EXPECT_EQ(del.edges().size(), 3u);
+    EXPECT_FALSE(del.degenerate());
+}
+
+TEST(Delaunay, EmptyAndTiny) {
+    EXPECT_TRUE(DelaunayTriangulation({}).triangles().empty());
+    EXPECT_TRUE(DelaunayTriangulation({{1, 1}}).triangles().empty());
+    const DelaunayTriangulation two({{0, 0}, {1, 1}});
+    EXPECT_TRUE(two.degenerate());
+    ASSERT_EQ(two.edges().size(), 1u);
+    EXPECT_EQ(two.edges()[0], (std::pair<VertexId, VertexId>{0, 1}));
+}
+
+TEST(Delaunay, CollinearInputGivesPath) {
+    // Points on a line in scrambled order: the degenerate Delaunay graph
+    // is the path of consecutive points.
+    const DelaunayTriangulation del({{3, 3}, {0, 0}, {2, 2}, {1, 1}});
+    EXPECT_TRUE(del.degenerate());
+    EXPECT_TRUE(del.triangles().empty());
+    const std::vector<std::pair<VertexId, VertexId>> expected{{0, 2}, {1, 3}, {2, 3}};
+    EXPECT_EQ(del.edges(), expected);
+}
+
+TEST(Delaunay, DuplicatePointsIgnored) {
+    const DelaunayTriangulation del({{0, 0}, {1, 0}, {0, 1}, {0, 0}, {1, 0}});
+    EXPECT_EQ(del.triangles().size(), 1u);
+    EXPECT_EQ(del.triangles()[0], (Triangle{0, 1, 2}));
+}
+
+TEST(Delaunay, CocircularSquarePicksOneDiagonal) {
+    const std::vector<Point> square{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+    const DelaunayTriangulation del(square);
+    EXPECT_EQ(del.triangles().size(), 2u);
+    EXPECT_EQ(del.edges().size(), 5u);  // 4 sides + 1 diagonal.
+    // Whichever diagonal was chosen, both triangles are valid (no point
+    // strictly inside a circumcircle).
+    for (const auto& t : del.triangles()) {
+        for (VertexId l = 0; l < 4; ++l) {
+            if (l == t.a || l == t.b || l == t.c) continue;
+            EXPECT_LE(geom::in_circumcircle(square[t.a], square[t.b], square[t.c],
+                                            square[l]),
+                      0);
+        }
+    }
+}
+
+TEST(Delaunay, PointOnHullEdgeAndBeyond) {
+    // Insert points exactly on a hull edge and collinear beyond the hull;
+    // both exercised the ghost-triangle special cases.
+    const std::vector<Point> pts{{0, 0}, {4, 0}, {2, 3}, {2, 0}, {6, 0}, {-2, 0}};
+    const DelaunayTriangulation del(pts);
+    EXPECT_FALSE(del.degenerate());
+    // All 6 points distinct and not all collinear: Euler's formula with
+    // t triangles, e edges: e = 3n - 3 - h, t = 2n - 2 - h.
+    const std::size_t h = hull_vertex_count(pts);
+    EXPECT_EQ(del.edges().size(), 3 * pts.size() - 3 - h);
+    EXPECT_EQ(del.triangles().size(), 2 * pts.size() - 2 - h);
+    EXPECT_EQ(del.triangles(), brute_force_triangles(pts));
+}
+
+class DelaunayRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelaunayRandom, MatchesBruteForce) {
+    const auto pts = test::random_points(24, 100.0, GetParam());
+    const DelaunayTriangulation del(pts);
+    EXPECT_EQ(del.triangles(), brute_force_triangles(pts));
+}
+
+TEST_P(DelaunayRandom, EulerInvariant) {
+    const auto pts = test::random_points(60, 100.0, GetParam() + 1000);
+    const DelaunayTriangulation del(pts);
+    const std::size_t h = hull_vertex_count(pts);
+    EXPECT_EQ(del.edges().size(), 3 * pts.size() - 3 - h);
+    EXPECT_EQ(del.triangles().size(), 2 * pts.size() - 2 - h);
+}
+
+TEST_P(DelaunayRandom, EveryTriangleCircumcircleEmpty) {
+    const auto pts = test::random_points(80, 50.0, GetParam() + 2000);
+    const DelaunayTriangulation del(pts);
+    for (const auto& t : del.triangles()) {
+        for (VertexId l = 0; l < pts.size(); ++l) {
+            if (l == t.a || l == t.b || l == t.c) continue;
+            ASSERT_LE(geom::in_circumcircle(pts[t.a], pts[t.b], pts[t.c], pts[l]), 0)
+                << "point " << l << " inside circumcircle of (" << t.a << "," << t.b
+                << "," << t.c << ")";
+        }
+    }
+}
+
+TEST_P(DelaunayRandom, TrianglesAreCcwAndCanonical) {
+    const auto pts = test::random_points(40, 100.0, GetParam() + 3000);
+    const DelaunayTriangulation del(pts);
+    for (const auto& t : del.triangles()) {
+        EXPECT_EQ(t.a, std::min({t.a, t.b, t.c}));
+        EXPECT_GT(geom::orient_sign(pts[t.a], pts[t.b], pts[t.c]), 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Delaunay, InputOrderInvariantInGeneralPosition) {
+    // The Delaunay triangulation of points in general position is unique,
+    // so permuting the input must not change the canonical triangle set
+    // (ids are tied to input slots, so permute and map back).
+    const auto pts = test::random_points(50, 100.0, 77);
+    const DelaunayTriangulation base(pts);
+    std::vector<std::size_t> perm(pts.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = (i * 17 + 5) % perm.size();
+    std::vector<geom::Point> shuffled(pts.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) shuffled[i] = pts[perm[i]];
+    const DelaunayTriangulation shuffled_del(shuffled);
+    std::vector<Triangle> mapped;
+    for (const auto& t : shuffled_del.triangles()) {
+        // Map shuffled-slot ids back to original ids and canonicalize
+        // (rotation only; orientation is preserved by relabeling).
+        std::array<VertexId, 3> v{static_cast<VertexId>(perm[t.a]),
+                                  static_cast<VertexId>(perm[t.b]),
+                                  static_cast<VertexId>(perm[t.c])};
+        while (v[0] != std::min({v[0], v[1], v[2]})) {
+            std::rotate(v.begin(), v.begin() + 1, v.end());
+        }
+        mapped.push_back({v[0], v[1], v[2]});
+    }
+    std::sort(mapped.begin(), mapped.end());
+    EXPECT_EQ(mapped, base.triangles());
+}
+
+TEST(Delaunay, LargeInstanceSampledValidity) {
+    // 1500 points: spot-check the empty-circumcircle property on a
+    // sample of triangles against a sample of points (full check is
+    // quadratic in a number this size).
+    const auto pts = test::random_points(1500, 1000.0, 4242);
+    const DelaunayTriangulation del(pts);
+    const std::size_t h = geom::convex_hull_with_collinear(pts).size();
+    EXPECT_EQ(del.triangles().size(), 2 * pts.size() - 2 - h);
+    for (std::size_t i = 0; i < del.triangles().size(); i += 37) {
+        const auto& t = del.triangles()[i];
+        for (VertexId l = 0; l < pts.size(); l += 11) {
+            if (l == t.a || l == t.b || l == t.c) continue;
+            ASSERT_LE(geom::in_circumcircle(pts[t.a], pts[t.b], pts[t.c], pts[l]), 0);
+        }
+    }
+}
+
+TEST(Delaunay, GridIsFullyCocircular) {
+    // A 5x5 integer grid: every unit square is cocircular. The result
+    // must still be a valid triangulation satisfying Euler's relation.
+    std::vector<Point> pts;
+    for (int x = 0; x < 5; ++x) {
+        for (int y = 0; y < 5; ++y) pts.push_back({double(x), double(y)});
+    }
+    const DelaunayTriangulation del(pts);
+    const std::size_t h = hull_vertex_count(pts);
+    EXPECT_EQ(del.edges().size(), 3 * pts.size() - 3 - h);
+    EXPECT_EQ(del.triangles().size(), 2 * pts.size() - 2 - h);
+    for (const auto& t : del.triangles()) {
+        for (VertexId l = 0; l < pts.size(); ++l) {
+            if (l == t.a || l == t.b || l == t.c) continue;
+            ASSERT_LE(geom::in_circumcircle(pts[t.a], pts[t.b], pts[t.c], pts[l]), 0);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace geospanner::delaunay

@@ -1,0 +1,104 @@
+// Exact expansion arithmetic: the foundation of the robust predicates.
+#include "geom/expansion.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace geospanner::geom::exact {
+namespace {
+
+TEST(TwoSum, ExactForContrivedCancellation) {
+    double hi = 0.0;
+    double lo = 0.0;
+    two_sum(1e16, 1.0, hi, lo);
+    EXPECT_EQ(hi, 1e16);  // 1.0 is lost in double addition...
+    EXPECT_EQ(lo, 1.0);   // ...and recovered exactly in the error term.
+}
+
+TEST(TwoDiff, RecoversRoundoff) {
+    double hi = 0.0;
+    double lo = 0.0;
+    two_diff(1.0, 1e-20, hi, lo);
+    EXPECT_EQ(hi, 1.0);
+    EXPECT_EQ(lo, -1e-20);
+}
+
+TEST(TwoProduct, SplitsExactly) {
+    double hi = 0.0;
+    double lo = 0.0;
+    const double a = 1.0 + 0x1.0p-30;
+    const double b = 1.0 - 0x1.0p-30;
+    two_product(a, b, hi, lo);
+    // a*b = 1 - 2^-60 exactly; hi rounds to 1, lo carries -2^-60.
+    EXPECT_EQ(hi, 1.0);
+    EXPECT_EQ(lo, -0x1.0p-60);
+}
+
+TEST(Expansion, AddSimple) {
+    const Expansion a = expansion_from(1e16);
+    const Expansion b = expansion_from(1.0);
+    const Expansion sum = add(a, b);
+    EXPECT_DOUBLE_EQ(estimate(sum), 1e16 + 1.0);
+    // Exactness: subtracting both parts returns exactly zero.
+    const Expansion zero = add(add(sum, expansion_from(-1e16)), expansion_from(-1.0));
+    EXPECT_EQ(sign(zero), 0);
+}
+
+TEST(Expansion, CancellationToExactZero) {
+    const Expansion a = expansion_from(0.1);
+    const Expansion diff = subtract(a, a);
+    EXPECT_EQ(sign(diff), 0);
+    EXPECT_TRUE(diff.empty());
+}
+
+TEST(Expansion, ScaleMatchesRepeatedAdd) {
+    const Expansion a = add(expansion_from(1e10), expansion_from(1e-10));
+    const Expansion three = scale(a, 3.0);
+    const Expansion sum = add(add(a, a), a);
+    EXPECT_EQ(sign(subtract(three, sum)), 0);
+}
+
+TEST(Expansion, MultiplyDistributes) {
+    // (x + y) * z == x*z + y*z exactly.
+    const Expansion x = expansion_from(1e8 + 0.5);
+    const Expansion y = expansion_from(1e-8);
+    const Expansion z = expansion_from(3.0 + 1e-12);
+    const Expansion lhs = multiply(add(x, y), z);
+    const Expansion rhs = add(multiply(x, z), multiply(y, z));
+    EXPECT_EQ(sign(subtract(lhs, rhs)), 0);
+}
+
+TEST(Expansion, SignOfTinyResidue) {
+    // (1 + 2^-52) * (1 - 2^-52) - 1 = -2^-104: invisible to double
+    // arithmetic after the subtraction, exact here.
+    const double a = 1.0 + 0x1.0p-52;
+    const double b = 1.0 - 0x1.0p-52;
+    const Expansion prod = multiply(expansion_from(a), expansion_from(b));
+    const Expansion residue = subtract(prod, expansion_from(1.0));
+    EXPECT_EQ(sign(residue), -1);
+    EXPECT_DOUBLE_EQ(estimate(residue), -0x1.0p-104);
+}
+
+TEST(Expansion, RandomizedSumsMatchLongDouble) {
+    rnd::Xoshiro256 rng(7);
+    for (int iteration = 0; iteration < 200; ++iteration) {
+        Expansion acc;
+        long double reference = 0.0L;
+        for (int k = 0; k < 8; ++k) {
+            const double v = rng.uniform(-1e12, 1e12) + rng.uniform(-1.0, 1.0);
+            acc = add(acc, expansion_from(v));
+            reference += static_cast<long double>(v);
+        }
+        EXPECT_NEAR(static_cast<double>(reference), estimate(acc),
+                    1e-3 * std::fabs(estimate(acc)) + 1e-6);
+        // Components must be strictly increasing in magnitude.
+        for (std::size_t i = 1; i < acc.size(); ++i) {
+            EXPECT_LT(std::fabs(acc[i - 1]), std::fabs(acc[i]));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace geospanner::geom::exact

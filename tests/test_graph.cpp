@@ -1,0 +1,105 @@
+// GeometricGraph container semantics and UnionFind.
+#include "graph/geometric_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/union_find.h"
+
+namespace geospanner::graph {
+namespace {
+
+GeometricGraph square_graph() {
+    GeometricGraph g({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    g.add_edge(3, 0);
+    return g;
+}
+
+TEST(GeometricGraph, BasicAccounting) {
+    const GeometricGraph g = square_graph();
+    EXPECT_EQ(g.node_count(), 4u);
+    EXPECT_EQ(g.edge_count(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_FALSE(g.has_edge(0, 2));
+    EXPECT_DOUBLE_EQ(g.edge_length(0, 1), 1.0);
+}
+
+TEST(GeometricGraph, AddIsIdempotent) {
+    GeometricGraph g = square_graph();
+    EXPECT_FALSE(g.add_edge(0, 1));
+    EXPECT_FALSE(g.add_edge(1, 0));
+    EXPECT_EQ(g.edge_count(), 4u);
+    EXPECT_TRUE(g.add_edge(0, 2));
+    EXPECT_EQ(g.edge_count(), 5u);
+}
+
+TEST(GeometricGraph, RemoveEdge) {
+    GeometricGraph g = square_graph();
+    EXPECT_TRUE(g.remove_edge(1, 0));
+    EXPECT_FALSE(g.remove_edge(0, 1));
+    EXPECT_EQ(g.edge_count(), 3u);
+    EXPECT_FALSE(g.has_edge(0, 1));
+    EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GeometricGraph, NeighborsSorted) {
+    GeometricGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+    g.add_edge(2, 3);
+    g.add_edge(2, 0);
+    g.add_edge(2, 1);
+    const auto nbrs = g.neighbors(2);
+    ASSERT_EQ(nbrs.size(), 3u);
+    EXPECT_EQ(nbrs[0], 0u);
+    EXPECT_EQ(nbrs[1], 1u);
+    EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(GeometricGraph, EdgesCanonicalOrder) {
+    const GeometricGraph g = square_graph();
+    const auto e = g.edges();
+    ASSERT_EQ(e.size(), 4u);
+    EXPECT_EQ(e[0], (std::pair<NodeId, NodeId>{0, 1}));
+    EXPECT_EQ(e[1], (std::pair<NodeId, NodeId>{0, 3}));
+    EXPECT_EQ(e[2], (std::pair<NodeId, NodeId>{1, 2}));
+    EXPECT_EQ(e[3], (std::pair<NodeId, NodeId>{2, 3}));
+}
+
+TEST(GeometricGraph, Equality) {
+    const GeometricGraph a = square_graph();
+    GeometricGraph b = square_graph();
+    EXPECT_EQ(a, b);
+    b.remove_edge(0, 1);
+    EXPECT_FALSE(a == b);
+    b.add_edge(0, 1);
+    EXPECT_EQ(a, b);
+}
+
+TEST(UnionFind, MergesAndCounts) {
+    UnionFind uf(6);
+    EXPECT_EQ(uf.component_count(), 6u);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_TRUE(uf.unite(2, 3));
+    EXPECT_FALSE(uf.unite(1, 0));
+    EXPECT_EQ(uf.component_count(), 4u);
+    EXPECT_TRUE(uf.same(0, 1));
+    EXPECT_FALSE(uf.same(0, 2));
+    EXPECT_TRUE(uf.unite(1, 3));
+    EXPECT_TRUE(uf.same(0, 2));
+    EXPECT_EQ(uf.component_size(3), 4u);
+    EXPECT_EQ(uf.component_size(5), 1u);
+}
+
+TEST(UnionFind, FullMerge) {
+    UnionFind uf(100);
+    for (std::size_t i = 1; i < 100; ++i) uf.unite(i - 1, i);
+    EXPECT_EQ(uf.component_count(), 1u);
+    EXPECT_TRUE(uf.same(0, 99));
+    EXPECT_EQ(uf.component_size(42), 100u);
+}
+
+}  // namespace
+}  // namespace geospanner::graph

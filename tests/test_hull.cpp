@@ -1,0 +1,103 @@
+// Convex hull and polygon utilities.
+#include "geom/hull.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+#include "test_util.h"
+
+namespace geospanner::geom {
+namespace {
+
+TEST(Hull, SquareWithInteriorPoint) {
+    const std::vector<Point> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}};
+    const auto hull = convex_hull(pts);
+    EXPECT_EQ(hull, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Hull, StartsAtLexicographicMinCcw) {
+    const std::vector<Point> pts{{2, 2}, {0, 0}, {2, 0}, {0, 2}};
+    const auto hull = convex_hull(pts);
+    ASSERT_EQ(hull.size(), 4u);
+    EXPECT_EQ(hull[0], 1u);  // (0,0).
+    // Counter-clockwise: every consecutive triple is a left turn.
+    for (std::size_t i = 0; i < hull.size(); ++i) {
+        EXPECT_GT(orient_sign(pts[hull[i]], pts[hull[(i + 1) % 4]],
+                              pts[hull[(i + 2) % 4]]),
+                  0);
+    }
+}
+
+TEST(Hull, CollinearBoundaryExcludedOrIncluded) {
+    // Triangle with a midpoint on the bottom edge.
+    const std::vector<Point> pts{{0, 0}, {2, 0}, {1, 2}, {1, 0}};
+    EXPECT_EQ(convex_hull(pts).size(), 3u);
+    const auto inclusive = convex_hull_with_collinear(pts);
+    EXPECT_EQ(inclusive.size(), 4u);
+    // Walking order visits the midpoint between the bottom corners.
+    EXPECT_EQ(inclusive, (std::vector<std::size_t>{0, 3, 1, 2}));
+}
+
+TEST(Hull, DegenerateInputs) {
+    EXPECT_TRUE(convex_hull({}).empty());
+    EXPECT_EQ(convex_hull({{1, 1}}).size(), 1u);
+    EXPECT_EQ(convex_hull({{1, 1}, {2, 2}}).size(), 2u);
+    // All collinear: the two extremes.
+    const auto hull = convex_hull({{0, 0}, {3, 3}, {1, 1}, {2, 2}});
+    EXPECT_EQ(hull, (std::vector<std::size_t>{0, 1}));
+    // Inclusive variant keeps the run.
+    EXPECT_EQ(convex_hull_with_collinear({{0, 0}, {3, 3}, {1, 1}, {2, 2}}).size(), 4u);
+    // Duplicates collapse.
+    EXPECT_EQ(convex_hull({{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}}).size(), 3u);
+}
+
+TEST(Hull, RandomPointsHullProperties) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+        const auto pts = test::random_points(60, 100.0, seed);
+        const auto hull = convex_hull(pts);
+        ASSERT_GE(hull.size(), 3u);
+        std::vector<Point> poly;
+        poly.reserve(hull.size());
+        for (const std::size_t i : hull) poly.push_back(pts[i]);
+        // CCW orientation: positive area.
+        EXPECT_GT(twice_signed_area(poly), 0.0);
+        // Every non-hull point is strictly inside.
+        std::vector<bool> on_hull(pts.size(), false);
+        for (const std::size_t i : hull) on_hull[i] = true;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (!on_hull[i]) {
+                EXPECT_TRUE(strictly_inside_convex(poly, pts[i])) << "point " << i;
+            }
+        }
+    }
+}
+
+TEST(Hull, AllPointsOnACircleAreHullVertices) {
+    std::vector<Point> pts;
+    for (int k = 0; k < 12; ++k) {
+        const double theta = 2.0 * 3.14159265358979 * k / 12.0;
+        pts.push_back({10.0 * std::cos(theta), 10.0 * std::sin(theta)});
+    }
+    EXPECT_EQ(convex_hull(pts).size(), 12u);
+    EXPECT_EQ(convex_hull_with_collinear(pts).size(), 12u);
+}
+
+TEST(Hull, SignedArea) {
+    const std::vector<Point> ccw{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+    EXPECT_DOUBLE_EQ(twice_signed_area(ccw), 8.0);
+    const std::vector<Point> cw{{0, 0}, {0, 2}, {2, 2}, {2, 0}};
+    EXPECT_DOUBLE_EQ(twice_signed_area(cw), -8.0);
+}
+
+TEST(Hull, StrictlyInsideConvex) {
+    const std::vector<Point> tri{{0, 0}, {4, 0}, {0, 4}};
+    EXPECT_TRUE(strictly_inside_convex(tri, {1, 1}));
+    EXPECT_FALSE(strictly_inside_convex(tri, {2, 2}));   // On the hypotenuse.
+    EXPECT_FALSE(strictly_inside_convex(tri, {0, 0}));   // Vertex.
+    EXPECT_FALSE(strictly_inside_convex(tri, {5, 5}));
+    EXPECT_FALSE(strictly_inside_convex({{0, 0}, {1, 1}}, {0.5, 0.5}));  // Degenerate.
+}
+
+}  // namespace
+}  // namespace geospanner::geom

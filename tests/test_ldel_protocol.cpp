@@ -1,0 +1,107 @@
+// Distributed Algorithms 2+3 equal the centralized PLDel exactly, both
+// on the full UDG and on induced backbone graphs.
+#include "protocol/ldel_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/planarity.h"
+#include "graph/shortest_paths.h"
+#include "protocol/clustering.h"
+#include "protocol/connectors.h"
+#include "proximity/classic.h"
+#include "proximity/udg.h"
+#include "test_util.h"
+
+namespace geospanner::protocol {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+class LdelProtocolSweep : public ::testing::TestWithParam<test::SweepParam> {
+  protected:
+    GeometricGraph udg_;
+    void SetUp() override {
+        const auto p = GetParam();
+        udg_ = test::connected_udg(p.n, 200.0, p.radius, p.seed);
+        ASSERT_GT(udg_.node_count(), 0u);
+    }
+};
+
+TEST_P(LdelProtocolSweep, MatchesCentralizedOnUdg) {
+    Net net(udg_);
+    const LDelState distributed = run_ldel(net, udg_, /*announce_positions=*/true);
+    const auto centralized_triangles =
+        proximity::planarize_triangles(udg_, proximity::ldel1_triangles(udg_));
+    EXPECT_EQ(distributed.triangles, centralized_triangles);
+    EXPECT_EQ(distributed.graph, proximity::build_pldel(udg_));
+}
+
+TEST_P(LdelProtocolSweep, MatchesCentralizedOnInducedBackbone) {
+    const ClusterState cluster = lowest_id_mis(udg_);
+    const ConnectorState conn = find_connectors(udg_, cluster);
+    GeometricGraph icds(udg_.points());
+    for (const auto& [u, v] : udg_.edges()) {
+        const bool u_bb = cluster.is_dominator(u) || conn.is_connector[u];
+        const bool v_bb = cluster.is_dominator(v) || conn.is_connector[v];
+        if (u_bb && v_bb) icds.add_edge(u, v);
+    }
+    Net net(icds);
+    const LDelState distributed = run_ldel(net, icds, /*announce_positions=*/false);
+    EXPECT_EQ(distributed.graph, proximity::build_pldel(icds));
+}
+
+TEST_P(LdelProtocolSweep, OutputIsPlanar) {
+    Net net(udg_);
+    const LDelState state = run_ldel(net, udg_, true);
+    EXPECT_TRUE(graph::is_plane_embedding(state.graph));
+}
+
+TEST_P(LdelProtocolSweep, MessageCountTracksDegree) {
+    // Each participant sends: 1 Hello + proposals/accepts/rejects (at
+    // most a few per incident triangle) + 2 aggregate broadcasts. All
+    // are bounded by a constant multiple of its degree.
+    Net net(udg_);
+    (void)run_ldel(net, udg_, true);
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        EXPECT_LE(net.messages_sent(v), 3 + 4 * udg_.degree(v)) << "node " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LdelProtocolSweep,
+                         ::testing::ValuesIn(test::standard_sweep()));
+
+TEST(LdelProtocol, SingleTriangleAccepted) {
+    const GeometricGraph udg = proximity::build_udg({{0, 0}, {1, 0}, {0.5, 0.8}}, 1.1);
+    Net net(udg);
+    const LDelState state = run_ldel(net, udg, true);
+    ASSERT_EQ(state.triangles.size(), 1u);
+    EXPECT_EQ(state.triangles[0], proximity::make_triangle_key(0, 1, 2));
+    EXPECT_EQ(state.graph.edge_count(), 3u);
+}
+
+TEST(LdelProtocol, EquilateralTriangleIsNotLost) {
+    // All three angles are exactly 60 degrees; the proposal slack must
+    // still produce at least one proposer.
+    const double h = std::sqrt(3.0) / 2.0;
+    const GeometricGraph udg = proximity::build_udg({{0, 0}, {1, 0}, {0.5, h}}, 1.05);
+    Net net(udg);
+    const LDelState state = run_ldel(net, udg, true);
+    ASSERT_EQ(state.triangles.size(), 1u);
+}
+
+TEST(LdelProtocol, RejectionKillsNonLocalTriangle) {
+    // Node 3 sits inside the circumcircle of (0,1,2) and is a neighbor
+    // of 2 only; node 2's local Delaunay lacks the triangle, so it must
+    // reject and the triangle must not survive.
+    GeometricGraph udg = proximity::build_udg(
+        {{0, 0}, {1, 0}, {0.5, 0.9}, {0.5, 1.2}}, 1.15);
+    ASSERT_TRUE(udg.has_edge(2, 3));
+    Net net(udg);
+    const LDelState state = run_ldel(net, udg, true);
+    EXPECT_EQ(state.triangles,
+              proximity::planarize_triangles(udg, proximity::ldel1_triangles(udg)));
+}
+
+}  // namespace
+}  // namespace geospanner::protocol

@@ -1,0 +1,103 @@
+// Exact minimum (connected) dominating sets, and the empirical
+// approximation quality of the elected backbone.
+#include "protocol/mcds_exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/backbone.h"
+#include "graph/shortest_paths.h"
+#include "proximity/udg.h"
+#include "test_util.h"
+
+namespace geospanner::protocol {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+TEST(McdsExact, PathGraph) {
+    // Path of 5: MDS = {1, 4} or similar (size 2); MCDS = the 3 interior
+    // nodes.
+    GeometricGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}});
+    for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+    const auto mds = minimum_dominating_set(g);
+    ASSERT_TRUE(mds.has_value());
+    EXPECT_EQ(mds->size(), 2u);
+    const auto mcds = minimum_connected_dominating_set(g);
+    ASSERT_TRUE(mcds.has_value());
+    EXPECT_EQ(*mcds, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(McdsExact, StarGraph) {
+    GeometricGraph g({{0, 0}, {1, 0}, {0, 1}, {-1, 0}, {0, -1}});
+    for (NodeId v = 1; v < 5; ++v) g.add_edge(0, v);
+    const auto mcds = minimum_connected_dominating_set(g);
+    ASSERT_TRUE(mcds.has_value());
+    EXPECT_EQ(*mcds, std::vector<NodeId>{0});
+    EXPECT_EQ(minimum_dominating_set(g)->size(), 1u);
+}
+
+TEST(McdsExact, CompleteGraphNeedsOneNode) {
+    GeometricGraph g({{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}});
+    for (NodeId u = 0; u < 4; ++u) {
+        for (NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+    }
+    EXPECT_EQ(minimum_connected_dominating_set(g)->size(), 1u);
+}
+
+TEST(McdsExact, CycleGraph) {
+    // Cycle of 6: MCDS has 4 nodes (a path covering all).
+    GeometricGraph g({{1, 0}, {0.5, 0.87}, {-0.5, 0.87}, {-1, 0}, {-0.5, -0.87},
+                      {0.5, -0.87}});
+    for (NodeId v = 0; v < 6; ++v) g.add_edge(v, (v + 1) % 6);
+    const auto mcds = minimum_connected_dominating_set(g);
+    ASSERT_TRUE(mcds.has_value());
+    EXPECT_EQ(mcds->size(), 4u);
+    EXPECT_EQ(minimum_dominating_set(g)->size(), 2u);
+}
+
+TEST(McdsExact, RejectsOversizedInputs) {
+    GeometricGraph g(std::vector<geom::Point>(25, geom::Point{0, 0}));
+    EXPECT_FALSE(minimum_connected_dominating_set(g).has_value());
+    EXPECT_FALSE(minimum_dominating_set(g).has_value());
+}
+
+TEST(McdsExact, SolutionIsValidOnRandomInstances) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+        const auto udg = test::connected_udg(12, 80.0, 40.0, seed);
+        ASSERT_GT(udg.node_count(), 0u);
+        const auto mcds = minimum_connected_dominating_set(udg);
+        ASSERT_TRUE(mcds.has_value());
+        std::vector<bool> in_set(udg.node_count(), false);
+        for (const NodeId v : *mcds) in_set[v] = true;
+        // Dominating.
+        for (NodeId v = 0; v < udg.node_count(); ++v) {
+            bool dominated = in_set[v];
+            for (const NodeId u : udg.neighbors(v)) dominated |= in_set[u];
+            EXPECT_TRUE(dominated) << "node " << v;
+        }
+        // Connected.
+        EXPECT_TRUE(graph::is_connected_on(udg, in_set));
+    }
+}
+
+TEST(McdsExact, BackboneWithinConstantFactorOfOptimum) {
+    // The paper's approximation claim, checked against the true optimum
+    // on small instances. The theoretical constant is large; empirically
+    // the elected backbone stays within ~8x of optimal on these sizes.
+    double worst_ratio = 0.0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        const auto udg = test::connected_udg(13, 90.0, 45.0, seed);
+        ASSERT_GT(udg.node_count(), 0u);
+        const auto mcds = minimum_connected_dominating_set(udg);
+        ASSERT_TRUE(mcds.has_value());
+        const core::Backbone bb = core::build_backbone(udg, {core::Engine::kCentralized});
+        const double ratio = static_cast<double>(bb.backbone_size()) /
+                             static_cast<double>(mcds->size());
+        worst_ratio = std::max(worst_ratio, ratio);
+    }
+    EXPECT_LE(worst_ratio, 8.0);
+}
+
+}  // namespace
+}  // namespace geospanner::protocol

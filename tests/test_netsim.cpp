@@ -1,0 +1,202 @@
+// Packet-level store-and-forward simulation.
+#include "netsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_paths.h"
+#include <memory>
+#include "proximity/ldel.h"
+#include "proximity/udg.h"
+#include "routing/router.h"
+#include "test_util.h"
+
+namespace geospanner::netsim {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+/// Route oracle: min-hop path on a graph.
+RouteFn hop_routes(const GeometricGraph& g) {
+    return [&g](NodeId s, NodeId t) { return graph::shortest_hop_path(g, s, t); };
+}
+
+GeometricGraph path5() {
+    GeometricGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}});
+    for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+    return g;
+}
+
+TEST(Netsim, SinglePacketLatencyEqualsHops) {
+    const auto g = path5();
+    const Stats stats = run_simulation(5, hop_routes(g), {{0, 0, 4}});
+    EXPECT_EQ(stats.injected, 1u);
+    EXPECT_EQ(stats.delivered, 1u);
+    EXPECT_EQ(stats.total_latency, 4u);  // 4 hops, one per slot.
+    EXPECT_EQ(stats.max_latency, 4u);
+    EXPECT_EQ(stats.dropped_no_route, 0u);
+    // Nodes 0..3 each forwarded once; node 4 never transmitted.
+    EXPECT_EQ(stats.transmissions, (std::vector<std::size_t>{1, 1, 1, 1, 0}));
+}
+
+TEST(Netsim, SelfDeliveryIsFree) {
+    const auto g = path5();
+    const Stats stats = run_simulation(5, hop_routes(g), {{0, 2, 2}});
+    EXPECT_EQ(stats.delivered, 1u);
+    EXPECT_EQ(stats.total_latency, 0u);
+}
+
+TEST(Netsim, NoRouteIsDropped) {
+    GeometricGraph g({{0, 0}, {1, 0}, {10, 10}});
+    g.add_edge(0, 1);  // Node 2 unreachable.
+    const Stats stats = run_simulation(3, hop_routes(g), {{0, 0, 2}, {0, 0, 1}});
+    EXPECT_EQ(stats.dropped_no_route, 1u);
+    EXPECT_EQ(stats.delivered, 1u);
+}
+
+TEST(Netsim, QueueContentionSerializesThroughBottleneck) {
+    // Star: leaves 1..4 all send to leaf 5 through hub 0. The hub can
+    // transmit one packet per slot, so the last delivery takes ~#packets
+    // extra slots.
+    GeometricGraph g({{0, 0}, {1, 0}, {0, 1}, {-1, 0}, {0, -1}, {2, 0}});
+    for (NodeId v = 1; v <= 4; ++v) g.add_edge(0, v);
+    g.add_edge(0, 5);
+    std::vector<Injection> traffic;
+    for (NodeId v = 1; v <= 4; ++v) traffic.push_back({0, v, 5});
+    const Stats stats = run_simulation(6, hop_routes(g), traffic);
+    EXPECT_EQ(stats.delivered, 4u);
+    // First packet: 2 slots; each further one waits behind the others in
+    // the hub queue: 2, 3, 4, 5.
+    EXPECT_EQ(stats.max_latency, 5u);
+    EXPECT_EQ(stats.transmissions[0], 4u);  // All traffic through the hub.
+    EXPECT_GT(stats.max_load_share(), 0.49);
+}
+
+TEST(Netsim, QueueOverflowDrops) {
+    // Capacity 1 at the hub: simultaneous arrivals overflow.
+    GeometricGraph g({{0, 0}, {1, 0}, {0, 1}, {-1, 0}, {2, 0}});
+    for (NodeId v = 1; v <= 3; ++v) g.add_edge(0, v);
+    g.add_edge(0, 4);
+    Config config;
+    config.queue_capacity = 1;
+    std::vector<Injection> traffic;
+    for (NodeId v = 1; v <= 3; ++v) traffic.push_back({0, v, 4});
+    const Stats stats = run_simulation(5, hop_routes(g), traffic, config);
+    EXPECT_EQ(stats.delivered + stats.dropped_queue_full, 3u);
+    EXPECT_GT(stats.dropped_queue_full, 0u);
+}
+
+TEST(Netsim, RunEndsWhenTrafficDrains) {
+    const auto g = path5();
+    const Stats stats = run_simulation(5, hop_routes(g), {{0, 0, 4}, {10, 4, 0}});
+    EXPECT_EQ(stats.delivered, 2u);
+    EXPECT_LT(stats.slots_used, 100u);
+}
+
+TEST(Netsim, MaxSlotsStopsRunawayRuns) {
+    const auto g = path5();
+    Config config;
+    config.max_slots = 2;  // Too short for a 4-hop journey.
+    const Stats stats = run_simulation(5, hop_routes(g), {{0, 0, 4}}, config);
+    EXPECT_EQ(stats.delivered, 0u);
+    EXPECT_EQ(stats.stuck_in_queues, 1u);
+}
+
+TEST(Netsim, TrafficGeneratorsAreDeterministicAndValid) {
+    const auto a = uniform_traffic(50, 200, 4, 9);
+    EXPECT_EQ(a, [] {
+        return uniform_traffic(50, 200, 4, 9);
+    }());
+    EXPECT_EQ(a.size(), 200u);
+    for (std::size_t i = 1; i < a.size(); ++i) EXPECT_LE(a[i - 1].slot, a[i].slot);
+    for (const auto& inj : a) {
+        EXPECT_LT(inj.src, 50u);
+        EXPECT_LT(inj.dst, 50u);
+        EXPECT_NE(inj.src, inj.dst);
+    }
+    const auto s = sink_traffic(50, 7, 100, 2, 3);
+    for (const auto& inj : s) {
+        EXPECT_EQ(inj.dst, 7u);
+        EXPECT_NE(inj.src, 7u);
+    }
+}
+
+TEST(Netsim, TotalEnergyAccounting) {
+    // Path of spacing 1: nodes 0..3 forward once each with power 1^2;
+    // node 4 never transmits.
+    const auto g = path5();
+    const Stats stats = run_simulation(5, hop_routes(g), {{0, 0, 4}});
+    EXPECT_DOUBLE_EQ(total_energy(stats, g, 2.0), 4.0);
+    // Cubic path-loss: same transmissions, 1^3 each.
+    EXPECT_DOUBLE_EQ(total_energy(stats, g, 3.0), 4.0);
+    // A stretched topology raises every transmitter's assigned power.
+    GeometricGraph wide({{0, 0}, {2, 0}, {4, 0}, {6, 0}, {8, 0}});
+    for (NodeId v = 0; v + 1 < 5; ++v) wide.add_edge(v, v + 1);
+    const Stats wide_stats = run_simulation(5, hop_routes(wide), {{0, 0, 4}});
+    EXPECT_DOUBLE_EQ(total_energy(wide_stats, wide, 2.0), 4.0 * 4.0);
+}
+
+TEST(Netsim, HopByHopMatchesSourceRouting) {
+    // A stepper that follows the min-hop next-hop table produces the
+    // same deliveries and latencies as source routing the same paths.
+    const auto g = path5();
+    const auto traffic = uniform_traffic(5, 100, 2, 21);
+    const StepperFactory factory = [&g](NodeId /*src*/, NodeId dst) {
+        return [&g, dst](NodeId at) {
+            const auto path = graph::shortest_hop_path(g, at, dst);
+            return path.size() >= 2 ? path[1] : graph::kInvalidNode;
+        };
+    };
+    const Stats hop_stats = run_hop_by_hop(5, factory, traffic);
+    const Stats route_stats = run_simulation(5, hop_routes(g), traffic);
+    EXPECT_EQ(hop_stats.delivered, route_stats.delivered);
+    EXPECT_EQ(hop_stats.total_latency, route_stats.total_latency);
+    EXPECT_EQ(hop_stats.transmissions, route_stats.transmissions);
+}
+
+TEST(Netsim, HopByHopRouterGivingUpCountsAsDrop) {
+    const auto g = path5();
+    const StepperFactory factory = [](NodeId, NodeId) {
+        return [](NodeId) { return graph::kInvalidNode; };
+    };
+    const Stats stats = run_hop_by_hop(5, factory, {{0, 0, 4}});
+    EXPECT_EQ(stats.delivered, 0u);
+    EXPECT_EQ(stats.dropped_no_route, 1u);
+}
+
+TEST(Netsim, GpsrStepperForwardsPacketsEndToEnd) {
+    // Integration: the GPSR per-packet state machine drives hop-by-hop
+    // forwarding on a planar spanner under queueing. All packets must
+    // deliver (GPSR delivers on these substrates) with valid statistics.
+    const auto udg = geospanner::test::connected_udg(50, 180.0, 55.0, 23);
+    ASSERT_GT(udg.node_count(), 0u);
+    const auto pldel = proximity::build_pldel(udg);
+    const routing::Router router(pldel);
+    const StepperFactory factory = [&router](NodeId /*src*/, NodeId dst) {
+        auto state = std::make_shared<routing::Router::GpsrPacketState>();
+        return [&router, dst, state](NodeId at) {
+            return router.gpsr_step(at, dst, *state);
+        };
+    };
+    const auto traffic = uniform_traffic(udg.node_count(), 300, 4, 31);
+    netsim::Config config;
+    config.queue_capacity = 128;
+    const Stats stats = run_hop_by_hop(udg.node_count(), factory, traffic, config);
+    EXPECT_EQ(stats.injected, 300u);
+    EXPECT_EQ(stats.delivered + stats.dropped_no_route, 300u);
+    EXPECT_GE(stats.delivery_rate(), 0.99);
+}
+
+TEST(Netsim, EndToEndOnRandomUdg) {
+    const auto udg = geospanner::test::connected_udg(60, 200.0, 55.0, 5);
+    ASSERT_GT(udg.node_count(), 0u);
+    const auto traffic = uniform_traffic(udg.node_count(), 500, 5, 11);
+    const Stats stats = run_simulation(udg.node_count(), hop_routes(udg), traffic);
+    EXPECT_EQ(stats.injected, 500u);
+    EXPECT_EQ(stats.dropped_no_route, 0u);
+    EXPECT_GT(stats.delivery_rate(), 0.95);
+    EXPECT_GE(stats.avg_latency(), 1.0);
+}
+
+}  // namespace
+}  // namespace geospanner::netsim

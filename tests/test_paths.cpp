@@ -1,0 +1,156 @@
+// Shortest-path oracles: BFS hops, Dijkstra lengths/powers, explicit
+// paths, connectivity — validated against Floyd-Warshall on random UDGs.
+#include "graph/shortest_paths.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+
+#include "proximity/udg.h"
+#include "test_util.h"
+
+namespace geospanner::graph {
+namespace {
+
+GeometricGraph path_graph() {
+    GeometricGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {10, 10}});
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    return g;  // Node 4 is isolated.
+}
+
+TEST(Bfs, HopsAndUnreachable) {
+    const auto d = bfs_hops(path_graph(), 0);
+    EXPECT_EQ(d[0], 0);
+    EXPECT_EQ(d[3], 3);
+    EXPECT_EQ(d[4], kUnreachableHops);
+}
+
+TEST(Dijkstra, LengthsAndUnreachable) {
+    const auto d = dijkstra_lengths(path_graph(), 0);
+    EXPECT_DOUBLE_EQ(d[3], 3.0);
+    EXPECT_EQ(d[4], kUnreachableLength);
+}
+
+TEST(Dijkstra, PowerCosts) {
+    // Power model with beta=2: a path of unit edges costs its hop count,
+    // while one long edge costs the square.
+    GeometricGraph g({{0, 0}, {1, 0}, {2, 0}});
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    const auto d = dijkstra_powers(g, 0, 2.0);
+    EXPECT_DOUBLE_EQ(d[2], 2.0);  // Two unit hops beat one edge of cost 4.
+}
+
+TEST(Paths, ExplicitExtraction) {
+    const GeometricGraph g = path_graph();
+    const auto hop_path = shortest_hop_path(g, 0, 3);
+    EXPECT_EQ(hop_path, (std::vector<NodeId>{0, 1, 2, 3}));
+    EXPECT_EQ(shortest_hop_path(g, 0, 4), std::vector<NodeId>{});
+    EXPECT_EQ(shortest_hop_path(g, 2, 2), std::vector<NodeId>{2});
+    const auto len_path = shortest_length_path(g, 3, 0);
+    EXPECT_EQ(len_path, (std::vector<NodeId>{3, 2, 1, 0}));
+}
+
+TEST(Paths, LengthAndHopPathsCanDiffer) {
+    // A direct edge always wins on length (triangle inequality), so the
+    // interesting case is two competing 2-hop detours: hop-count ties,
+    // length prefers the flatter one.
+    GeometricGraph g({{0, 0}, {10, 0}, {5, 4}, {5, 0.1}});
+    g.add_edge(0, 2);
+    g.add_edge(2, 1);
+    g.add_edge(0, 3);
+    g.add_edge(3, 1);
+    EXPECT_EQ(shortest_length_path(g, 0, 1), (std::vector<NodeId>{0, 3, 1}));
+    // And a direct edge, once present, wins both metrics.
+    g.add_edge(0, 1);
+    EXPECT_EQ(shortest_hop_path(g, 0, 1), (std::vector<NodeId>{0, 1}));
+    EXPECT_EQ(shortest_length_path(g, 0, 1), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Connectivity, Basics) {
+    EXPECT_FALSE(is_connected(path_graph()));
+    GeometricGraph g({{0, 0}, {1, 0}});
+    EXPECT_FALSE(is_connected(g));
+    g.add_edge(0, 1);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(is_connected(GeometricGraph{}));
+}
+
+TEST(Connectivity, OnSubset) {
+    const GeometricGraph g = path_graph();
+    EXPECT_TRUE(is_connected_on(g, {true, true, true, true, false}));
+    EXPECT_FALSE(is_connected_on(g, {true, true, true, true, true}));
+    // Subset {0, 2} is not connected within itself (1 excluded).
+    EXPECT_FALSE(is_connected_on(g, {true, false, true, false, false}));
+    EXPECT_TRUE(is_connected_on(g, {false, false, false, false, false}));
+    EXPECT_TRUE(is_connected_on(g, {false, false, false, false, true}));
+}
+
+class PathsRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathsRandom, MatchesFloydWarshall) {
+    const auto udg = proximity::build_udg(test::random_points(40, 100.0, GetParam()), 30.0);
+    const auto n = udg.node_count();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, kInf));
+    std::vector<std::vector<int>> hops(n, std::vector<int>(n, 1 << 20));
+    for (NodeId v = 0; v < n; ++v) {
+        dist[v][v] = 0.0;
+        hops[v][v] = 0;
+    }
+    for (const auto& [u, v] : udg.edges()) {
+        dist[u][v] = dist[v][u] = udg.edge_length(u, v);
+        hops[u][v] = hops[v][u] = 1;
+    }
+    for (NodeId k = 0; k < n; ++k) {
+        for (NodeId i = 0; i < n; ++i) {
+            for (NodeId j = 0; j < n; ++j) {
+                dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+                hops[i][j] = std::min(hops[i][j], hops[i][k] + hops[k][j]);
+            }
+        }
+    }
+    for (NodeId s = 0; s < n; ++s) {
+        const auto d = dijkstra_lengths(udg, s);
+        const auto h = bfs_hops(udg, s);
+        for (NodeId t = 0; t < n; ++t) {
+            if (dist[s][t] == kInf) {
+                EXPECT_EQ(d[t], kUnreachableLength);
+                EXPECT_EQ(h[t], kUnreachableHops);
+            } else {
+                EXPECT_NEAR(d[t], dist[s][t], 1e-9);
+                EXPECT_EQ(h[t], hops[s][t]);
+            }
+        }
+    }
+}
+
+TEST_P(PathsRandom, ExplicitPathsAreConsistent) {
+    const auto udg = test::connected_udg(50, 200.0, 60.0, GetParam());
+    ASSERT_GT(udg.node_count(), 0u);
+    const auto hops0 = bfs_hops(udg, 0);
+    const auto len0 = dijkstra_lengths(udg, 0);
+    for (NodeId t = 0; t < udg.node_count(); ++t) {
+        const auto hp = shortest_hop_path(udg, 0, t);
+        ASSERT_FALSE(hp.empty());
+        EXPECT_EQ(static_cast<int>(hp.size()) - 1, hops0[t]);
+        for (std::size_t i = 0; i + 1 < hp.size(); ++i) {
+            EXPECT_TRUE(udg.has_edge(hp[i], hp[i + 1]));
+        }
+        const auto lp = shortest_length_path(udg, 0, t);
+        double total = 0.0;
+        for (std::size_t i = 0; i + 1 < lp.size(); ++i) {
+            ASSERT_TRUE(udg.has_edge(lp[i], lp[i + 1]));
+            total += udg.edge_length(lp[i], lp[i + 1]);
+        }
+        EXPECT_NEAR(total, len0[t], 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathsRandom, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace geospanner::graph

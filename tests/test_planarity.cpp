@@ -1,0 +1,94 @@
+// Geometric planarity detection.
+#include "graph/planarity.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+#include "proximity/classic.h"
+#include "proximity/udg.h"
+#include "test_util.h"
+
+namespace geospanner::graph {
+namespace {
+
+TEST(Planarity, DetectsSingleCrossing) {
+    GeometricGraph g({{0, 0}, {2, 2}, {0, 2}, {2, 0}});
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    const auto crossings = crossing_edge_pairs(g);
+    ASSERT_EQ(crossings.size(), 1u);
+    EXPECT_FALSE(is_plane_embedding(g));
+    g.remove_edge(2, 3);
+    EXPECT_TRUE(is_plane_embedding(g));
+}
+
+TEST(Planarity, SharedEndpointIsNotACrossing) {
+    GeometricGraph g({{0, 0}, {2, 0}, {1, 1}});
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 2);
+    EXPECT_TRUE(is_plane_embedding(g));
+}
+
+TEST(Planarity, TJunctionTouchIsNotProper) {
+    // Edge endpoint lying in the interior of another edge does not count
+    // as a proper crossing (consistent with the predicate's definition).
+    GeometricGraph g({{0, 0}, {2, 0}, {1, 0}, {1, 2}});
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    EXPECT_TRUE(is_plane_embedding(g));
+}
+
+TEST(Planarity, CountsAllCrossings) {
+    // K4 drawn with both diagonals crossing at the center... K4 on a
+    // square has exactly one crossing pair (the two diagonals).
+    GeometricGraph g({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+    for (NodeId u = 0; u < 4; ++u) {
+        for (NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+    }
+    const auto crossings = crossing_edge_pairs(g);
+    ASSERT_EQ(crossings.size(), 1u);
+    const auto& [e1, e2] = crossings[0];
+    EXPECT_EQ(e1, (std::pair<NodeId, NodeId>{0, 2}));
+    EXPECT_EQ(e2, (std::pair<NodeId, NodeId>{1, 3}));
+}
+
+TEST(Planarity, LimitShortCircuits) {
+    // Dense random UDG has many crossings; limit=1 returns exactly one.
+    const auto udg = test::connected_udg(40, 100.0, 50.0, 3);
+    ASSERT_GT(udg.node_count(), 0u);
+    EXPECT_EQ(crossing_edge_pairs(udg, 1).size(), 1u);
+}
+
+TEST(Planarity, GabrielAndRngArePlanar) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        const auto udg = test::connected_udg(60, 200.0, 55.0, seed);
+        ASSERT_GT(udg.node_count(), 0u);
+        EXPECT_TRUE(is_plane_embedding(proximity::build_gabriel(udg)));
+        EXPECT_TRUE(is_plane_embedding(proximity::build_rng(udg)));
+        EXPECT_TRUE(is_plane_embedding(proximity::build_udel(udg)));
+    }
+}
+
+TEST(Planarity, BruteForceAgreement) {
+    // The grid-accelerated scan must agree with the naive quadratic scan.
+    const auto udg = test::connected_udg(30, 100.0, 45.0, 9);
+    ASSERT_GT(udg.node_count(), 0u);
+    const auto edges = udg.edges();
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        for (std::size_t j = i + 1; j < edges.size(); ++j) {
+            const auto [u1, v1] = edges[i];
+            const auto [u2, v2] = edges[j];
+            if (u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2) continue;
+            if (geom::segments_properly_cross(udg.point(u1), udg.point(v1), udg.point(u2),
+                                              udg.point(v2))) {
+                ++naive;
+            }
+        }
+    }
+    EXPECT_EQ(crossing_edge_pairs(udg).size(), naive);
+}
+
+}  // namespace
+}  // namespace geospanner::graph

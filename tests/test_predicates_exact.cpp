@@ -1,0 +1,144 @@
+// Exhaustive exactness verification of the filtered predicates against
+// 128-bit integer arithmetic on integer grids, where every determinant
+// can be evaluated with zero error. This covers enormous numbers of
+// degenerate cases (collinear triples, cocircular quadruples) that
+// random-double tests never hit.
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+#include "random/rng.h"
+
+namespace geospanner::geom {
+namespace {
+
+using I128 = __int128;
+
+int sign_of(I128 x) {
+    return x > 0 ? 1 : (x < 0 ? -1 : 0);
+}
+
+/// Exact orientation for integer coordinates.
+int orient_int(long ax, long ay, long bx, long by, long cx, long cy) {
+    const I128 det = static_cast<I128>(ax - cx) * (by - cy) -
+                     static_cast<I128>(ay - cy) * (bx - cx);
+    return sign_of(det);
+}
+
+/// Exact in-circle (CCW orientation assumed) for integer coordinates.
+int incircle_int(long ax, long ay, long bx, long by, long cx, long cy, long dx,
+                 long dy) {
+    const I128 adx = ax - dx, ady = ay - dy;
+    const I128 bdx = bx - dx, bdy = by - dy;
+    const I128 cdx = cx - dx, cdy = cy - dy;
+    const I128 alift = adx * adx + ady * ady;
+    const I128 blift = bdx * bdx + bdy * bdy;
+    const I128 clift = cdx * cdx + cdy * cdy;
+    const I128 det = alift * (bdx * cdy - cdx * bdy) - blift * (adx * cdy - cdx * ady) +
+                     clift * (adx * bdy - bdx * ady);
+    return sign_of(det);
+}
+
+TEST(PredicatesExact, OrientExhaustiveOnSmallGrid) {
+    // All ordered triples on a 5x5 grid: 25^3 = 15625 cases, including
+    // every collinear configuration.
+    constexpr int kSide = 5;
+    for (int a = 0; a < kSide * kSide; ++a) {
+        for (int b = 0; b < kSide * kSide; ++b) {
+            for (int c = 0; c < kSide * kSide; ++c) {
+                const long ax = a % kSide, ay = a / kSide;
+                const long bx = b % kSide, by = b / kSide;
+                const long cx = c % kSide, cy = c / kSide;
+                const int expected = orient_int(ax, ay, bx, by, cx, cy);
+                const int got =
+                    orient_sign({double(ax), double(ay)}, {double(bx), double(by)},
+                                {double(cx), double(cy)});
+                ASSERT_EQ(got, expected)
+                    << "(" << ax << "," << ay << ") (" << bx << "," << by << ") (" << cx
+                    << "," << cy << ")";
+            }
+        }
+    }
+}
+
+TEST(PredicatesExact, OrientOnHugeShiftedGrid) {
+    // Same grid translated by 2^40: the filter must hand off to exact
+    // arithmetic for every near-degenerate case and still be right.
+    constexpr int kSide = 4;
+    const double shift = 1099511627776.0;  // 2^40, exactly representable.
+    for (int a = 0; a < kSide * kSide; ++a) {
+        for (int b = 0; b < kSide * kSide; ++b) {
+            for (int c = 0; c < kSide * kSide; ++c) {
+                const long ax = a % kSide, ay = a / kSide;
+                const long bx = b % kSide, by = b / kSide;
+                const long cx = c % kSide, cy = c / kSide;
+                const int expected = orient_int(ax, ay, bx, by, cx, cy);
+                const int got = orient_sign({ax + shift, ay + shift},
+                                            {bx + shift, by + shift},
+                                            {cx + shift, cy + shift});
+                ASSERT_EQ(got, expected);
+            }
+        }
+    }
+}
+
+TEST(PredicatesExact, InCircleRandomIntegerQuadruples) {
+    // Random integer quadruples on a big grid, with a bias toward
+    // cocircular cases (grid squares and symmetric placements).
+    rnd::Xoshiro256 rng(2024);
+    for (int it = 0; it < 30000; ++it) {
+        const long range = 50;
+        long coords[8];
+        for (long& c : coords) c = static_cast<long>(rng.below(range)) - range / 2;
+        const long ax = coords[0], ay = coords[1], bx = coords[2], by = coords[3];
+        const long cx = coords[4], cy = coords[5], dx = coords[6], dy = coords[7];
+        if (orient_int(ax, ay, bx, by, cx, cy) <= 0) continue;  // Need CCW.
+        const int expected = incircle_int(ax, ay, bx, by, cx, cy, dx, dy);
+        const int got =
+            incircle_ccw({double(ax), double(ay)}, {double(bx), double(by)},
+                         {double(cx), double(cy)}, {double(dx), double(dy)});
+        ASSERT_EQ(got, expected);
+    }
+}
+
+TEST(PredicatesExact, InCircleCocircularGridSquares) {
+    // Every axis-aligned square on a grid is a cocircular quadruple: the
+    // in-circle test of the 4th corner against the other three must be
+    // exactly zero.
+    for (long x = 0; x < 6; ++x) {
+        for (long y = 0; y < 6; ++y) {
+            for (long s = 1; s <= 5; ++s) {
+                const Point a{double(x), double(y)};
+                const Point b{double(x + s), double(y)};
+                const Point c{double(x + s), double(y + s)};
+                const Point d{double(x), double(y + s)};
+                ASSERT_EQ(incircle_ccw(a, b, c, d), 0);
+                // Nudge the 4th point and the sign must flip accordingly.
+                ASSERT_EQ(incircle_ccw(a, b, c, {d.x + 1e-9, d.y - 1e-9}), 1);
+                ASSERT_EQ(incircle_ccw(a, b, c, {d.x - 1e-9, d.y + 1e-9}), -1);
+            }
+        }
+    }
+}
+
+TEST(PredicatesExact, DiametralExhaustiveOnGrid) {
+    constexpr int kSide = 5;
+    for (int a = 0; a < kSide * kSide; ++a) {
+        for (int b = 0; b < kSide * kSide; ++b) {
+            for (int c = 0; c < kSide * kSide; ++c) {
+                const long ux = a % kSide, uy = a / kSide;
+                const long vx = b % kSide, vy = b / kSide;
+                const long px = c % kSide, py = c / kSide;
+                const I128 dot = static_cast<I128>(ux - px) * (vx - px) +
+                                 static_cast<I128>(uy - py) * (vy - py);
+                const int expected = -sign_of(dot);
+                const int got =
+                    in_diametral_circle({double(ux), double(uy)}, {double(vx), double(vy)},
+                                        {double(px), double(py)});
+                ASSERT_EQ(got, expected);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace geospanner::geom

@@ -1,0 +1,115 @@
+// Connector pruning: the result stays a valid CDS and is inclusion-
+// minimal.
+#include "protocol/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_paths.h"
+#include "protocol/clustering.h"
+#include "test_util.h"
+
+namespace geospanner::protocol {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+GeometricGraph backbone_graph(const GeometricGraph& udg, const ClusterState& cluster,
+                              const ConnectorState& conn) {
+    GeometricGraph g(udg.points());
+    for (const auto& [u, v] : conn.cds_edges) g.add_edge(u, v);
+    (void)cluster;
+    return g;
+}
+
+std::vector<bool> backbone_members(const GeometricGraph& udg, const ClusterState& cluster,
+                                   const ConnectorState& conn) {
+    std::vector<bool> members(udg.node_count());
+    for (NodeId v = 0; v < udg.node_count(); ++v) {
+        members[v] = cluster.is_dominator(v) || conn.is_connector[v];
+    }
+    return members;
+}
+
+class PruningSweep : public ::testing::TestWithParam<test::SweepParam> {
+  protected:
+    GeometricGraph udg_;
+    ClusterState cluster_;
+    ConnectorState full_;
+    ConnectorState pruned_;
+
+    void SetUp() override {
+        const auto p = GetParam();
+        udg_ = test::connected_udg(p.n, 200.0, p.radius, p.seed);
+        ASSERT_GT(udg_.node_count(), 0u);
+        cluster_ = cluster_reference(udg_);
+        full_ = find_connectors(udg_, cluster_);
+        pruned_ = prune_connectors(udg_, cluster_, full_);
+    }
+};
+
+TEST_P(PruningSweep, PrunedIsSubsetOfElected) {
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        if (pruned_.is_connector[v]) {
+            EXPECT_TRUE(full_.is_connector[v]);
+        }
+    }
+    for (const auto& e : pruned_.cds_edges) {
+        EXPECT_TRUE(std::binary_search(full_.cds_edges.begin(), full_.cds_edges.end(), e));
+    }
+    EXPECT_LE(pruned_.cds_edges.size(), full_.cds_edges.size());
+}
+
+TEST_P(PruningSweep, PrunedStillConnectsAllDominators) {
+    const GeometricGraph g = backbone_graph(udg_, cluster_, pruned_);
+    EXPECT_TRUE(graph::is_connected_on(g, backbone_members(udg_, cluster_, pruned_)));
+}
+
+TEST_P(PruningSweep, PrunedIsInclusionMinimal) {
+    // Removing any remaining connector must disconnect the backbone.
+    for (NodeId v = 0; v < udg_.node_count(); ++v) {
+        if (!pruned_.is_connector[v]) continue;
+        ConnectorState trial = pruned_;
+        trial.is_connector[v] = false;
+        std::erase_if(trial.cds_edges, [&](const std::pair<NodeId, NodeId>& e) {
+            return e.first == v || e.second == v;
+        });
+        const GeometricGraph g = backbone_graph(udg_, cluster_, trial);
+        EXPECT_FALSE(
+            graph::is_connected_on(g, backbone_members(udg_, cluster_, trial)))
+            << "connector " << v << " was removable";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PruningSweep, ::testing::ValuesIn(test::standard_sweep()));
+
+TEST(Pruning, KeepsSolePathConnector) {
+    // Dominators 0, 1 joined by the single connector 2: nothing to prune.
+    GeometricGraph g({{0, 0}, {1.8, 0}, {0.9, 0}});
+    g.add_edge(0, 2);
+    g.add_edge(2, 1);
+    const ClusterState cluster = cluster_reference(g);
+    const ConnectorState full = find_connectors(g, cluster);
+    const ConnectorState pruned = prune_connectors(g, cluster, full);
+    EXPECT_TRUE(pruned.is_connector[2]);
+    EXPECT_EQ(pruned.cds_edges.size(), 2u);
+}
+
+TEST(Pruning, DropsRedundantParallelConnector) {
+    // Two mutually inaudible connectors for the same pair: pruning keeps
+    // exactly one.
+    GeometricGraph g({{0, 0}, {1.8, 0}, {0.9, 0.7}, {0.9, -0.7}});
+    g.add_edge(0, 2);
+    g.add_edge(0, 3);
+    g.add_edge(1, 2);
+    g.add_edge(1, 3);
+    const ClusterState cluster = cluster_reference(g);
+    const ConnectorState full = find_connectors(g, cluster);
+    ASSERT_TRUE(full.is_connector[2]);
+    ASSERT_TRUE(full.is_connector[3]);
+    const ConnectorState pruned = prune_connectors(g, cluster, full);
+    EXPECT_NE(pruned.is_connector[2], pruned.is_connector[3]);
+}
+
+}  // namespace
+}  // namespace geospanner::protocol

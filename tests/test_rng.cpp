@@ -1,0 +1,73 @@
+// Deterministic RNG: reproducibility, ranges, uniformity sanity.
+#include "random/rng.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+namespace geospanner::rnd {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+    Xoshiro256 a(123);
+    Xoshiro256 b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a() == b()) ? 1 : 0;
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, Uniform01Range) {
+    Xoshiro256 rng(7);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.uniform01();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    EXPECT_LT(lo, 0.01);  // Covers the range.
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformIntervalAndMean) {
+    Xoshiro256 rng(9);
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double x = rng.uniform(10.0, 20.0);
+        ASSERT_GE(x, 10.0);
+        ASSERT_LT(x, 20.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / kDraws, 15.0, 0.05);
+}
+
+TEST(Rng, BelowIsInRangeAndHitsAll) {
+    Xoshiro256 rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = rng.below(7);
+        ASSERT_LT(x, 7u);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(rng.below(0), 0u);
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, SplitmixExpandsDistinctStates) {
+    std::uint64_t s = 42;
+    const auto a = splitmix64(s);
+    const auto b = splitmix64(s);
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace geospanner::rnd

@@ -1,0 +1,130 @@
+// Round-based radio network simulator semantics.
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+#include <string>
+#include <variant>
+
+namespace geospanner::sim {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+struct Ping {
+    int value = 0;
+};
+struct Text {
+    std::string body;
+};
+using Payload = std::variant<Ping, Text>;
+using Net = Network<Payload>;
+
+GeometricGraph triangle_plus_leaf() {
+    GeometricGraph g({{0, 0}, {1, 0}, {0, 1}, {5, 5}});
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    g.add_edge(2, 3);
+    return g;
+}
+
+TEST(Network, BroadcastReachesExactlyNeighbors) {
+    const GeometricGraph g = triangle_plus_leaf();
+    Net net(g);
+    net.broadcast(0, Ping{42});
+    EXPECT_TRUE(net.advance());
+    EXPECT_EQ(net.inbox(1).size(), 1u);
+    EXPECT_EQ(net.inbox(2).size(), 1u);
+    EXPECT_TRUE(net.inbox(0).empty());  // No self-delivery.
+    EXPECT_TRUE(net.inbox(3).empty());  // Not a neighbor of 0.
+    EXPECT_EQ(net.inbox(1)[0].from, 0u);
+    EXPECT_EQ(std::get<Ping>(net.inbox(1)[0].payload).value, 42);
+}
+
+TEST(Network, DeliveryIsNextRoundOnly) {
+    const GeometricGraph g = triangle_plus_leaf();
+    Net net(g);
+    net.broadcast(0, Ping{1});
+    net.advance();
+    EXPECT_EQ(net.inbox(1).size(), 1u);
+    EXPECT_FALSE(net.advance());  // Nothing queued: quiescent.
+    EXPECT_TRUE(net.inbox(1).empty());  // Old inbox cleared.
+}
+
+TEST(Network, InboxSortedBySender) {
+    const GeometricGraph g = triangle_plus_leaf();
+    Net net(g);
+    net.broadcast(2, Ping{2});
+    net.broadcast(0, Ping{0});
+    net.broadcast(1, Ping{1});
+    net.advance();
+    // Node 2 hears 0, 1, 3? (3 sent nothing) -> senders 0 then 1.
+    ASSERT_EQ(net.inbox(2).size(), 2u);
+    EXPECT_EQ(net.inbox(2)[0].from, 0u);
+    EXPECT_EQ(net.inbox(2)[1].from, 1u);
+}
+
+TEST(Network, MultipleMessagesPerRoundKeepOrder) {
+    const GeometricGraph g = triangle_plus_leaf();
+    Net net(g);
+    net.broadcast(0, Ping{1});
+    net.broadcast(0, Text{"two"});
+    net.advance();
+    ASSERT_EQ(net.inbox(1).size(), 2u);
+    EXPECT_TRUE(std::holds_alternative<Ping>(net.inbox(1)[0].payload));
+    EXPECT_TRUE(std::holds_alternative<Text>(net.inbox(1)[1].payload));
+}
+
+TEST(Network, CountersPerNodeAndType) {
+    const GeometricGraph g = triangle_plus_leaf();
+    Net net(g);
+    net.broadcast(0, Ping{});
+    net.broadcast(0, Ping{});
+    net.broadcast(0, Text{"x"});
+    net.broadcast(3, Text{"y"});
+    net.advance();
+    EXPECT_EQ(net.messages_sent(0), 3u);
+    EXPECT_EQ(net.messages_sent(3), 1u);
+    EXPECT_EQ(net.messages_sent(1), 0u);
+    EXPECT_EQ(net.total_messages(), 4u);
+    EXPECT_EQ(net.messages_sent_of_type(0, 0), 2u);  // Ping index 0.
+    EXPECT_EQ(net.messages_sent_of_type(0, 1), 1u);  // Text index 1.
+    EXPECT_EQ(net.per_node_sent(), (std::vector<std::size_t>{3, 0, 0, 1}));
+}
+
+TEST(Network, RoundsCount) {
+    const GeometricGraph g = triangle_plus_leaf();
+    Net net(g);
+    EXPECT_EQ(net.rounds(), 0u);
+    net.advance();
+    net.advance();
+    EXPECT_EQ(net.rounds(), 2u);
+}
+
+TEST(Network, FloodTerminatesInDiameterRounds) {
+    // Simple flood protocol over a path: each node forwards the first
+    // Ping it hears, once.
+    GeometricGraph path({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}});
+    for (NodeId v = 0; v + 1 < 5; ++v) path.add_edge(v, v + 1);
+    Net net(path);
+    std::vector<bool> seen(5, false);
+    seen[0] = true;
+    net.broadcast(0, Ping{7});
+    std::size_t rounds = 0;
+    while (net.advance()) {
+        ++rounds;
+        for (NodeId v = 0; v < 5; ++v) {
+            if (!net.inbox(v).empty() && !seen[v]) {
+                seen[v] = true;
+                net.broadcast(v, net.inbox(v)[0].payload);
+            }
+        }
+    }
+    EXPECT_TRUE(seen[4]);
+    EXPECT_EQ(rounds, 5u);  // 4 hops + final silent round.
+    EXPECT_EQ(net.total_messages(), 5u);
+}
+
+}  // namespace
+}  // namespace geospanner::sim

@@ -1,0 +1,117 @@
+// Randomized differential stress test: many random configurations
+// (density, size, workload shape drawn from a seeded RNG) pushed through
+// the full pipeline, checking the core invariants on each. Complements
+// the fixed parameter sweeps with breadth.
+#include <gtest/gtest.h>
+
+#include "core/backbone.h"
+#include "core/workload.h"
+#include "graph/metrics.h"
+#include "graph/planarity.h"
+#include "graph/shortest_paths.h"
+#include "proximity/classic.h"
+#include "proximity/ldel.h"
+#include "proximity/udg.h"
+#include "random/rng.h"
+#include "test_util.h"
+
+namespace geospanner {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+/// Draws a random connected instance from a wide configuration space:
+/// n in [10, 120], radius chosen relative to the connectivity threshold,
+/// workload uniform / clustered / jittered-grid.
+std::optional<GeometricGraph> random_instance(rnd::Xoshiro256& rng) {
+    core::WorkloadConfig config;
+    config.node_count = 10 + rng.below(111);
+    config.side = 150.0 + rng.uniform01() * 150.0;
+    config.seed = rng();
+    // Radius: between sparse-but-connectable and dense.
+    const double base = config.side / std::sqrt(static_cast<double>(config.node_count));
+    config.radius = base * (1.4 + rng.uniform01() * 1.6);
+    config.max_attempts = 50;
+
+    const auto kind = rng.below(3);
+    std::vector<geom::Point> pts;
+    if (kind == 0) {
+        auto udg = core::random_connected_udg(config);
+        if (udg) return udg;
+        return std::nullopt;
+    }
+    if (kind == 1) {
+        pts = core::clustered_points(config, 2 + rng.below(4));
+    } else {
+        pts = core::grid_points(config, rng.uniform01() * 0.4);
+    }
+    auto udg = proximity::build_udg(std::move(pts), config.radius);
+    if (!graph::is_connected(udg)) return std::nullopt;
+    return udg;
+}
+
+TEST(Stress, PipelineInvariantsOverRandomConfigurations) {
+    rnd::Xoshiro256 rng(20260706);
+    std::size_t checked = 0;
+    for (int attempt = 0; attempt < 120 && checked < 40; ++attempt) {
+        const auto maybe_udg = random_instance(rng);
+        if (!maybe_udg) continue;
+        const GeometricGraph& udg = *maybe_udg;
+        ++checked;
+
+        const core::Backbone d = core::build_backbone(udg, {core::Engine::kDistributed});
+        const core::Backbone c = core::build_backbone(udg, {core::Engine::kCentralized});
+        ASSERT_EQ(d.ldel_icds_prime, c.ldel_icds_prime) << "engine mismatch";
+        ASSERT_TRUE(graph::is_plane_embedding(d.ldel_icds)) << "non-planar backbone";
+        ASSERT_TRUE(graph::is_connected(d.ldel_icds_prime)) << "not spanning";
+        ASSERT_TRUE(graph::is_connected_on(d.cds, d.in_backbone)) << "CDS disconnected";
+
+        // Lemma 5 on a sample of sources.
+        for (NodeId s = 0; s < udg.node_count(); s += 7) {
+            const auto base = graph::bfs_hops(udg, s);
+            const auto topo = graph::bfs_hops(d.cds_prime, s);
+            for (NodeId t = 0; t < udg.node_count(); ++t) {
+                if (t == s) continue;
+                ASSERT_NE(topo[t], graph::kUnreachableHops);
+                ASSERT_LE(topo[t], 3 * base[t] + 2);
+            }
+        }
+        // Message bound.
+        for (NodeId v = 0; v < udg.node_count(); ++v) {
+            ASSERT_LE(d.messages.after_ldel[v], 400u) << "node " << v;
+        }
+    }
+    // The space is rejection-sampled; make sure we actually exercised it.
+    EXPECT_GE(checked, 30u);
+}
+
+TEST(Stress, ProximityChainOverRandomConfigurations) {
+    rnd::Xoshiro256 rng(777);
+    std::size_t checked = 0;
+    for (int attempt = 0; attempt < 80 && checked < 25; ++attempt) {
+        const auto maybe_udg = random_instance(rng);
+        if (!maybe_udg) continue;
+        const GeometricGraph& udg = *maybe_udg;
+        ++checked;
+
+        const auto rng_graph = proximity::build_rng(udg);
+        const auto gg = proximity::build_gabriel(udg);
+        const auto pldel = proximity::build_pldel(udg);
+        for (const auto& [u, v] : rng_graph.edges()) {
+            ASSERT_TRUE(gg.has_edge(u, v));
+        }
+        for (const auto& [u, v] : gg.edges()) {
+            ASSERT_TRUE(pldel.has_edge(u, v));
+        }
+        ASSERT_TRUE(graph::is_plane_embedding(pldel));
+        ASSERT_TRUE(graph::is_connected(pldel));
+        const auto stretch = graph::length_stretch(udg, pldel);
+        ASSERT_EQ(stretch.disconnected_pairs, 0u);
+        ASSERT_LT(stretch.max, 3.0);
+    }
+    EXPECT_GE(checked, 15u);
+}
+
+}  // namespace
+}  // namespace geospanner

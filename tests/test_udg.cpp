@@ -1,0 +1,103 @@
+// Unit disk graph construction (grid-accelerated) vs brute force, and
+// the workload generators.
+#include "proximity/udg.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "graph/shortest_paths.h"
+#include "test_util.h"
+
+namespace geospanner::proximity {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+class UdgRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UdgRandom, MatchesBruteForce) {
+    const auto pts = test::random_points(120, 300.0, GetParam());
+    const double radius = 40.0 + static_cast<double>(GetParam() % 5) * 13.0;
+    const GeometricGraph fast = build_udg(pts, radius);
+    GeometricGraph slow(pts);
+    for (NodeId u = 0; u < pts.size(); ++u) {
+        for (NodeId v = u + 1; v < pts.size(); ++v) {
+            if (geom::squared_distance(pts[u], pts[v]) <= radius * radius) {
+                slow.add_edge(u, v);
+            }
+        }
+    }
+    EXPECT_EQ(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UdgRandom, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Udg, BoundaryDistanceIsInclusive) {
+    const GeometricGraph g = build_udg({{0, 0}, {1, 0}, {2.0001, 0}}, 1.0);
+    EXPECT_TRUE(g.has_edge(0, 1));   // Exactly at the radius.
+    EXPECT_FALSE(g.has_edge(1, 2));  // Just beyond.
+}
+
+TEST(Udg, EmptyAndZeroRadius) {
+    EXPECT_EQ(build_udg({}, 1.0).node_count(), 0u);
+    const GeometricGraph g = build_udg({{0, 0}, {0, 0}}, 0.0);
+    EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Workload, UniformPointsDeterministic) {
+    core::WorkloadConfig config;
+    config.node_count = 50;
+    config.seed = 42;
+    const auto a = core::uniform_points(config);
+    const auto b = core::uniform_points(config);
+    EXPECT_EQ(a, b);
+    config.seed = 43;
+    EXPECT_NE(core::uniform_points(config), a);
+    for (const auto& p : a) {
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LT(p.x, config.side);
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LT(p.y, config.side);
+    }
+}
+
+TEST(Workload, ConnectedInstanceIsConnected) {
+    core::WorkloadConfig config;
+    config.node_count = 60;
+    config.side = 200.0;
+    config.radius = 50.0;
+    config.seed = 5;
+    const auto udg = core::random_connected_udg(config);
+    ASSERT_TRUE(udg.has_value());
+    EXPECT_TRUE(graph::is_connected(*udg));
+    EXPECT_EQ(udg->node_count(), 60u);
+}
+
+TEST(Workload, ImpossibleDensityReturnsNullopt) {
+    core::WorkloadConfig config;
+    config.node_count = 100;
+    config.side = 10000.0;
+    config.radius = 1.0;  // Hopeless.
+    config.max_attempts = 5;
+    EXPECT_FALSE(core::random_connected_udg(config).has_value());
+}
+
+TEST(Workload, ClusteredAndGridGenerators) {
+    core::WorkloadConfig config;
+    config.node_count = 80;
+    config.seed = 9;
+    const auto clustered = core::clustered_points(config, 4);
+    EXPECT_EQ(clustered.size(), 80u);
+    for (const auto& p : clustered) {
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LE(p.x, config.side);
+    }
+    const auto grid = core::grid_points(config, 0.1);
+    EXPECT_EQ(grid.size(), 80u);
+    // Deterministic in the seed.
+    EXPECT_EQ(grid, core::grid_points(config, 0.1));
+}
+
+}  // namespace
+}  // namespace geospanner::proximity

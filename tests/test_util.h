@@ -1,0 +1,59 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "core/workload.h"
+#include "geom/vec2.h"
+#include "graph/geometric_graph.h"
+#include "proximity/udg.h"
+#include "random/rng.h"
+
+namespace geospanner::test {
+
+/// n uniform points in [0, side]^2, deterministic in seed.
+inline std::vector<geom::Point> random_points(std::size_t n, double side,
+                                              std::uint64_t seed) {
+    rnd::Xoshiro256 rng(seed);
+    std::vector<geom::Point> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+    }
+    return pts;
+}
+
+/// A connected UDG drawn from the standard workload generator; tests
+/// treat generation failure as a test failure via the assertion macros.
+inline graph::GeometricGraph connected_udg(std::size_t n, double side, double radius,
+                                           std::uint64_t seed) {
+    core::WorkloadConfig config;
+    config.node_count = n;
+    config.side = side;
+    config.radius = radius;
+    config.seed = seed;
+    auto udg = core::random_connected_udg(config);
+    return udg ? std::move(*udg) : graph::GeometricGraph{};
+}
+
+/// Parameter tuple for the (n, radius, seed) sweeps used by the
+/// property-style suites.
+struct SweepParam {
+    std::size_t n;
+    double radius;
+    std::uint64_t seed;
+};
+
+inline std::vector<SweepParam> standard_sweep() {
+    std::vector<SweepParam> params;
+    for (const std::size_t n : {20, 50, 90}) {
+        for (const double r : {45.0, 70.0}) {
+            for (const std::uint64_t seed : {11ULL, 29ULL, 53ULL}) {
+                params.push_back({n, r, seed});
+            }
+        }
+    }
+    return params;
+}
+
+}  // namespace geospanner::test

@@ -1,0 +1,79 @@
+// Vector/point arithmetic and angle helpers.
+#include "geom/vec2.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+#include <sstream>
+
+#include "geom/circle.h"
+
+namespace geospanner::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2, Arithmetic) {
+    const Vec2 a{1, 2};
+    const Vec2 b{3, -1};
+    EXPECT_EQ(a + b, (Vec2{4, 1}));
+    EXPECT_EQ(a - b, (Vec2{-2, 3}));
+    EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+    EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+    EXPECT_EQ(a / 2.0, (Vec2{0.5, 1}));
+    Vec2 c = a;
+    c += b;
+    EXPECT_EQ(c, a + b);
+    c -= b;
+    EXPECT_EQ(c, a);
+}
+
+TEST(Vec2, DotCrossNorm) {
+    EXPECT_DOUBLE_EQ(dot({1, 2}, {3, 4}), 11.0);
+    EXPECT_DOUBLE_EQ(cross({1, 0}, {0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(cross({0, 1}, {1, 0}), -1.0);
+    EXPECT_DOUBLE_EQ(squared_norm({3, 4}), 25.0);
+    EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(distance({1, 1}, {4, 5}), 5.0);
+    EXPECT_DOUBLE_EQ(squared_distance({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2, MidpointAndOrdering) {
+    EXPECT_EQ(midpoint({0, 0}, {2, 4}), (Point{1, 2}));
+    EXPECT_LT((Vec2{1, 5}), (Vec2{2, 0}));
+    EXPECT_LT((Vec2{1, 0}), (Vec2{1, 5}));
+}
+
+TEST(Vec2, Angles) {
+    EXPECT_DOUBLE_EQ(angle_of({1, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(angle_of({0, 1}), kPi / 2);
+    EXPECT_DOUBLE_EQ(angle_of({-1, 0}), kPi);
+    EXPECT_NEAR(angle_at({0, 0}, {1, 0}, {0, 1}), kPi / 2, 1e-12);
+    EXPECT_NEAR(angle_at({0, 0}, {1, 0}, {1, 1}), kPi / 4, 1e-12);
+    // angle_at is symmetric in the two rays.
+    EXPECT_DOUBLE_EQ(angle_at({1, 1}, {2, 1}, {1, 3}), angle_at({1, 1}, {1, 3}, {2, 1}));
+}
+
+TEST(Vec2, StreamOutput) {
+    std::ostringstream out;
+    out << Vec2{1.5, -2};
+    EXPECT_EQ(out.str(), "(1.5, -2)");
+}
+
+TEST(Circle, Circumcircle) {
+    const auto c = circumcircle({0, 0}, {2, 0}, {0, 2});
+    ASSERT_TRUE(c.has_value());
+    EXPECT_NEAR(c->center.x, 1.0, 1e-12);
+    EXPECT_NEAR(c->center.y, 1.0, 1e-12);
+    EXPECT_NEAR(c->radius, std::sqrt(2.0), 1e-12);
+    EXPECT_FALSE(circumcircle({0, 0}, {1, 1}, {2, 2}).has_value());
+}
+
+TEST(Circle, Diametral) {
+    const Circle c = diametral_circle({0, 0}, {4, 0});
+    EXPECT_EQ(c.center, (Point{2, 0}));
+    EXPECT_DOUBLE_EQ(c.radius, 2.0);
+}
+
+}  // namespace
+}  // namespace geospanner::geom

@@ -10,6 +10,7 @@
 //  * full backbone pipeline, centralized and distributed engines.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/backbone.h"
 #include "core/workload.h"
 #include "delaunay/delaunay.h"
@@ -131,6 +132,42 @@ void BM_BackboneDistributed(benchmark::State& state) {
 }
 BENCHMARK(BM_BackboneDistributed)->Arg(50)->Arg(100)->Arg(200);
 
+/// Console output as usual, plus one JSON object per benchmark run
+/// appended to $GS_BENCH_JSON — the perf-trajectory hook: CI and later
+/// PRs diff these lines to catch construction-cost regressions.
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+  public:
+    explicit JsonTrajectoryReporter(std::string path) : path_(std::move(path)) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run& run : runs) {
+            if (run.error_occurred) continue;
+            geospanner::bench::JsonObject obj;
+            obj.add("bench", std::string("construction"))
+                .add("name", run.benchmark_name())
+                .add("iterations", static_cast<std::size_t>(run.iterations))
+                .add("real_time_ns", run.GetAdjustedRealTime())
+                .add("cpu_time_ns", run.GetAdjustedCPUTime());
+            geospanner::bench::append_json_line(path_, obj.str());
+        }
+    }
+
+  private:
+    std::string path_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    const std::string json_path = geospanner::bench::json_output_path();
+    if (json_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        JsonTrajectoryReporter reporter(json_path);
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+    }
+    return 0;
+}

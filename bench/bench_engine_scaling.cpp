@@ -1,0 +1,143 @@
+// Engine scaling: full-pipeline construction throughput vs thread count
+// and vs node count, single-instance and batched.
+//
+// Smoke mode (GS_BENCH_TRIALS <= 2, as CI sets) shrinks the node-count
+// sweep. Every measurement is appended as one JSON object to
+// $GS_BENCH_JSON (default BENCH_engine.json) for the perf trajectory;
+// the single-instance section also prints the 4-thread speedup on the
+// 50k-node uniform workload, the scaling acceptance metric.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/workload.h"
+#include "engine/batch.h"
+#include "engine/engine.h"
+#include "io/table.h"
+
+using namespace geospanner;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_ms(const std::function<void()>& fn) {
+    const auto start = Clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Uniform deployment with expected UDG degree ~12 at unit radius.
+std::vector<geom::Point> deployment(std::size_t n, std::uint64_t seed) {
+    core::WorkloadConfig config;
+    config.node_count = n;
+    config.side = std::sqrt(static_cast<double>(n) * 3.14159265358979 / 12.0);
+    config.seed = seed;
+    return core::uniform_points(config);
+}
+
+}  // namespace
+
+int main() {
+    const bool smoke = bench::trials_or(3) <= 2;
+    const std::string json_path =
+        bench::json_output_path().empty() ? "BENCH_engine.json"
+                                          : bench::json_output_path();
+    const std::size_t hw = std::thread::hardware_concurrency();
+    const std::vector<std::size_t> node_counts =
+        smoke ? std::vector<std::size_t>{10'000, 50'000}
+              : std::vector<std::size_t>{10'000, 20'000, 50'000, 100'000, 200'000};
+    const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+    std::cout << "engine scaling (hardware threads: " << hw
+              << (smoke ? ", smoke mode" : "") << ")\n\n";
+
+    // ---- Single-instance construction: one build, all lanes. ----
+    io::Table single({"n", "threads", "wall_ms", "speedup", "udg_edges", "backbone"});
+    double speedup_50k_4t = 0.0;
+    for (const std::size_t n : node_counts) {
+        const auto points = deployment(n, 2002 + n);
+        double base_ms = 0.0;
+        for (const std::size_t threads : thread_counts) {
+            engine::SpannerEngine eng({.threads = threads});
+            engine::BuildResult result;
+            const double ms = run_ms([&] { result = eng.build(points, 1.0); });
+            if (threads == 1) base_ms = ms;
+            const double speedup = ms > 0.0 ? base_ms / ms : 0.0;
+            if (n == 50'000 && threads == 4) speedup_50k_4t = speedup;
+
+            single.begin_row()
+                .cell(n)
+                .cell(threads)
+                .cell(ms, 1)
+                .cell(speedup, 2)
+                .cell(result.udg.edge_count())
+                .cell(result.backbone.backbone_size());
+            bench::JsonObject obj;
+            obj.add("bench", "engine_scaling")
+                .add("mode", "single")
+                .add("n", n)
+                .add("threads", threads)
+                .add("hardware_threads", hw)
+                .add("wall_ms", ms)
+                .add("speedup_vs_1t", speedup)
+                .add("udg_edges", result.udg.edge_count())
+                .add("backbone_nodes", result.backbone.backbone_size())
+                .raw("stages", result.stats.json());
+            bench::append_json_line(json_path, obj.str());
+        }
+    }
+    std::cout << single.str() << '\n';
+    io::maybe_write_csv("engine_scaling_single", single);
+    if (speedup_50k_4t > 0.0) {
+        std::cout << "4-thread speedup, 50k-node uniform workload: " << speedup_50k_4t
+                  << "x (hardware threads: " << hw << ")\n\n";
+    }
+
+    // ---- Batch: many instances, lanes claim whole instances. ----
+    const std::size_t batch_n = smoke ? 2'000 : 5'000;
+    const std::size_t batch_size = smoke ? 4 : 8;
+    std::vector<core::WorkloadConfig> configs(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+        configs[i].node_count = batch_n;
+        configs[i].side = std::sqrt(static_cast<double>(batch_n) * 3.14159 / 12.0);
+        configs[i].radius = 1.0;
+        configs[i].seed = 7'000 + i;
+    }
+    io::Table batch({"instances", "n", "threads", "wall_ms", "inst_per_s"});
+    for (const std::size_t threads : thread_counts) {
+        engine::SpannerEngine eng({.threads = threads});
+        std::vector<engine::BatchResult> results;
+        const double ms = run_ms([&] { results = engine::build_batch(eng, configs); });
+        std::size_t built = 0;
+        for (const auto& r : results) built += r.udg.has_value() ? 1 : 0;
+        const double per_s = ms > 0.0 ? 1000.0 * static_cast<double>(built) / ms : 0.0;
+
+        batch.begin_row()
+            .cell(built)
+            .cell(batch_n)
+            .cell(threads)
+            .cell(ms, 1)
+            .cell(per_s, 2);
+        bench::JsonObject obj;
+        obj.add("bench", "engine_scaling")
+            .add("mode", "batch")
+            .add("instances", built)
+            .add("n", batch_n)
+            .add("threads", threads)
+            .add("hardware_threads", hw)
+            .add("wall_ms", ms)
+            .add("instances_per_s", per_s);
+        bench::append_json_line(json_path, obj.str());
+    }
+    std::cout << batch.str();
+    io::maybe_write_csv("engine_scaling_batch", batch);
+    std::cout << "\nJSON trajectory appended to " << json_path << '\n';
+    return 0;
+}

@@ -4,8 +4,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/backbone.h"
@@ -43,6 +46,53 @@ inline std::optional<Instance> make_instance(std::size_t n, double side, double 
     Instance instance{std::move(*udg), {}};
     instance.backbone = core::build_backbone(instance.udg, {engine});
     return instance;
+}
+
+/// Minimal flat JSON object builder for the machine-readable bench
+/// trajectory (one object per run, appended as a line of JSON — easy to
+/// diff across PRs and to load with any JSON-lines reader).
+class JsonObject {
+  public:
+    JsonObject& add(const std::string& key, const std::string& value) {
+        return raw(key, '"' + value + '"');
+    }
+    JsonObject& add(const std::string& key, const char* value) {
+        return add(key, std::string(value));
+    }
+    JsonObject& add(const std::string& key, double value) {
+        std::ostringstream v;
+        v << value;
+        return raw(key, v.str());
+    }
+    JsonObject& add(const std::string& key, std::size_t value) {
+        return raw(key, std::to_string(value));
+    }
+    /// Pre-serialized JSON value (nested object/array).
+    JsonObject& raw(const std::string& key, const std::string& json_value) {
+        if (!body_.empty()) body_ += ',';
+        body_ += '"' + key + "\":" + json_value;
+        return *this;
+    }
+    [[nodiscard]] std::string str() const { return '{' + body_ + '}'; }
+
+  private:
+    std::string body_;
+};
+
+/// Appends one line to `path` (created on first use). Returns false when
+/// the file cannot be opened.
+inline bool append_json_line(const std::string& path, const std::string& json) {
+    std::ofstream out(path, std::ios::app);
+    if (!out) return false;
+    out << json << '\n';
+    return static_cast<bool>(out);
+}
+
+/// Value of GS_BENCH_JSON: the file every bench appends its
+/// machine-readable results to. Empty when unset (no JSON output).
+inline std::string json_output_path() {
+    const char* env = std::getenv("GS_BENCH_JSON");
+    return env == nullptr ? std::string{} : std::string{env};
 }
 
 /// Running max / mean accumulator for per-instance statistics.

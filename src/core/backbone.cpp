@@ -27,9 +27,6 @@ double MessageStats::avg_of(const std::vector<std::size_t>& counts) {
     return static_cast<double>(total) / static_cast<double>(counts.size());
 }
 
-namespace {
-
-/// UDG edges restricted to backbone nodes.
 GeometricGraph induce_on_backbone(const GeometricGraph& udg,
                                   const std::vector<bool>& in_backbone) {
     GeometricGraph g(udg.points());
@@ -39,7 +36,6 @@ GeometricGraph induce_on_backbone(const GeometricGraph& udg,
     return g;
 }
 
-/// Adds every dominatee→dominator link to a copy of `base`.
 GeometricGraph with_dominatee_links(const GeometricGraph& base,
                                     const protocol::ClusterState& cluster) {
     GeometricGraph g = base;
@@ -49,8 +45,6 @@ GeometricGraph with_dominatee_links(const GeometricGraph& base,
     }
     return g;
 }
-
-}  // namespace
 
 Backbone build_backbone(const GeometricGraph& udg, BuildOptions options) {
     const auto n = static_cast<NodeId>(udg.node_count());

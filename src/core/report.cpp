@@ -2,8 +2,48 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iomanip>
+#include <sstream>
 
 namespace geospanner::core {
+
+double PipelineStats::total_ms() const {
+    double total = 0.0;
+    for (const auto& s : stages) total += s.wall_ms;
+    return total;
+}
+
+std::string PipelineStats::table() const {
+    std::size_t name_width = 5;  // "stage"
+    for (const auto& s : stages) name_width = std::max(name_width, s.name.size());
+    std::ostringstream out;
+    out << std::left << std::setw(static_cast<int>(name_width)) << "stage" << std::right
+        << std::setw(12) << "wall_ms" << std::setw(12) << "items" << std::setw(9)
+        << "threads" << '\n';
+    out << std::fixed << std::setprecision(3);
+    for (const auto& s : stages) {
+        out << std::left << std::setw(static_cast<int>(name_width)) << s.name
+            << std::right << std::setw(12) << s.wall_ms << std::setw(12) << s.items
+            << std::setw(9) << s.threads << '\n';
+    }
+    out << std::left << std::setw(static_cast<int>(name_width)) << "total" << std::right
+        << std::setw(12) << total_ms() << '\n';
+    return out.str();
+}
+
+std::string PipelineStats::json() const {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(3);
+    out << "{\"total_ms\":" << total_ms() << ",\"stages\":[";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const auto& s = stages[i];
+        if (i > 0) out << ',';
+        out << "{\"name\":\"" << s.name << "\",\"wall_ms\":" << s.wall_ms
+            << ",\"items\":" << s.items << ",\"threads\":" << s.threads << '}';
+    }
+    out << "]}";
+    return out.str();
+}
 
 TopologyReport measure_topology(std::string name, const graph::GeometricGraph& udg,
                                 const graph::GeometricGraph& topo, bool spanning,

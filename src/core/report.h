@@ -35,4 +35,27 @@ struct TopologyReport {
 /// per-instance maxima (matching the paper's aggregation).
 [[nodiscard]] TopologyReport aggregate_reports(const std::vector<TopologyReport>& reports);
 
+/// Timing record of one named pipeline stage (UDG, clustering,
+/// connectors, ICDS, LDel, planarize): wall time, items of per-node /
+/// per-candidate work processed, and the thread count the stage ran at.
+/// Filled by the engine's staged builder.
+struct StageStats {
+    std::string name;
+    double wall_ms = 0.0;
+    std::size_t items = 0;
+    std::size_t threads = 1;
+};
+
+/// Stage breakdown of one pipeline run.
+struct PipelineStats {
+    std::vector<StageStats> stages;
+
+    [[nodiscard]] double total_ms() const;
+    /// Aligned-column text rendering (stage | ms | items | threads).
+    [[nodiscard]] std::string table() const;
+    /// One JSON object, e.g. for the bench trajectory files:
+    /// {"total_ms":..,"stages":[{"name":..,"wall_ms":..,..},..]}.
+    [[nodiscard]] std::string json() const;
+};
+
 }  // namespace geospanner::core

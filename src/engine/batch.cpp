@@ -1,0 +1,28 @@
+#include "engine/batch.h"
+
+#include <utility>
+
+namespace geospanner::engine {
+
+std::vector<BatchResult> build_batch(ThreadPool& pool,
+                                     const std::vector<core::WorkloadConfig>& configs,
+                                     const EngineOptions& options) {
+    std::vector<BatchResult> results(configs.size());
+    pool.parallel_for(0, configs.size(), [&](std::size_t i) {
+        BatchResult& out = results[i];
+        auto udg = core::random_connected_udg(configs[i]);
+        if (!udg) return;  // Budget exhausted; out.udg stays nullopt.
+        // Stages run inline on this lane (nested parallel_for), so the
+        // batch scales across instances, not within them.
+        out.backbone = build_backbone_staged(pool, *udg, options, &out.stats);
+        out.udg = std::move(udg);
+    });
+    return results;
+}
+
+std::vector<BatchResult> build_batch(SpannerEngine& engine,
+                                     const std::vector<core::WorkloadConfig>& configs) {
+    return build_batch(engine.pool(), configs, engine.options());
+}
+
+}  // namespace geospanner::engine

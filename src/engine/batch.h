@@ -1,0 +1,41 @@
+// Batch construction: many workload instances, one pool — the
+// "serve many requests" shape. Instances are independent, so the batch
+// parallelizes across them: each instance is claimed by a lane and built
+// with its stages running inline on that lane (nested parallel_for
+// degrades to sequential), which keeps every instance's output identical
+// to a standalone build. Results land in input order.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/report.h"
+#include "core/workload.h"
+#include "engine/engine.h"
+#include "engine/thread_pool.h"
+
+namespace geospanner::engine {
+
+/// One batch entry's output. `udg` is nullopt when the workload's
+/// connectivity rejection budget was exhausted (backbone is then empty).
+struct BatchResult {
+    std::optional<graph::GeometricGraph> udg;
+    core::Backbone backbone;
+    core::PipelineStats stats;
+};
+
+/// Constructs every config's topology concurrently on `pool`. Each
+/// instance draws uniform deployments until the UDG is connected (the
+/// core::random_connected_udg contract), then runs the staged pipeline.
+/// result[i] depends only on configs[i] — never on thread count or
+/// scheduling.
+[[nodiscard]] std::vector<BatchResult> build_batch(
+    ThreadPool& pool, const std::vector<core::WorkloadConfig>& configs,
+    const EngineOptions& options = {});
+
+/// Convenience overload on an engine's own pool and options.
+[[nodiscard]] std::vector<BatchResult> build_batch(
+    SpannerEngine& engine, const std::vector<core::WorkloadConfig>& configs);
+
+}  // namespace geospanner::engine

@@ -1,0 +1,347 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "protocol/clustering.h"
+#include "protocol/connectors.h"
+#include "proximity/cell_grid.h"
+#include "proximity/classic.h"
+#include "proximity/ldel.h"
+#include "proximity/ldel_k.h"
+
+namespace geospanner::engine {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+using proximity::TriangleKey;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+void push_stage(core::PipelineStats* stats, const char* name, Clock::time_point start,
+                std::size_t items, std::size_t threads) {
+    if (stats == nullptr) return;
+    stats->stages.push_back({name, ms_since(start), items, threads});
+}
+
+/// Lanes a stage actually runs at: nested calls (batch workers) execute
+/// their parallel_for inline on one lane.
+std::size_t stage_threads(const ThreadPool& pool) {
+    return ThreadPool::on_worker_thread() ? 1 : pool.thread_count();
+}
+
+// ---- Connector stage -------------------------------------------------
+//
+// Mirrors protocol::find_connectors with the per-candidate audibility
+// election evaluated in parallel: candidate lists per dominator pair are
+// built sequentially (cheap, deterministic), each list's winners are
+// decided independently per entry, and winners are merged back in pair
+// order. The determinism tests assert bit-identical ConnectorState.
+
+using DominatorPair = std::pair<NodeId, NodeId>;
+using CandidateMap = std::map<DominatorPair, std::vector<NodeId>>;
+
+/// Winners of every entry: candidate w wins iff no smaller-id candidate
+/// for the same pair is UDG-adjacent. Pure per-entry computation.
+std::vector<std::vector<NodeId>> elect_winners(ThreadPool& pool, const GeometricGraph& udg,
+                                               const CandidateMap& candidates) {
+    std::vector<const CandidateMap::value_type*> entries;
+    entries.reserve(candidates.size());
+    for (const auto& entry : candidates) entries.push_back(&entry);
+
+    std::vector<std::vector<NodeId>> winners(entries.size());
+    pool.parallel_for(0, entries.size(), [&](std::size_t i) {
+        const auto& cands = entries[i]->second;
+        for (const NodeId w : cands) {
+            const bool beaten = std::any_of(cands.begin(), cands.end(), [&](NodeId c) {
+                return c < w && udg.has_edge(c, w);
+            });
+            if (!beaten) winners[i].push_back(w);
+        }
+    });
+    return winners;
+}
+
+std::size_t candidate_count(const CandidateMap& m) {
+    std::size_t total = 0;
+    for (const auto& [pair, cands] : m) total += cands.size();
+    return total;
+}
+
+void add_edge_once(std::set<DominatorPair>& edges, NodeId a, NodeId b) {
+    edges.insert({std::min(a, b), std::max(a, b)});
+}
+
+protocol::ConnectorState parallel_connectors(ThreadPool& pool, const GeometricGraph& udg,
+                                             const protocol::ClusterState& cluster,
+                                             std::size_t* items) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    std::vector<bool> connector(n, false);
+    std::set<DominatorPair> edges;
+    *items = 0;
+
+    // Phase A: dominators two hops apart; candidates are dominatees
+    // adjacent to both.
+    CandidateMap two_hop;
+    for (NodeId w = 0; w < n; ++w) {
+        const auto doms = cluster.dominators(w);
+        for (std::size_t i = 0; i < doms.size(); ++i) {
+            for (std::size_t j = i + 1; j < doms.size(); ++j) {
+                two_hop[{doms[i], doms[j]}].push_back(w);
+            }
+        }
+    }
+    *items += candidate_count(two_hop);
+    {
+        const auto winners = elect_winners(pool, udg, two_hop);
+        std::size_t i = 0;
+        for (const auto& [pair, cands] : two_hop) {
+            for (const NodeId w : winners[i]) {
+                connector[w] = true;
+                add_edge_once(edges, pair.first, w);
+                add_edge_once(edges, w, pair.second);
+            }
+            ++i;
+        }
+    }
+
+    // Phase B: first leg of three-hop connections (ordered pairs u → v).
+    CandidateMap first_leg;
+    for (NodeId w = 0; w < n; ++w) {
+        for (const NodeId u : cluster.dominators(w)) {
+            for (const NodeId v : cluster.two_hop_dominators(w)) {
+                first_leg[{u, v}].push_back(w);
+            }
+        }
+    }
+    *items += candidate_count(first_leg);
+    CandidateMap first_winners;
+    {
+        const auto winners = elect_winners(pool, udg, first_leg);
+        std::size_t i = 0;
+        for (const auto& [pair, cands] : first_leg) {
+            for (const NodeId w : winners[i]) {
+                first_winners[pair].push_back(w);
+                connector[w] = true;
+                add_edge_once(edges, pair.first, w);
+            }
+            ++i;
+        }
+    }
+
+    // Phase C: second leg — dominatees of v audible from a first-leg
+    // winner.
+    CandidateMap second_leg;
+    std::map<std::pair<DominatorPair, NodeId>, std::vector<NodeId>> audible_winners;
+    for (const auto& [pair, winners] : first_winners) {
+        std::set<NodeId> cands;
+        for (const NodeId w : winners) {
+            for (const NodeId x : udg.neighbors(w)) {
+                const auto doms = cluster.dominators(x);
+                if (std::binary_search(doms.begin(), doms.end(), pair.second)) {
+                    cands.insert(x);
+                    audible_winners[{pair, x}].push_back(w);
+                }
+            }
+        }
+        second_leg[pair].assign(cands.begin(), cands.end());
+    }
+    *items += candidate_count(second_leg);
+    {
+        const auto winners = elect_winners(pool, udg, second_leg);
+        std::size_t i = 0;
+        for (const auto& [pair, cands] : second_leg) {
+            for (const NodeId x : winners[i]) {
+                connector[x] = true;
+                add_edge_once(edges, x, pair.second);
+                for (const NodeId w : audible_winners[{pair, x}]) {
+                    add_edge_once(edges, x, w);
+                }
+            }
+            ++i;
+        }
+    }
+
+    protocol::ConnectorState state;
+    state.is_connector = std::move(connector);
+    state.cds_edges.assign(edges.begin(), edges.end());
+    return state;
+}
+
+// ---- ICDS stage ------------------------------------------------------
+
+GeometricGraph parallel_induce(ThreadPool& pool, const GeometricGraph& udg,
+                               const std::vector<bool>& in_backbone) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    std::vector<std::vector<NodeId>> kept(n);
+    pool.parallel_for(0, n, [&](std::size_t v) {
+        if (!in_backbone[v]) return;
+        for (const NodeId u : udg.neighbors(static_cast<NodeId>(v))) {
+            if (u > v && in_backbone[u]) kept[v].push_back(u);
+        }
+    });
+    GeometricGraph g(udg.points());
+    for (NodeId v = 0; v < n; ++v) {
+        for (const NodeId u : kept[v]) g.add_edge(v, u);
+    }
+    return g;
+}
+
+// ---- LDel stage ------------------------------------------------------
+
+/// LDel⁽¹⁾ triangles via the per-node kernel, node loops in parallel.
+/// Same filter as proximity::ldel1_triangles: a triangle survives iff it
+/// appears in the local Delaunay triangulation of all three vertices.
+std::vector<TriangleKey> parallel_ldel1_triangles(ThreadPool& pool,
+                                                  const GeometricGraph& icds) {
+    const auto n = static_cast<NodeId>(icds.node_count());
+    std::vector<std::vector<TriangleKey>> local(n);
+    pool.parallel_for(0, n, [&](std::size_t u) {
+        local[u] = proximity::local_triangles_at(icds, static_cast<NodeId>(u));
+    });
+
+    std::vector<std::vector<TriangleKey>> mine(n);
+    pool.parallel_for(0, n, [&](std::size_t u) {
+        for (const auto& t : local[u]) {
+            if (t.a != u) continue;  // Count each triangle once, at its least vertex.
+            if (std::binary_search(local[t.b].begin(), local[t.b].end(), t) &&
+                std::binary_search(local[t.c].begin(), local[t.c].end(), t)) {
+                mine[u].push_back(t);
+            }
+        }
+    });
+
+    // Concatenating in node order yields the globally sorted set (the
+    // least vertex is the leading key component).
+    std::vector<TriangleKey> result;
+    for (NodeId u = 0; u < n; ++u) {
+        result.insert(result.end(), mine[u].begin(), mine[u].end());
+    }
+    return result;
+}
+
+std::vector<TriangleKey> parallel_planarize(ThreadPool& pool, const GeometricGraph& icds,
+                                            std::vector<TriangleKey> triangles) {
+    const proximity::Alg3Filter filter(icds, std::move(triangles));
+    std::vector<char> keep(filter.size(), 0);
+    pool.parallel_for(0, filter.size(),
+                      [&](std::size_t i) { keep[i] = filter.keeps(i) ? 1 : 0; });
+    std::vector<TriangleKey> kept;
+    for (std::size_t i = 0; i < filter.size(); ++i) {
+        if (keep[i]) kept.push_back(filter.triangles()[i]);
+    }
+    return kept;
+}
+
+}  // namespace
+
+GeometricGraph build_udg_staged(ThreadPool& pool, std::vector<geom::Point> points,
+                                double radius, core::PipelineStats* stats) {
+    const auto start = Clock::now();
+    GeometricGraph g(std::move(points));
+    const auto n = static_cast<NodeId>(g.node_count());
+    if (n == 0 || radius <= 0.0) {
+        push_stage(stats, "udg", start, n, stage_threads(pool));
+        return g;
+    }
+
+    const proximity::CellGrid grid = proximity::build_cell_grid(g.points(), radius);
+    std::vector<std::vector<NodeId>> above(n);
+    pool.parallel_for(0, n, [&](std::size_t v) {
+        proximity::collect_udg_neighbors_above(g.points(), grid, radius,
+                                               static_cast<NodeId>(v), above[v]);
+    });
+    for (NodeId v = 0; v < n; ++v) {
+        for (const NodeId u : above[v]) g.add_edge(v, u);
+    }
+    push_stage(stats, "udg", start, n, stage_threads(pool));
+    return g;
+}
+
+core::Backbone build_backbone_staged(ThreadPool& pool, const GeometricGraph& udg,
+                                     const EngineOptions& options,
+                                     core::PipelineStats* stats) {
+    const auto n = static_cast<NodeId>(udg.node_count());
+    const std::size_t lanes = stage_threads(pool);
+    core::Backbone result;
+
+    auto start = Clock::now();
+    result.cluster = protocol::cluster_reference(udg, options.cluster_policy);
+    push_stage(stats, "clustering", start, n, 1);
+
+    start = Clock::now();
+    std::size_t candidate_items = 0;
+    protocol::ConnectorState connectors =
+        parallel_connectors(pool, udg, result.cluster, &candidate_items);
+    push_stage(stats, "connectors", start, candidate_items, lanes);
+
+    start = Clock::now();
+    result.in_backbone.assign(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+        result.in_backbone[v] =
+            result.cluster.is_dominator(v) || connectors.is_connector[v];
+    }
+    result.icds = parallel_induce(pool, udg, result.in_backbone);
+    push_stage(stats, "icds", start, n, lanes);
+
+    if (options.planarizer == core::Planarizer::kLdel1) {
+        start = Clock::now();
+        std::vector<TriangleKey> triangles = parallel_ldel1_triangles(pool, result.icds);
+        push_stage(stats, "ldel", start, result.backbone_size(), lanes);
+
+        start = Clock::now();
+        const std::size_t triangle_count = triangles.size();
+        result.ldel_triangles =
+            parallel_planarize(pool, result.icds, std::move(triangles));
+        push_stage(stats, "planarize", start, triangle_count, lanes);
+    } else {
+        start = Clock::now();
+        result.ldel_triangles = proximity::ldel_k_triangles(result.icds, 2);
+        push_stage(stats, "ldel", start, result.backbone_size(), 1);
+    }
+
+    start = Clock::now();
+    result.ldel_icds = proximity::build_gabriel(result.icds);
+    for (const auto& t : result.ldel_triangles) {
+        result.ldel_icds.add_edge(t.a, t.b);
+        result.ldel_icds.add_edge(t.b, t.c);
+        result.ldel_icds.add_edge(t.a, t.c);
+    }
+
+    result.is_connector = connectors.is_connector;
+    result.cds = GeometricGraph(udg.points());
+    for (const auto& [u, v] : connectors.cds_edges) result.cds.add_edge(u, v);
+
+    result.cds_prime = core::with_dominatee_links(result.cds, result.cluster);
+    result.icds_prime = core::with_dominatee_links(result.icds, result.cluster);
+    result.ldel_icds_prime =
+        core::with_dominatee_links(result.ldel_icds, result.cluster);
+    push_stage(stats, "assemble", start, n, 1);
+    return result;
+}
+
+SpannerEngine::SpannerEngine(EngineOptions options)
+    : options_(options), pool_(options.threads) {}
+
+BuildResult SpannerEngine::build(std::vector<geom::Point> points, double radius) {
+    BuildResult result;
+    result.udg = build_udg_staged(pool_, std::move(points), radius, &result.stats);
+    result.backbone = build_backbone_staged(pool_, result.udg, options_, &result.stats);
+    return result;
+}
+
+core::Backbone SpannerEngine::build_backbone(const GeometricGraph& udg,
+                                             core::PipelineStats* stats) {
+    return build_backbone_staged(pool_, udg, options_, stats);
+}
+
+}  // namespace geospanner::engine

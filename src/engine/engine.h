@@ -1,0 +1,86 @@
+// Batched, multi-threaded spanner-construction pipeline.
+//
+// The paper's construction is node-local at every step — O(1) messages
+// and O(d log d) computation per node — so the engine parallelizes the
+// per-node work inside each stage: grid-cell UDG edge generation,
+// per-candidate connector evaluation, per-node 1-hop local Delaunay
+// computation, and the per-triangle Algorithm-3 survival test.
+//
+// Determinism contract: for any thread count, the engine produces
+// edge-for-edge identical output to the sequential centralized path
+// (`proximity::build_udg` + `core::build_backbone` with
+// Engine::kCentralized). Parallel loops write only index-owned slots and
+// results are merged in node order on the calling thread; nothing ever
+// depends on scheduling order. tests/test_engine.cpp asserts the
+// equality across thread counts, seeds, and workload shapes.
+//
+// Each stage records wall time, items processed, and thread count into
+// a core::PipelineStats report.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/report.h"
+#include "engine/thread_pool.h"
+#include "graph/geometric_graph.h"
+
+namespace geospanner::engine {
+
+struct EngineOptions {
+    std::size_t threads = 0;  ///< 0 → hardware concurrency
+    protocol::ClusterPolicy cluster_policy = protocol::ClusterPolicy::kLowestId;
+    core::Planarizer planarizer = core::Planarizer::kLdel1;
+};
+
+/// One constructed instance: the UDG, every backbone topology, and the
+/// stage timing breakdown.
+struct BuildResult {
+    graph::GeometricGraph udg;
+    core::Backbone backbone;
+    core::PipelineStats stats;
+};
+
+/// UDG stage on `pool`'s lanes: the per-node grid-cell scan runs in
+/// parallel, the edge merge happens in node order. Identical output to
+/// proximity::build_udg. Appends a "udg" stage to `stats` when given.
+[[nodiscard]] graph::GeometricGraph build_udg_staged(ThreadPool& pool,
+                                                     std::vector<geom::Point> points,
+                                                     double radius,
+                                                     core::PipelineStats* stats = nullptr);
+
+/// Clustering → connectors → ICDS → LDel → planarize → assemble over an
+/// existing UDG, parallelizing the per-node work of each stage on
+/// `pool`'s lanes. Identical output to core::build_backbone with
+/// Engine::kCentralized (message stats stay empty, as there). Appends
+/// one StageStats entry per stage to `stats` when given.
+[[nodiscard]] core::Backbone build_backbone_staged(ThreadPool& pool,
+                                                   const graph::GeometricGraph& udg,
+                                                   const EngineOptions& options,
+                                                   core::PipelineStats* stats = nullptr);
+
+/// Facade owning the pool: one engine, many builds.
+class SpannerEngine {
+  public:
+    explicit SpannerEngine(EngineOptions options = {});
+
+    [[nodiscard]] std::size_t thread_count() const noexcept {
+        return pool_.thread_count();
+    }
+    [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+    [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+    /// Full pipeline from raw node positions.
+    [[nodiscard]] BuildResult build(std::vector<geom::Point> points, double radius);
+
+    /// Staged pipeline over an existing UDG (no UDG stage).
+    [[nodiscard]] core::Backbone build_backbone(const graph::GeometricGraph& udg,
+                                                core::PipelineStats* stats = nullptr);
+
+  private:
+    EngineOptions options_;
+    ThreadPool pool_;
+};
+
+}  // namespace geospanner::engine

@@ -1,0 +1,137 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geospanner::engine {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+    std::size_t lanes = 1;
+
+    std::mutex mutex;
+    std::condition_variable job_cv;   ///< workers wait here for a generation bump
+    std::condition_variable done_cv;  ///< the caller waits here for workers_done
+
+    // Current job, valid while generation is the latest one a worker saw.
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> next{0};
+    std::uint64_t generation = 0;
+    std::size_t workers_done = 0;
+    std::exception_ptr first_error;
+
+    bool stopping = false;
+    std::vector<std::thread> workers;
+
+    /// Grabs chunks until the index range is drained. Runs on workers
+    /// and on the calling thread alike.
+    void drain() {
+        while (true) {
+            const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+            if (lo >= end) return;
+            const std::size_t hi = std::min(end, lo + chunk);
+            try {
+                for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+            } catch (...) {
+                next.store(end, std::memory_order_relaxed);  // Curtail other lanes.
+                const std::lock_guard<std::mutex> lock(mutex);
+                if (!first_error) first_error = std::current_exception();
+                return;
+            }
+        }
+    }
+
+    void worker_loop() {
+        t_on_worker = true;
+        std::uint64_t seen = 0;
+        while (true) {
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                job_cv.wait(lock, [&] { return stopping || generation != seen; });
+                if (stopping) return;
+                seen = generation;
+            }
+            drain();
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                if (++workers_done == workers.size()) done_cv.notify_one();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    impl_->lanes = threads;
+    impl_->workers.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+        impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stopping = true;
+    }
+    impl_->job_cv.notify_all();
+    for (auto& w : impl_->workers) w.join();
+}
+
+std::size_t ThreadPool::thread_count() const noexcept { return impl_->lanes; }
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+    if (begin >= end) return;
+    const std::size_t count = end - begin;
+    if (impl_->workers.empty() || t_on_worker || count == 1) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        return;
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->body = &body;
+        impl_->end = end;
+        impl_->chunk = std::max<std::size_t>(1, count / (impl_->lanes * 8));
+        impl_->next.store(begin, std::memory_order_relaxed);
+        impl_->workers_done = 0;
+        impl_->first_error = nullptr;
+        ++impl_->generation;
+    }
+    impl_->job_cv.notify_all();
+
+    // The calling thread is a lane too. While it runs bodies, flag it as
+    // a worker so reentrant parallel_for calls from inside a body run
+    // inline instead of clobbering the active job.
+    t_on_worker = true;
+    impl_->drain();
+    t_on_worker = false;
+
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock,
+                        [&] { return impl_->workers_done == impl_->workers.size(); });
+    impl_->body = nullptr;
+    if (impl_->first_error) {
+        const std::exception_ptr error = impl_->first_error;
+        impl_->first_error = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+}  // namespace geospanner::engine

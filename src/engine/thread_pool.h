@@ -1,0 +1,55 @@
+// Fixed-size thread pool with a deterministic-by-construction
+// parallel_for primitive.
+//
+// The pool never makes scheduling visible to its callers: parallel_for
+// invokes `body(i)` exactly once for every index, bodies write only to
+// index-owned slots (the caller's contract), and the merge of those
+// slots happens on the calling thread after the loop — so results are
+// identical for any thread count, which is what lets the engine promise
+// edge-for-edge equality with the sequential pipeline.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace geospanner::engine {
+
+class ThreadPool {
+  public:
+    /// Spawns `threads - 1` workers (the calling thread is the remaining
+    /// lane); `threads == 0` uses the hardware concurrency.
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total lanes (workers + the calling thread).
+    [[nodiscard]] std::size_t thread_count() const noexcept;
+
+    /// Calls body(i) once for every i in [begin, end), distributing
+    /// contiguous chunks over all lanes; returns after every call
+    /// finished. The first exception thrown by a body is rethrown on the
+    /// calling thread (remaining indices may or may not run).
+    ///
+    /// Bodies run concurrently: they must only read shared state and
+    /// write to per-index locations. Invocation order is unspecified —
+    /// never encode results in scheduling order.
+    ///
+    /// Reentrant calls (from inside a body) run inline on the calling
+    /// worker, so nested parallelism degrades gracefully instead of
+    /// deadlocking. Only one external thread may drive a pool at a time.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& body);
+
+    /// True when the calling thread is a pool worker (used to run nested
+    /// parallel_for calls inline).
+    [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace geospanner::engine

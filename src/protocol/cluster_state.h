@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/geometric_graph.h"
@@ -25,6 +26,17 @@ struct ClusterState {
 
     [[nodiscard]] bool is_dominator(graph::NodeId v) const {
         return role[v] == Role::kDominator;
+    }
+
+    /// Read-only views of the per-node dominator lists. Const access to
+    /// immutable state — safe for concurrent readers (the engine's
+    /// parallel connector stage evaluates candidates across threads).
+    [[nodiscard]] std::span<const graph::NodeId> dominators(graph::NodeId v) const {
+        return dominators_of[v];
+    }
+    [[nodiscard]] std::span<const graph::NodeId> two_hop_dominators(
+        graph::NodeId v) const {
+        return two_hop_dominators_of[v];
     }
 
     [[nodiscard]] std::size_t dominator_count() const {

@@ -1,0 +1,84 @@
+// Uniform spatial hash grid shared by every neighbor-range scan.
+//
+// Nodes are bucketed into square cells of side `radius`, so any pair
+// within one radius lies in the same or an adjacent cell. Both the
+// sequential UDG builder and the engine's parallel UDG stage consume the
+// same grid (and the same hash), so they enumerate identical candidate
+// sets.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/geometric_graph.h"
+
+namespace geospanner::proximity {
+
+using CellCoord = std::pair<long long, long long>;
+
+/// Cell containing point p at the given cell side.
+[[nodiscard]] inline CellCoord cell_of(geom::Point p, double cell_side) noexcept {
+    return {static_cast<long long>(std::floor(p.x / cell_side)),
+            static_cast<long long>(std::floor(p.y / cell_side))};
+}
+
+/// Hash over cell coordinates. All mixing happens on unsigned 64-bit
+/// values (signed multiplication would overflow — UB — for cells beyond
+/// ~9e12, i.e. coordinates around 1e13 at unit radius); the two words
+/// are combined with splitmix64-style finalization so nearby cells
+/// scatter across buckets.
+struct CellHash {
+    std::size_t operator()(CellCoord c) const noexcept {
+        const auto mix = [](std::uint64_t z) noexcept {
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        const auto ux = static_cast<std::uint64_t>(c.first);
+        const auto uy = static_cast<std::uint64_t>(c.second);
+        return static_cast<std::size_t>(mix(mix(ux + 0x9e3779b97f4a7c15ULL) ^ uy));
+    }
+};
+
+using CellGrid = std::unordered_map<CellCoord, std::vector<graph::NodeId>, CellHash>;
+
+/// Buckets node ids by cell; node lists are in ascending id order.
+[[nodiscard]] inline CellGrid build_cell_grid(const std::vector<geom::Point>& points,
+                                              double cell_side) {
+    CellGrid grid;
+    grid.reserve(points.size());
+    for (graph::NodeId v = 0; v < points.size(); ++v) {
+        grid[cell_of(points[v], cell_side)].push_back(v);
+    }
+    return grid;
+}
+
+/// Appends every neighbor u of v with u > v and |pu - pv| <= radius
+/// (scanning the 3x3 cell block around v). The per-node kernel of UDG
+/// construction: pure function of (points, grid, v), safe to call
+/// concurrently for distinct v.
+inline void collect_udg_neighbors_above(const std::vector<geom::Point>& points,
+                                        const CellGrid& grid, double radius,
+                                        graph::NodeId v,
+                                        std::vector<graph::NodeId>& out) {
+    const double r2 = radius * radius;
+    const auto [cx, cy] = cell_of(points[v], radius);
+    for (long long dx = -1; dx <= 1; ++dx) {
+        for (long long dy = -1; dy <= 1; ++dy) {
+            const auto it = grid.find({cx + dx, cy + dy});
+            if (it == grid.end()) continue;
+            for (const graph::NodeId u : it->second) {
+                if (u <= v) continue;
+                if (geom::squared_distance(points[u], points[v]) <= r2) {
+                    out.push_back(u);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace geospanner::proximity

@@ -29,9 +29,7 @@ bool strictly_inside_triangle(Point a, Point b, Point c, Point p) {
            geom::orient_sign(c, a, p) > 0;
 }
 
-struct TrianglePoints {
-    Point a, b, c;  // CCW.
-};
+using TrianglePoints = Alg3Filter::CcwTri;
 
 TrianglePoints ccw_points(const GeometricGraph& g, TriangleKey t) {
     Point a = g.point(t.a);
@@ -63,6 +61,32 @@ bool cc_contains_impl(const TrianglePoints& s, const TrianglePoints& t) {
         if (geom::in_circumcircle(s.a, s.b, s.c, p) > 0) return true;
     }
     return false;
+}
+
+bool bbox_disjoint(const TrianglePoints& s, const TrianglePoints& t) {
+    return std::max({s.a.x, s.b.x, s.c.x}) < std::min({t.a.x, t.b.x, t.c.x}) ||
+           std::max({t.a.x, t.b.x, t.c.x}) < std::min({s.a.x, s.b.x, s.c.x}) ||
+           std::max({s.a.y, s.b.y, s.c.y}) < std::min({t.a.y, t.b.y, t.c.y}) ||
+           std::max({t.a.y, t.b.y, t.c.y}) < std::min({s.a.y, s.b.y, s.c.y});
+}
+
+/// Algorithm 3's removal rule for an intersecting pair, where `s` is the
+/// triangle with the smaller canonical key. The lemma of [30] guarantees
+/// at least one circumcircle test fires for genuinely intersecting
+/// 1-localized Delaunay triangles in general position; for exactly-
+/// cocircular configurations (where each triangle's vertices lie ON the
+/// other's circumcircle and neither strict test fires) the larger
+/// canonical key is removed as a deterministic tie-break.
+struct PairRemoval {
+    bool smaller = false;  ///< s (smaller key) is removed
+    bool larger = false;   ///< t (larger key) is removed
+};
+
+PairRemoval alg3_pair(const TrianglePoints& s, const TrianglePoints& t) {
+    const bool remove_s = cc_contains_impl(s, t);
+    const bool remove_t = cc_contains_impl(t, s);
+    if (!remove_s && !remove_t) return {false, true};
+    return {remove_s, remove_t};
 }
 
 GeometricGraph graph_from(const GeometricGraph& udg,
@@ -184,43 +208,86 @@ std::vector<TriangleKey> ldel1_triangles_reference(const GeometricGraph& udg) {
     return result;
 }
 
-std::vector<TriangleKey> planarize_triangles(const GeometricGraph& udg,
-                                             const std::vector<TriangleKey>& triangles) {
-    const std::size_t m = triangles.size();
-    std::vector<TrianglePoints> pts;
-    pts.reserve(m);
-    for (const auto& t : triangles) pts.push_back(ccw_points(udg, t));
+Alg3Filter::Alg3Filter(const GeometricGraph& g, std::vector<TriangleKey> triangles)
+    : keys_(std::move(triangles)) {
+    tris_.reserve(keys_.size());
+    boxes_.reserve(keys_.size());
+    double max_extent = 0.0;
+    for (const auto& t : keys_) {
+        const TrianglePoints p = ccw_points(g, t);
+        tris_.push_back(p);
+        const Box box{std::min({p.a.x, p.b.x, p.c.x}), std::max({p.a.x, p.b.x, p.c.x}),
+                      std::min({p.a.y, p.b.y, p.c.y}), std::max({p.a.y, p.b.y, p.c.y})};
+        boxes_.push_back(box);
+        max_extent = std::max({max_extent, box.max_x - box.min_x, box.max_y - box.min_y});
+    }
+    cell_side_ = max_extent > 0.0 ? max_extent : 1.0;
+    grid_.reserve(keys_.size());
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        grid_[cell_of({boxes_[i].min_x, boxes_[i].min_y}, cell_side_)].push_back(
+            static_cast<std::uint32_t>(i));
+    }
+}
 
-    std::vector<char> removed(m, 0);
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = i + 1; j < m; ++j) {
-            // Cheap bounding-box reject before the exact tests.
-            const auto& s = pts[i];
-            const auto& t = pts[j];
-            if (std::max({s.a.x, s.b.x, s.c.x}) < std::min({t.a.x, t.b.x, t.c.x}) ||
-                std::max({t.a.x, t.b.x, t.c.x}) < std::min({s.a.x, s.b.x, s.c.x}) ||
-                std::max({s.a.y, s.b.y, s.c.y}) < std::min({t.a.y, t.b.y, t.c.y}) ||
-                std::max({t.a.y, t.b.y, t.c.y}) < std::min({s.a.y, s.b.y, s.c.y})) {
-                continue;
-            }
-            if (!intersect_impl(s, t)) continue;
-            // Removal rule of Algorithm 3, applied symmetrically. The
-            // lemma of [30] guarantees at least one test fires for
-            // genuinely intersecting 1-localized Delaunay triangles in
-            // general position; for exactly-cocircular configurations
-            // (where each triangle's vertices lie ON the other's
-            // circumcircle and neither strict test fires) the larger
-            // canonical key is removed as a deterministic tie-break.
-            const bool s_removes_t = cc_contains_impl(t, s);
-            const bool t_removes_s = cc_contains_impl(s, t);
-            if (t_removes_s) removed[i] = 1;
-            if (s_removes_t) removed[j] = 1;
-            if (!t_removes_s && !s_removes_t) removed[j] = 1;  // j has the larger key.
+template <typename Fn>
+void Alg3Filter::for_each_box_neighbor(std::size_t i, Fn&& fn) const {
+    // Boxes are bucketed by their min corner and no box extent exceeds
+    // cell_side_, so any box intersecting box i has its min corner in
+    // [min - cell_side_, max] per axis — at most a 3x3 cell block.
+    const Box& box = boxes_[i];
+    const auto [x_lo, y_lo] =
+        cell_of({box.min_x - cell_side_, box.min_y - cell_side_}, cell_side_);
+    const auto [x_hi, y_hi] = cell_of({box.max_x, box.max_y}, cell_side_);
+    for (long long cx = x_lo; cx <= x_hi; ++cx) {
+        for (long long cy = y_lo; cy <= y_hi; ++cy) {
+            const auto it = grid_.find({cx, cy});
+            if (it == grid_.end()) continue;
+            for (const std::uint32_t j : it->second) fn(static_cast<std::size_t>(j));
         }
     }
+}
+
+void Alg3Filter::removal_scan(std::vector<char>& removed) const {
+    const std::size_t m = keys_.size();
+    removed.assign(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto& s = tris_[i];
+        // The grid finds every intersecting pair from both sides; the
+        // j > i filter processes each unordered pair exactly once.
+        for_each_box_neighbor(i, [&](std::size_t j) {
+            if (j <= i) return;
+            const auto& t = tris_[j];
+            if (bbox_disjoint(s, t) || !intersect_impl(s, t)) return;
+            const PairRemoval r = alg3_pair(s, t);
+            if (r.smaller) removed[i] = 1;
+            if (r.larger) removed[j] = 1;
+        });
+    }
+}
+
+bool Alg3Filter::keeps(std::size_t i) const {
+    const auto& s = tris_[i];
+    bool kept = true;
+    for_each_box_neighbor(i, [&](std::size_t j) {
+        if (!kept || j == i) return;
+        const auto& t = tris_[j];
+        if (bbox_disjoint(s, t) || !intersect_impl(s, t)) return;
+        // alg3_pair is oriented lower-index-first (canonical key order
+        // for the sorted sets this runs on), matching removal_scan.
+        const PairRemoval r = i < j ? alg3_pair(s, t) : alg3_pair(t, s);
+        if (i < j ? r.smaller : r.larger) kept = false;
+    });
+    return kept;
+}
+
+std::vector<TriangleKey> planarize_triangles(const GeometricGraph& udg,
+                                             const std::vector<TriangleKey>& triangles) {
+    const Alg3Filter filter(udg, triangles);
+    std::vector<char> removed;
+    filter.removal_scan(removed);
 
     std::vector<TriangleKey> kept;
-    for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t i = 0; i < triangles.size(); ++i) {
         if (!removed[i]) kept.push_back(triangles[i]);
     }
     return kept;

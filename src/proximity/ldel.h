@@ -14,9 +14,13 @@
 #pragma once
 
 #include <compare>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/geometric_graph.h"
+#include "proximity/cell_grid.h"
 
 namespace geospanner::proximity {
 
@@ -66,6 +70,60 @@ struct TriangleKey {
 /// strictly contains one of the other's vertices. Sorted.
 [[nodiscard]] std::vector<TriangleKey> planarize_triangles(
     const graph::GeometricGraph& udg, const std::vector<TriangleKey>& triangles);
+
+/// Algorithm 3 with the removal rule factored into a per-triangle
+/// survival kernel. The constructor precomputes CCW corner points,
+/// bounding boxes, and a uniform bucket grid over the boxes (triangle
+/// sides are UDG edges, so box extents are bounded by the radius and
+/// only a 3x3 cell neighborhood can hold intersecting partners — the
+/// all-pairs scan collapses to near-linear). `keeps(i)` then decides
+/// triangle i against the set reading only immutable state, so distinct
+/// indices may be evaluated concurrently (the engine's parallel
+/// planarization stage does exactly that). `keeps` agrees
+/// index-for-index with `planarize_triangles`, including the
+/// deterministic larger-key tie-break for cocircular crossings.
+class Alg3Filter {
+  public:
+    /// Triangle corners in CCW order.
+    struct CcwTri {
+        geom::Point a, b, c;
+    };
+
+    Alg3Filter(const graph::GeometricGraph& g, std::vector<TriangleKey> triangles);
+
+    [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+    [[nodiscard]] const std::vector<TriangleKey>& triangles() const noexcept {
+        return keys_;
+    }
+
+    /// True iff triangles()[i] survives Algorithm 3 against the set.
+    [[nodiscard]] bool keeps(std::size_t i) const;
+
+  private:
+    friend std::vector<TriangleKey> planarize_triangles(
+        const graph::GeometricGraph& udg, const std::vector<TriangleKey>& triangles);
+
+    struct Box {
+        double min_x, max_x, min_y, max_y;
+    };
+
+    /// Removal scan over grid-pruned pairs (the sequential path; marks
+    /// both sides of each intersecting pair in one pass).
+    void removal_scan(std::vector<char>& removed) const;
+
+    /// Calls fn(j) for every j whose bucket could hold a box
+    /// intersecting box i (includes i itself; callers filter).
+    template <typename Fn>
+    void for_each_box_neighbor(std::size_t i, Fn&& fn) const;
+
+    std::vector<TriangleKey> keys_;
+    std::vector<CcwTri> tris_;
+    std::vector<Box> boxes_;
+    double cell_side_ = 1.0;
+    std::unordered_map<std::pair<long long, long long>,
+                       std::vector<std::uint32_t>, CellHash>
+        grid_;
+};
 
 /// LDel⁽¹⁾(V): Gabriel edges plus edges of all 1-localized Delaunay
 /// triangles. Thickness 2; not necessarily planar.

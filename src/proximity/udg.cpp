@@ -1,7 +1,6 @@
 #include "proximity/udg.h"
 
-#include <cmath>
-#include <unordered_map>
+#include "proximity/cell_grid.h"
 
 namespace geospanner::proximity {
 
@@ -13,36 +12,12 @@ GeometricGraph build_udg(std::vector<geom::Point> points, double radius) {
     const auto n = static_cast<NodeId>(g.node_count());
     if (n == 0 || radius <= 0.0) return g;
 
-    // Hash nodes into square cells of side `radius`; any edge endpoint
-    // pair lies in the same or an adjacent cell.
-    const auto cell_of = [radius](geom::Point p) {
-        return std::pair<long long, long long>{
-            static_cast<long long>(std::floor(p.x / radius)),
-            static_cast<long long>(std::floor(p.y / radius))};
-    };
-    struct PairHash {
-        std::size_t operator()(const std::pair<long long, long long>& c) const noexcept {
-            return std::hash<long long>{}(c.first * 1000003LL + c.second);
-        }
-    };
-    std::unordered_map<std::pair<long long, long long>, std::vector<NodeId>, PairHash> grid;
-    for (NodeId v = 0; v < n; ++v) grid[cell_of(g.point(v))].push_back(v);
-
-    const double r2 = radius * radius;
+    const CellGrid grid = build_cell_grid(g.points(), radius);
+    std::vector<NodeId> above;
     for (NodeId v = 0; v < n; ++v) {
-        const auto [cx, cy] = cell_of(g.point(v));
-        for (long long dx = -1; dx <= 1; ++dx) {
-            for (long long dy = -1; dy <= 1; ++dy) {
-                const auto it = grid.find({cx + dx, cy + dy});
-                if (it == grid.end()) continue;
-                for (const NodeId u : it->second) {
-                    if (u <= v) continue;
-                    if (geom::squared_distance(g.point(u), g.point(v)) <= r2) {
-                        g.add_edge(u, v);
-                    }
-                }
-            }
-        }
+        above.clear();
+        collect_udg_neighbors_above(g.points(), grid, radius, v, above);
+        for (const NodeId u : above) g.add_edge(u, v);
     }
     return g;
 }

@@ -1,11 +1,13 @@
-// Unit disk graph construction (grid-accelerated) vs brute force, and
-// the workload generators.
+// Unit disk graph construction (grid-accelerated) vs brute force, the
+// shared cell grid, and its overflow-safe hash.
 #include "proximity/udg.h"
 
 #include <gtest/gtest.h>
 
-#include "core/workload.h"
-#include "graph/shortest_paths.h"
+#include <algorithm>
+#include <set>
+
+#include "proximity/cell_grid.h"
 #include "test_util.h"
 
 namespace geospanner::proximity {
@@ -45,58 +47,57 @@ TEST(Udg, EmptyAndZeroRadius) {
     EXPECT_EQ(g.edge_count(), 0u);
 }
 
-TEST(Workload, UniformPointsDeterministic) {
-    core::WorkloadConfig config;
-    config.node_count = 50;
-    config.seed = 42;
-    const auto a = core::uniform_points(config);
-    const auto b = core::uniform_points(config);
-    EXPECT_EQ(a, b);
-    config.seed = 43;
-    EXPECT_NE(core::uniform_points(config), a);
-    for (const auto& p : a) {
-        EXPECT_GE(p.x, 0.0);
-        EXPECT_LT(p.x, config.side);
-        EXPECT_GE(p.y, 0.0);
-        EXPECT_LT(p.y, config.side);
+TEST(Udg, FarOutCoordinatesMatchBruteForce) {
+    // Cells beyond ~9e12 made the old signed-multiply cell hash overflow
+    // (UB); the splitmix-finalized unsigned hash must keep the grid and
+    // brute force in agreement out there. Doubles near 1e13 still
+    // resolve ~2e-3, far below the unit radius used here.
+    for (const double ox : {-1.0e13, 9.7e12}) {
+        for (const double oy : {8.3e12, -4.1e12}) {
+            std::vector<geom::Point> pts;
+            rnd::Xoshiro256 rng(static_cast<std::uint64_t>(ox * 1e-10) ^
+                                static_cast<std::uint64_t>(-oy));
+            for (int i = 0; i < 40; ++i) {
+                pts.push_back({ox + rng.uniform(0.0, 6.0), oy + rng.uniform(0.0, 6.0)});
+            }
+            const GeometricGraph fast = build_udg(pts, 1.0);
+            GeometricGraph slow(pts);
+            for (NodeId u = 0; u < pts.size(); ++u) {
+                for (NodeId v = u + 1; v < pts.size(); ++v) {
+                    if (geom::squared_distance(pts[u], pts[v]) <= 1.0) slow.add_edge(u, v);
+                }
+            }
+            EXPECT_EQ(fast, slow) << "offset (" << ox << ", " << oy << ")";
+        }
     }
 }
 
-TEST(Workload, ConnectedInstanceIsConnected) {
-    core::WorkloadConfig config;
-    config.node_count = 60;
-    config.side = 200.0;
-    config.radius = 50.0;
-    config.seed = 5;
-    const auto udg = core::random_connected_udg(config);
-    ASSERT_TRUE(udg.has_value());
-    EXPECT_TRUE(graph::is_connected(*udg));
-    EXPECT_EQ(udg->node_count(), 60u);
-}
-
-TEST(Workload, ImpossibleDensityReturnsNullopt) {
-    core::WorkloadConfig config;
-    config.node_count = 100;
-    config.side = 10000.0;
-    config.radius = 1.0;  // Hopeless.
-    config.max_attempts = 5;
-    EXPECT_FALSE(core::random_connected_udg(config).has_value());
-}
-
-TEST(Workload, ClusteredAndGridGenerators) {
-    core::WorkloadConfig config;
-    config.node_count = 80;
-    config.seed = 9;
-    const auto clustered = core::clustered_points(config, 4);
-    EXPECT_EQ(clustered.size(), 80u);
-    for (const auto& p : clustered) {
-        EXPECT_GE(p.x, 0.0);
-        EXPECT_LE(p.x, config.side);
+TEST(CellGrid, BucketsEveryNodeOnceInAscendingOrder) {
+    const auto pts = test::random_points(200, 100.0, 13);
+    const proximity::CellGrid grid = proximity::build_cell_grid(pts, 7.0);
+    std::size_t total = 0;
+    for (const auto& [cell, ids] : grid) {
+        EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+        for (const NodeId v : ids) {
+            EXPECT_EQ(proximity::cell_of(pts[v], 7.0), cell);
+        }
+        total += ids.size();
     }
-    const auto grid = core::grid_points(config, 0.1);
-    EXPECT_EQ(grid.size(), 80u);
-    // Deterministic in the seed.
-    EXPECT_EQ(grid, core::grid_points(config, 0.1));
+    EXPECT_EQ(total, pts.size());
+}
+
+TEST(CellGrid, HashSpreadsAdjacentAndFarCells) {
+    // Sanity: the finalizer separates neighboring cells and does not
+    // collapse far-out coordinates onto one bucket.
+    const proximity::CellHash hash;
+    std::set<std::size_t> values;
+    for (long long x = -2; x <= 2; ++x) {
+        for (long long y = -2; y <= 2; ++y) {
+            values.insert(hash({x, y}));
+            values.insert(hash({x + 9'000'000'000'000LL, y - 9'000'000'000'000LL}));
+        }
+    }
+    EXPECT_EQ(values.size(), 50u);
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Workload generators (core/workload.cpp): seed determinism, deployment
+// bounds, and the connectivity rejection budget.
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/shortest_paths.h"
+#include "random/rng.h"
+
+namespace geospanner::core {
+namespace {
+
+WorkloadConfig base_config(std::uint64_t seed) {
+    WorkloadConfig config;
+    config.node_count = 120;
+    config.side = 300.0;
+    config.radius = 60.0;
+    config.seed = seed;
+    return config;
+}
+
+void expect_inside_square(const std::vector<geom::Point>& pts, double side) {
+    for (const auto& p : pts) {
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LE(p.x, side);
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LE(p.y, side);
+    }
+}
+
+class WorkloadSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkloadSeeds, SameSeedSamePointsEveryGenerator) {
+    const WorkloadConfig config = base_config(GetParam());
+    EXPECT_EQ(uniform_points(config), uniform_points(config));
+    EXPECT_EQ(clustered_points(config, 5), clustered_points(config, 5));
+    EXPECT_EQ(grid_points(config, 0.3), grid_points(config, 0.3));
+}
+
+TEST_P(WorkloadSeeds, DifferentSeedDifferentPoints) {
+    const WorkloadConfig a = base_config(GetParam());
+    WorkloadConfig b = a;
+    b.seed = a.seed + 1000;
+    EXPECT_NE(uniform_points(a), uniform_points(b));
+    EXPECT_NE(clustered_points(a, 5), clustered_points(b, 5));
+    EXPECT_NE(grid_points(a, 0.3), grid_points(b, 0.3));
+}
+
+TEST_P(WorkloadSeeds, AllGeneratorsStayInsideTheSquare) {
+    const WorkloadConfig config = base_config(GetParam());
+    expect_inside_square(uniform_points(config), config.side);
+    // Gaussian blobs are clamped to the square even when a center sits
+    // on the boundary.
+    expect_inside_square(clustered_points(config, 3), config.side);
+    expect_inside_square(clustered_points(config, 12), config.side);
+    // Grid jitter of a full spacing still cannot escape: the outermost
+    // grid line sits one spacing inside the boundary.
+    expect_inside_square(grid_points(config, 0.5), config.side);
+    expect_inside_square(grid_points(config, 1.0), config.side);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSeeds, ::testing::Values(1, 7, 42, 1234567));
+
+TEST(Workload, GeneratorsProduceExactlyNodeCountPoints) {
+    WorkloadConfig config = base_config(2);
+    for (const std::size_t n : {1u, 17u, 100u}) {
+        config.node_count = n;
+        EXPECT_EQ(uniform_points(config).size(), n);
+        EXPECT_EQ(clustered_points(config, 4).size(), n);
+        EXPECT_EQ(grid_points(config, 0.1).size(), n);
+    }
+}
+
+TEST(Workload, ClusteredPointsConcentrateAroundFewCenters) {
+    // With one cluster, every point lies within a few sigma of one
+    // center — far tighter than a uniform spread.
+    WorkloadConfig config = base_config(8);
+    config.radius = 15.0;  // sigma = radius / 3 = 5, far below side = 300.
+    const auto pts = clustered_points(config, 1);
+    double min_x = config.side, max_x = 0.0;
+    for (const auto& p : pts) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+    }
+    // The Box-Muller radius is capped at sigma * sqrt(-2 ln 2^-53) ≈
+    // 8.6 sigma, so the spread can never reach 18 sigma — yet a uniform
+    // spread over the square would exceed it almost surely.
+    EXPECT_LE(max_x - min_x, 18.0 * config.radius / 3.0);
+}
+
+TEST(Workload, ConnectedInstanceIsConnectedAndDeterministic) {
+    WorkloadConfig config = base_config(5);
+    config.node_count = 60;
+    config.side = 200.0;
+    config.radius = 50.0;
+    const auto udg = random_connected_udg(config);
+    ASSERT_TRUE(udg.has_value());
+    EXPECT_TRUE(graph::is_connected(*udg));
+    EXPECT_EQ(udg->node_count(), 60u);
+    // The rejection loop mutates only its local copy of the config, so
+    // a rerun reproduces the same instance.
+    const auto again = random_connected_udg(config);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*udg, *again);
+}
+
+TEST(Workload, ExhaustedAttemptBudgetReturnsNullopt) {
+    WorkloadConfig config;
+    config.node_count = 100;
+    config.side = 10000.0;
+    config.radius = 1.0;  // Hopeless density.
+    config.max_attempts = 5;
+    EXPECT_FALSE(random_connected_udg(config).has_value());
+    config.max_attempts = 0;  // No attempts allowed at all.
+    EXPECT_FALSE(random_connected_udg(config).has_value());
+}
+
+}  // namespace
+}  // namespace geospanner::core

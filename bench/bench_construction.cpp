@@ -14,6 +14,7 @@
 #include "core/backbone.h"
 #include "core/workload.h"
 #include "delaunay/delaunay.h"
+#include "engine/engine.h"
 #include "geom/predicates.h"
 #include "proximity/ldel.h"
 #include "proximity/udg.h"
@@ -131,6 +132,38 @@ void BM_BackboneDistributed(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_BackboneDistributed)->Arg(50)->Arg(100)->Arg(200);
+
+/// Engine pipeline with the verify:: stage audits off vs. on — the pair
+/// of series quantifies the invariant-auditing overhead in the same
+/// GS_BENCH_JSON trajectory the other construction costs land in.
+void bench_engine_build(benchmark::State& state, bool audit) {
+    core::WorkloadConfig config;
+    config.node_count = static_cast<std::size_t>(state.range(0));
+    config.side = 250.0;
+    config.radius = 60.0;
+    config.seed = 8;
+    const auto udg = core::random_connected_udg(config);
+    if (!udg) {
+        state.SkipWithError("no connected instance");
+        return;
+    }
+    engine::EngineOptions options;
+    options.threads = 2;
+    options.audit = audit;
+    options.audit_options.radius = config.radius;
+    engine::SpannerEngine engine(options);
+    for (auto _ : state) {
+        const auto result = engine.build(udg->points(), config.radius);
+        benchmark::DoNotOptimize(result.backbone.ldel_icds.edge_count());
+        benchmark::DoNotOptimize(result.audit.stages.size());
+    }
+}
+
+void BM_BackboneAuditsOff(benchmark::State& state) { bench_engine_build(state, false); }
+BENCHMARK(BM_BackboneAuditsOff)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_BackboneAuditsOn(benchmark::State& state) { bench_engine_build(state, true); }
+BENCHMARK(BM_BackboneAuditsOn)->Arg(50)->Arg(100)->Arg(200);
 
 /// Console output as usual, plus one JSON object per benchmark run
 /// appended to $GS_BENCH_JSON — the perf-trajectory hook: CI and later

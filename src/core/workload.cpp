@@ -66,6 +66,66 @@ std::vector<Point> grid_points(const WorkloadConfig& config, double jitter) {
     return pts;
 }
 
+std::vector<Point> collinear_points(const WorkloadConfig& config, std::size_t rows) {
+    rnd::Xoshiro256 rng(config.seed);
+    rows = std::max<std::size_t>(rows, 1);
+    // One shared y double per row: every triple on a row is exactly
+    // collinear no matter how x positions round.
+    std::vector<double> row_y;
+    row_y.reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        row_y.push_back(config.side * static_cast<double>(r + 1) /
+                        static_cast<double>(rows + 1));
+    }
+    std::vector<Point> pts;
+    pts.reserve(config.node_count);
+    for (std::size_t i = 0; i < config.node_count; ++i) {
+        pts.push_back({rng.uniform(0.0, config.side), row_y[i % rows]});
+    }
+    return pts;
+}
+
+std::vector<Point> cocircular_points(const WorkloadConfig& config, std::size_t circles) {
+    rnd::Xoshiro256 rng(config.seed);
+    circles = std::max<std::size_t>(circles, 1);
+    // Integer ring centers and integer (±a,±b)/(±b,±a) offsets: all
+    // coordinates are exact integers, so the 8 ring positions are
+    // exactly equidistant from the center — genuine cocircular 4+-sets
+    // for the exact predicates, not float approximations.
+    static constexpr std::pair<int, int> kAxes[] = {{3, 4}, {1, 2}, {2, 3}, {1, 3}};
+    struct Ring {
+        double cx, cy, a, b;
+    };
+    std::vector<Ring> rings;
+    rings.reserve(circles);
+    for (std::size_t c = 0; c < circles; ++c) {
+        const auto& [a, b] = kAxes[rng.below(std::size(kAxes))];
+        const double span = std::hypot(a, b);
+        // Scale so the ring diameter stays within one transmission radius.
+        const double scale = std::max(1.0, std::floor(config.radius / (2.0 * span)));
+        const double margin = scale * span + 1.0;
+        const double cx = std::floor(rng.uniform(margin, config.side - margin));
+        const double cy = std::floor(rng.uniform(margin, config.side - margin));
+        rings.push_back({cx, cy, scale * a, scale * b});
+    }
+    std::vector<Point> pts;
+    pts.reserve(config.node_count);
+    for (std::size_t i = 0; i < config.node_count; ++i) {
+        const Ring& ring = rings[i % circles];
+        const std::size_t corner = (i / circles) % 8;
+        // Past 8 points per ring, shift the whole ring by an integer
+        // lap offset: still exactly cocircular, never a duplicate.
+        const auto lap = static_cast<double>(i / (circles * 8));
+        const double u = (corner & 1) ? -1.0 : 1.0;
+        const double v = (corner & 2) ? -1.0 : 1.0;
+        const bool swapped = (corner & 4) != 0;
+        const double dx = swapped ? ring.b : ring.a;
+        const double dy = swapped ? ring.a : ring.b;
+        pts.push_back({ring.cx + lap + u * dx, ring.cy + lap + v * dy});
+    }
+    return pts;
+}
+
 std::optional<graph::GeometricGraph> random_connected_udg(WorkloadConfig config) {
     for (std::size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
         auto udg = proximity::build_udg(uniform_points(config), config.radius);

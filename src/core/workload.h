@@ -31,6 +31,20 @@ struct WorkloadConfig {
 [[nodiscard]] std::vector<geom::Point> grid_points(const WorkloadConfig& config,
                                                    double jitter);
 
+/// Points on `rows` horizontal lines sharing one exact y coordinate per
+/// row — every triple within a row is exactly collinear. Degenerate-
+/// geometry workload: localized Delaunay constructions are most fragile
+/// on collinear input, which uniform deployments never produce.
+[[nodiscard]] std::vector<geom::Point> collinear_points(const WorkloadConfig& config,
+                                                        std::size_t rows);
+
+/// Points on `circles` rings of 8 exactly cocircular positions each
+/// (integer centers plus the symmetric (±a,±b)/(±b,±a) offsets, so all
+/// coordinates are integers and the cocircularity is exact, not
+/// approximate). Exercises the in-circle tie-breaking of Algorithms 2–3.
+[[nodiscard]] std::vector<geom::Point> cocircular_points(const WorkloadConfig& config,
+                                                         std::size_t circles);
+
 /// Draws uniform instances until the UDG is connected; nullopt if the
 /// attempt budget is exhausted (radius too small for the density).
 [[nodiscard]] std::optional<graph::GeometricGraph> random_connected_udg(

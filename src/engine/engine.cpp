@@ -269,20 +269,30 @@ GeometricGraph build_udg_staged(ThreadPool& pool, std::vector<geom::Point> point
 
 core::Backbone build_backbone_staged(ThreadPool& pool, const GeometricGraph& udg,
                                      const EngineOptions& options,
-                                     core::PipelineStats* stats) {
+                                     core::PipelineStats* stats,
+                                     verify::AuditTrail* trail) {
     const auto n = static_cast<NodeId>(udg.node_count());
     const std::size_t lanes = stage_threads(pool);
+    const bool audit = options.audit && trail != nullptr;
     core::Backbone result;
 
     auto start = Clock::now();
     result.cluster = protocol::cluster_reference(udg, options.cluster_policy);
     push_stage(stats, "clustering", start, n, 1);
+    if (audit) {
+        trail->stages.push_back(
+            verify::audit_clustering(udg, result.cluster, options.audit_options));
+    }
 
     start = Clock::now();
     std::size_t candidate_items = 0;
     protocol::ConnectorState connectors =
         parallel_connectors(pool, udg, result.cluster, &candidate_items);
     push_stage(stats, "connectors", start, candidate_items, lanes);
+    if (audit) {
+        trail->stages.push_back(verify::audit_connectors(
+            udg, result.cluster, connectors.cds_edges, options.audit_options));
+    }
 
     start = Clock::now();
     result.in_backbone.assign(n, false);
@@ -292,6 +302,10 @@ core::Backbone build_backbone_staged(ThreadPool& pool, const GeometricGraph& udg
     }
     result.icds = parallel_induce(pool, udg, result.in_backbone);
     push_stage(stats, "icds", start, n, lanes);
+    if (audit) {
+        trail->stages.push_back(verify::audit_icds(udg, result.in_backbone,
+                                                   result.icds, options.audit_options));
+    }
 
     if (options.planarizer == core::Planarizer::kLdel1) {
         start = Clock::now();
@@ -326,6 +340,11 @@ core::Backbone build_backbone_staged(ThreadPool& pool, const GeometricGraph& udg
     result.ldel_icds_prime =
         core::with_dominatee_links(result.ldel_icds, result.cluster);
     push_stage(stats, "assemble", start, n, 1);
+    if (audit) {
+        // The LDel audit certifies the planarized graphs, so it runs
+        // once they are assembled.
+        trail->stages.push_back(verify::audit_ldel(udg, result, options.audit_options));
+    }
     return result;
 }
 
@@ -335,13 +354,15 @@ SpannerEngine::SpannerEngine(EngineOptions options)
 BuildResult SpannerEngine::build(std::vector<geom::Point> points, double radius) {
     BuildResult result;
     result.udg = build_udg_staged(pool_, std::move(points), radius, &result.stats);
-    result.backbone = build_backbone_staged(pool_, result.udg, options_, &result.stats);
+    result.backbone = build_backbone_staged(pool_, result.udg, options_, &result.stats,
+                                            &result.audit);
     return result;
 }
 
 core::Backbone SpannerEngine::build_backbone(const GeometricGraph& udg,
-                                             core::PipelineStats* stats) {
-    return build_backbone_staged(pool_, udg, options_, stats);
+                                             core::PipelineStats* stats,
+                                             verify::AuditTrail* trail) {
+    return build_backbone_staged(pool_, udg, options_, stats, trail);
 }
 
 }  // namespace geospanner::engine

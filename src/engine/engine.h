@@ -25,6 +25,7 @@
 #include "core/report.h"
 #include "engine/thread_pool.h"
 #include "graph/geometric_graph.h"
+#include "verify/audit.h"
 
 namespace geospanner::engine {
 
@@ -32,14 +33,23 @@ struct EngineOptions {
     std::size_t threads = 0;  ///< 0 → hardware concurrency
     protocol::ClusterPolicy cluster_policy = protocol::ClusterPolicy::kLowestId;
     core::Planarizer planarizer = core::Planarizer::kLdel1;
+    /// Opt-in post-stage verification: after the clustering, connector,
+    /// ICDS, and LDel stages the engine runs the matching verify::
+    /// checkers and appends a StageAudit to the result's trail. Audits
+    /// are read-only — output is edge-identical with audits on or off at
+    /// any thread count (test_engine.cpp pins this).
+    bool audit = false;
+    verify::AuditOptions audit_options;  ///< caps used when audit is on
 };
 
-/// One constructed instance: the UDG, every backbone topology, and the
-/// stage timing breakdown.
+/// One constructed instance: the UDG, every backbone topology, the
+/// stage timing breakdown, and (when EngineOptions::audit) the
+/// per-stage invariant certificates.
 struct BuildResult {
     graph::GeometricGraph udg;
     core::Backbone backbone;
     core::PipelineStats stats;
+    verify::AuditTrail audit;  ///< empty unless EngineOptions::audit
 };
 
 /// UDG stage on `pool`'s lanes: the per-node grid-cell scan runs in
@@ -54,11 +64,14 @@ struct BuildResult {
 /// existing UDG, parallelizing the per-node work of each stage on
 /// `pool`'s lanes. Identical output to core::build_backbone with
 /// Engine::kCentralized (message stats stay empty, as there). Appends
-/// one StageStats entry per stage to `stats` when given.
+/// one StageStats entry per stage to `stats` when given. When
+/// `options.audit` and `trail` are both set, runs the post-stage
+/// verify:: audits and appends their StageAudits to `trail`.
 [[nodiscard]] core::Backbone build_backbone_staged(ThreadPool& pool,
                                                    const graph::GeometricGraph& udg,
                                                    const EngineOptions& options,
-                                                   core::PipelineStats* stats = nullptr);
+                                                   core::PipelineStats* stats = nullptr,
+                                                   verify::AuditTrail* trail = nullptr);
 
 /// Facade owning the pool: one engine, many builds.
 class SpannerEngine {
@@ -74,9 +87,12 @@ class SpannerEngine {
     /// Full pipeline from raw node positions.
     [[nodiscard]] BuildResult build(std::vector<geom::Point> points, double radius);
 
-    /// Staged pipeline over an existing UDG (no UDG stage).
+    /// Staged pipeline over an existing UDG (no UDG stage). `trail`
+    /// receives the post-stage audit certificates when the engine was
+    /// configured with EngineOptions::audit.
     [[nodiscard]] core::Backbone build_backbone(const graph::GeometricGraph& udg,
-                                                core::PipelineStats* stats = nullptr);
+                                                core::PipelineStats* stats = nullptr,
+                                                verify::AuditTrail* trail = nullptr);
 
   private:
     EngineOptions options_;

@@ -1,5 +1,6 @@
 #include "io/serialize.h"
 
+#include <cctype>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -64,6 +65,118 @@ std::string to_dot(const GeometricGraph& g, const std::string& name) {
     }
     out << "}\n";
     return out.str();
+}
+
+namespace {
+
+/// Minimal scanner for the fixed-shape JSON to_json emits. Not a general
+/// JSON parser: keys are matched literally and strings may not contain
+/// escaped quotes (mode/check names never do).
+class JsonScanner {
+  public:
+    explicit JsonScanner(const std::string& text) : text_(text) {}
+
+    [[nodiscard]] bool find_key(const std::string& key) {
+        const auto at = text_.find('"' + key + "\":");
+        if (at == std::string::npos) return false;
+        pos_ = at + key.size() + 3;
+        return true;
+    }
+
+    [[nodiscard]] bool read_string(std::string& out) {
+        if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+        const auto end = text_.find('"', pos_ + 1);
+        if (end == std::string::npos) return false;
+        out = text_.substr(pos_ + 1, end - pos_ - 1);
+        pos_ = end + 1;
+        return true;
+    }
+
+    template <typename T>
+    [[nodiscard]] bool read_number(T& out) {
+        std::istringstream in(text_.substr(pos_));
+        if (!(in >> out)) return false;
+        const auto consumed = in.tellg();  // -1 when the number ended the text
+        pos_ = consumed < 0 ? text_.size() : pos_ + static_cast<std::size_t>(consumed);
+        return true;
+    }
+
+    [[nodiscard]] bool expect(char c) {
+        skip_space();
+        if (pos_ >= text_.size() || text_[pos_] != c) return false;
+        ++pos_;
+        return true;
+    }
+
+    [[nodiscard]] bool peek_is(char c) {
+        skip_space();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+  private:
+    void skip_space() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_json(const ReproCase& repro) {
+    std::ostringstream out;
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    out << "{\"seed\":" << repro.seed << ",\"mode\":\"" << repro.mode
+        << "\",\"radius\":" << repro.radius << ",\"failed_check\":\""
+        << repro.failed_check << "\",\"points\":[";
+    for (std::size_t i = 0; i < repro.points.size(); ++i) {
+        if (i > 0) out << ',';
+        out << '[' << repro.points[i].x << ',' << repro.points[i].y << ']';
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::optional<ReproCase> repro_from_json(const std::string& json) {
+    ReproCase repro;
+    JsonScanner scan(json);
+    if (!scan.find_key("seed") || !scan.read_number(repro.seed)) return std::nullopt;
+    if (!scan.find_key("mode") || !scan.read_string(repro.mode)) return std::nullopt;
+    if (!scan.find_key("radius") || !scan.read_number(repro.radius)) return std::nullopt;
+    if (!scan.find_key("failed_check") || !scan.read_string(repro.failed_check)) {
+        return std::nullopt;
+    }
+    if (!scan.find_key("points") || !scan.expect('[')) return std::nullopt;
+    if (!scan.peek_is(']')) {
+        do {
+            geom::Point p;
+            if (!scan.expect('[') || !scan.read_number(p.x) || !scan.expect(',') ||
+                !scan.read_number(p.y) || !scan.expect(']')) {
+                return std::nullopt;
+            }
+            repro.points.push_back(p);
+        } while (scan.expect(','));
+    }
+    if (!scan.expect(']')) return std::nullopt;
+    return repro;
+}
+
+bool save_repro(const std::string& path, const ReproCase& repro) {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << to_json(repro) << '\n';
+    return static_cast<bool>(file);
+}
+
+std::optional<ReproCase> load_repro(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return repro_from_json(buffer.str());
 }
 
 }  // namespace geospanner::io

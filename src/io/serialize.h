@@ -9,10 +9,13 @@
 //   <u> <v>                 (edge_count lines, u < v)
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "geom/vec2.h"
 #include "graph/geometric_graph.h"
 
 namespace geospanner::io {
@@ -28,5 +31,29 @@ bool save_graph(const std::string& path, const graph::GeometricGraph& g);
 /// Graphviz DOT (neato-friendly: nodes carry pos="x,y!" pins).
 [[nodiscard]] std::string to_dot(const graph::GeometricGraph& g,
                                  const std::string& name = "topology");
+
+/// One fuzz-harness repro artifact: the exact (possibly shrunk) point
+/// set of a failing instance plus everything needed to replay it — the
+/// generator seed/mode it came from, the transmission radius, and the
+/// name of the verify:: check that failed. Serialized as a single JSON
+/// object with max-precision coordinates so a reload rebuilds the
+/// byte-identical instance.
+struct ReproCase {
+    std::uint64_t seed = 0;
+    std::string mode;          ///< generator mode, e.g. "cocircular"
+    double radius = 0.0;       ///< UDG transmission radius
+    std::string failed_check;  ///< verify:: check name, e.g. "planarity_certificate"
+    std::vector<geom::Point> points;
+};
+
+/// {"seed":..,"mode":"..","radius":..,"failed_check":"..",
+///  "points":[[x,y],...]}
+[[nodiscard]] std::string to_json(const ReproCase& repro);
+/// Parses exactly the format to_json writes; nullopt on malformed input.
+[[nodiscard]] std::optional<ReproCase> repro_from_json(const std::string& json);
+
+/// File wrappers; false / nullopt on I/O or parse failure.
+bool save_repro(const std::string& path, const ReproCase& repro);
+[[nodiscard]] std::optional<ReproCase> load_repro(const std::string& path);
 
 }  // namespace geospanner::io

@@ -1,0 +1,228 @@
+// Seeded property-fuzz harness: sweeps the five generator modes
+// (uniform, clustered, grid-perturbed, collinear, cocircular) through
+// the full engine pipeline under verify:: audit, deterministically per
+// seed. On a certificate violation the point set is greedily shrunk to
+// a minimal failing instance and dumped as JSON + SVG repro artifacts
+// (seed in the filename) that replay to the same failure.
+//
+// The sweep is bounded by default (fuzz-smoke, a few seconds);
+// GS_FUZZ_SEEDS widens the seed set for the CI fuzz-smoke job or longer
+// local sessions.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "engine/engine.h"
+#include "graph/planarity.h"
+#include "io/serialize.h"
+#include "proximity/udg.h"
+#include "test_util.h"
+#include "verify/audit.h"
+
+namespace geospanner {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+using test::FuzzMode;
+
+core::WorkloadConfig fuzz_config(std::uint64_t seed) {
+    core::WorkloadConfig config;
+    config.node_count = 60;
+    config.side = 200.0;
+    config.radius = 55.0;
+    config.seed = seed;
+    return config;
+}
+
+/// Seed set of the sweep: 4 by default, GS_FUZZ_SEEDS (count) widens it.
+/// Seeds are derived by a splitmix64 chain so the set is deterministic
+/// at every length.
+std::vector<std::uint64_t> sweep_seeds() {
+    std::size_t count = 4;
+    if (const char* env = std::getenv("GS_FUZZ_SEEDS")) {
+        const auto v = std::strtoul(env, nullptr, 10);
+        if (v > 0) count = v;
+    }
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(count);
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < count; ++i) seeds.push_back(rnd::splitmix64(state));
+    return seeds;
+}
+
+/// Runs the audited engine pipeline over `points`; returns the first
+/// failing report, or nullopt when every certificate holds.
+std::optional<verify::AuditReport> first_audit_failure(
+    const std::vector<geom::Point>& points, double radius) {
+    engine::EngineOptions options;
+    options.threads = 2;
+    options.audit = true;
+    options.audit_options.radius = radius;
+    engine::SpannerEngine engine(options);
+    const engine::BuildResult result = engine.build(points, radius);
+    const verify::AuditReport* failure = result.audit.first_failure();
+    if (failure == nullptr) return std::nullopt;
+    return *failure;
+}
+
+/// Shrinks a failing instance (failure = `check` keeps failing) and
+/// dumps the JSON+SVG repro pair. Returns the JSON artifact path.
+std::string shrink_and_dump(FuzzMode mode, std::uint64_t seed, double radius,
+                            std::vector<geom::Point> points,
+                            const std::string& check) {
+    const auto still_fails = [&](const std::vector<geom::Point>& pts) {
+        const auto failure = first_audit_failure(pts, radius);
+        return failure.has_value() && failure->check == check;
+    };
+    io::ReproCase repro;
+    repro.seed = seed;
+    repro.mode = test::fuzz_mode_name(mode);
+    repro.radius = radius;
+    repro.failed_check = check;
+    repro.points = test::shrink_points(std::move(points), still_fails);
+    return test::dump_repro(repro);
+}
+
+TEST(FuzzSpanner, SeededSweepAllModesHoldCertificates) {
+    for (const FuzzMode mode : test::all_fuzz_modes()) {
+        for (const std::uint64_t seed : sweep_seeds()) {
+            const auto config = fuzz_config(seed);
+            const auto points = test::fuzz_points(mode, config);
+            const auto failure = first_audit_failure(points, config.radius);
+            if (failure.has_value()) {
+                const std::string artifact = shrink_and_dump(
+                    mode, seed, config.radius, points, failure->check);
+                ADD_FAILURE() << "mode=" << test::fuzz_mode_name(mode)
+                              << " seed=" << seed << ": " << failure->summary()
+                              << "\n  shrunk repro: " << artifact;
+            }
+        }
+    }
+}
+
+TEST(FuzzSpanner, DeterministicPerSeed) {
+    // Same (mode, seed) → identical points, UDG, and audit trail; the
+    // whole harness is replayable from the seed alone.
+    for (const FuzzMode mode : test::all_fuzz_modes()) {
+        const auto config = fuzz_config(29);
+        const auto a = test::fuzz_points(mode, config);
+        const auto b = test::fuzz_points(mode, config);
+        ASSERT_EQ(a, b) << test::fuzz_mode_name(mode);
+
+        engine::EngineOptions options;
+        options.threads = 2;
+        options.audit = true;
+        options.audit_options.radius = config.radius;
+        engine::SpannerEngine engine(options);
+        const auto r1 = engine.build(a, config.radius);
+        const auto r2 = engine.build(b, config.radius);
+        EXPECT_EQ(r1.udg, r2.udg) << test::fuzz_mode_name(mode);
+        EXPECT_EQ(r1.audit.summary(), r2.audit.summary())
+            << test::fuzz_mode_name(mode);
+    }
+}
+
+/// The deliberately-broken-topology predicate: build the backbone, then
+/// inject one extra LDel edge between the farthest pair of backbone
+/// nodes. On spread-out instances that edge crosses the planarized
+/// mesh, so check_planarity_certificate must fail with the crossing as
+/// witness. Defined over a raw point set so the shrinker can call it.
+struct InjectionResult {
+    verify::AuditReport report;
+    std::pair<NodeId, NodeId> injected{graph::kInvalidNode, graph::kInvalidNode};
+};
+
+std::optional<InjectionResult> inject_and_audit(const std::vector<geom::Point>& points,
+                                                double radius) {
+    const GeometricGraph udg = proximity::build_udg(points, radius);
+    core::Backbone bb = core::build_backbone(udg, {core::Engine::kCentralized});
+    NodeId best_u = graph::kInvalidNode;
+    NodeId best_v = graph::kInvalidNode;
+    double best = -1.0;
+    for (NodeId u = 0; u < udg.node_count(); ++u) {
+        if (!bb.in_backbone[u]) continue;
+        for (NodeId v = u + 1; v < udg.node_count(); ++v) {
+            if (!bb.in_backbone[v] || bb.ldel_icds.has_edge(u, v)) continue;
+            const double d = geom::distance(udg.point(u), udg.point(v));
+            if (d > best) {
+                best = d;
+                best_u = u;
+                best_v = v;
+            }
+        }
+    }
+    if (best_u == graph::kInvalidNode) return std::nullopt;
+    bb.ldel_icds.add_edge(best_u, best_v);
+    InjectionResult result;
+    result.injected = {best_u, best_v};
+    result.report = verify::check_planarity_certificate(bb.ldel_icds);
+    return result;
+}
+
+TEST(FuzzSpanner, InjectedCrossingProducesFailingCertificateWithWitness) {
+    const auto udg = test::connected_udg(60, 200.0, 55.0, 53);
+    ASSERT_GT(udg.node_count(), 0u);
+    const auto injected = inject_and_audit(udg.points(), 55.0);
+    ASSERT_TRUE(injected.has_value());
+    ASSERT_FALSE(injected->report.pass) << injected->report.summary();
+    ASSERT_FALSE(injected->report.witnesses.empty());
+    // The witness names the injected edge as one side of a concrete
+    // crossing pair.
+    bool names_injection = false;
+    for (const auto& w : injected->report.witnesses) {
+        for (const auto& e : w.edges) {
+            if (e == injected->injected) names_injection = true;
+        }
+    }
+    EXPECT_TRUE(names_injection) << injected->report.summary();
+}
+
+TEST(FuzzSpanner, ShrunkReproReplaysToSameFailure) {
+    // End-to-end repro flow on the injected failure: shrink the point
+    // set to a minimal instance where the injection still breaks
+    // planarity, dump JSON+SVG, reload the JSON, and replay it to the
+    // same failing certificate.
+    const std::uint64_t seed = 53;
+    const double radius = 55.0;
+    const auto udg = test::connected_udg(60, 200.0, radius, seed);
+    ASSERT_GT(udg.node_count(), 0u);
+
+    const auto fails = [&](const std::vector<geom::Point>& pts) {
+        const auto injected = inject_and_audit(pts, radius);
+        return injected.has_value() && !injected->report.pass;
+    };
+    ASSERT_TRUE(fails(udg.points())) << "injection did not break planarity";
+
+    io::ReproCase repro;
+    repro.seed = seed;
+    repro.mode = "injected-crossing";
+    repro.radius = radius;
+    repro.failed_check = "planarity_certificate";
+    repro.points = test::shrink_points(udg.points(), fails);
+    EXPECT_LT(repro.points.size(), udg.node_count());
+    // 1-minimal: removing any single remaining point repairs the failure.
+    for (std::size_t i = 0; i < repro.points.size(); ++i) {
+        auto fewer = repro.points;
+        fewer.erase(fewer.begin() + static_cast<std::ptrdiff_t>(i));
+        EXPECT_FALSE(fails(fewer)) << "shrink left a removable point " << i;
+    }
+
+    const std::string json_path = test::dump_repro(repro);
+    ASSERT_FALSE(json_path.empty());
+
+    const auto loaded = io::load_repro(json_path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->points, repro.points);  // Max-precision round-trip.
+    EXPECT_EQ(loaded->failed_check, "planarity_certificate");
+    const auto replay = inject_and_audit(loaded->points, loaded->radius);
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_FALSE(replay->report.pass) << "repro did not replay to the failure";
+}
+
+}  // namespace
+}  // namespace geospanner

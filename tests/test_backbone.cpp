@@ -12,6 +12,7 @@
 #include "core/workload.h"
 #include "proximity/udg.h"
 #include "test_util.h"
+#include "verify/audit.h"
 
 namespace geospanner::core {
 namespace {
@@ -64,10 +65,12 @@ TEST_P(BackboneSweep, SubgraphRelations) {
     }
 }
 
-TEST_P(BackboneSweep, BackboneGraphsConnectBackbone) {
-    EXPECT_TRUE(graph::is_connected_on(bb_.cds, bb_.in_backbone));
-    EXPECT_TRUE(graph::is_connected_on(bb_.icds, bb_.in_backbone));
-    EXPECT_TRUE(graph::is_connected_on(bb_.ldel_icds, bb_.in_backbone));
+TEST_P(BackboneSweep, Lemma8ConnectivityCertificate) {
+    // CDS / ICDS / LDel(ICDS) keep the backbone connected and
+    // LDel(ICDS') reaches every UDG-connected pair (Lemma 8's
+    // reachability half), certified component-wise.
+    const auto report = verify::check_connectivity_preserved(udg_, bb_);
+    EXPECT_TRUE(report.pass) << report.summary();
 }
 
 TEST_P(BackboneSweep, PrimedGraphsSpanAllNodes) {
@@ -76,8 +79,10 @@ TEST_P(BackboneSweep, PrimedGraphsSpanAllNodes) {
     EXPECT_TRUE(graph::is_connected(bb_.ldel_icds_prime));
 }
 
-TEST_P(BackboneSweep, LdelIcdsIsPlanar) {
-    EXPECT_TRUE(graph::is_plane_embedding(bb_.ldel_icds));
+TEST_P(BackboneSweep, Lemma7LdelIcdsPlanarityCertificate) {
+    // A failure carries the concrete crossing edge pair, not just "false".
+    const auto report = verify::check_planarity_certificate(bb_.ldel_icds);
+    EXPECT_TRUE(report.pass) << report.summary();
 }
 
 TEST_P(BackboneSweep, Ldel2PlanarizerVariant) {
@@ -113,49 +118,17 @@ TEST_P(BackboneSweep, HighestDegreePolicyPipeline) {
     const Backbone c = build_backbone(udg_, options);
     EXPECT_EQ(d.ldel_icds_prime, c.ldel_icds_prime);
     EXPECT_EQ(d.cds_prime, c.cds_prime);
-    EXPECT_TRUE(graph::is_plane_embedding(d.ldel_icds));
-    EXPECT_TRUE(graph::is_connected(d.ldel_icds_prime));
-    for (NodeId s = 0; s < udg_.node_count(); s += 4) {
-        const auto base = graph::bfs_hops(udg_, s);
-        const auto topo = graph::bfs_hops(d.cds_prime, s);
-        for (NodeId t = 0; t < udg_.node_count(); ++t) {
-            if (t == s) continue;
-            ASSERT_NE(topo[t], graph::kUnreachableHops);
-            EXPECT_LE(topo[t], 3 * base[t] + 2);
-        }
-    }
+    const verify::AuditTrail trail = verify::audit_backbone(udg_, d);
+    EXPECT_TRUE(trail.pass()) << trail.summary();
 }
 
-TEST_P(BackboneSweep, Lemma5HopStretchPerPair) {
-    // For every node pair: hops in CDS' at most 3h + 2 where h is the
-    // UDG hop distance — the exact bound of Lemma 5's construction.
-    for (NodeId s = 0; s < udg_.node_count(); ++s) {
-        const auto base = graph::bfs_hops(udg_, s);
-        const auto topo = graph::bfs_hops(bb_.cds_prime, s);
-        for (NodeId t = 0; t < udg_.node_count(); ++t) {
-            if (t == s) continue;
-            ASSERT_NE(topo[t], graph::kUnreachableHops);
-            EXPECT_LE(topo[t], 3 * base[t] + 2) << "pair " << s << "," << t;
-        }
-    }
-}
-
-TEST_P(BackboneSweep, Lemma6LengthStretchForFarPairs) {
-    // For pairs more than one transmission radius apart, the length
-    // stretch is bounded (the paper's constant works out to <= 16 at
-    // h = 2 and decreases with distance).
-    double radius = 0.0;
-    for (const auto& [u, v] : udg_.edges()) {
-        radius = std::max(radius, udg_.edge_length(u, v));
-    }
-    for (NodeId s = 0; s < udg_.node_count(); ++s) {
-        const auto base = graph::dijkstra_lengths(udg_, s);
-        const auto topo = graph::dijkstra_lengths(bb_.cds_prime, s);
-        for (NodeId t = s + 1; t < udg_.node_count(); ++t) {
-            if (geom::distance(udg_.point(s), udg_.point(t)) <= radius) continue;
-            EXPECT_LE(topo[t], 16.0 * base[t]) << "pair " << s << "," << t;
-        }
-    }
+TEST_P(BackboneSweep, Lemma56StretchCertificate) {
+    // Per-pair CDS' hop stretch ≤ 3h + 2 (Lemma 5), CDS' length stretch
+    // for pairs more than one radius apart ≤ 16 (Lemma 6), and the same
+    // length cap for LDel(ICDS') — one certificate; a failure carries
+    // the violating pair and both path costs.
+    const auto report = verify::check_stretch_bounds(udg_, bb_);
+    EXPECT_TRUE(report.pass) << report.summary();
 }
 
 TEST_P(BackboneSweep, LdelPreservesSpannerUpToConstant) {
@@ -167,25 +140,19 @@ TEST_P(BackboneSweep, LdelPreservesSpannerUpToConstant) {
     EXPECT_GE(len.avg, 1.0);
 }
 
-TEST_P(BackboneSweep, BackboneDegreesBounded) {
+TEST_P(BackboneSweep, Lemma4BackboneDegreeCertificate) {
     // CDS / ICDS / LDel(ICDS) degrees are bounded by constants that do
-    // not grow with n or density; these empirical caps pin that.
-    EXPECT_LE(graph::degree_stats(bb_.cds).max, 30u);
-    EXPECT_LE(graph::degree_stats(bb_.icds).max, 40u);
-    EXPECT_LE(graph::degree_stats(bb_.ldel_icds).max, 40u);
+    // not grow with n or density; the shared checker pins the caps.
+    const auto report = verify::check_backbone_degree(bb_);
+    EXPECT_TRUE(report.pass) << report.summary();
 }
 
-TEST_P(BackboneSweep, MessageCountsCumulativeAndBounded) {
-    const auto& m = bb_.messages;
-    ASSERT_EQ(m.after_cds.size(), udg_.node_count());
-    for (NodeId v = 0; v < udg_.node_count(); ++v) {
-        EXPECT_LE(m.after_cds[v], m.after_icds[v]);
-        EXPECT_LE(m.after_icds[v], m.after_ldel[v]);
-        // RoleAnnounce is exactly one message per node.
-        EXPECT_EQ(m.after_icds[v], m.after_cds[v] + 1);
-        // Constant bound per node (Lemma 3 + bounded backbone degree).
-        EXPECT_LE(m.after_ldel[v], 250u) << "node " << v;
-    }
+TEST_P(BackboneSweep, Lemma3MessageBoundCertificate) {
+    // Cumulative across stages, exactly one RoleAnnounce per node, and a
+    // constant per-node cap (Lemma 3 + bounded backbone degree).
+    ASSERT_EQ(bb_.messages.after_cds.size(), udg_.node_count());
+    const auto report = verify::check_message_bounds(bb_.messages);
+    EXPECT_TRUE(report.pass) << report.summary();
 }
 
 TEST_P(BackboneSweep, DominatorCountWithinConstantOfMisBound) {
@@ -202,24 +169,15 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BackboneSweep,
                          ::testing::ValuesIn(test::standard_sweep()));
 
 /// Full-pipeline invariants on a given connected UDG (reused for the
-/// non-uniform workloads below).
+/// non-uniform workloads below): engine equality plus the complete
+/// verify:: stage-audit trail (Lemmas 1–8).
 void expect_pipeline_invariants(const GeometricGraph& udg) {
     ASSERT_TRUE(graph::is_connected(udg));
     const Backbone bb = build_backbone(udg, {Engine::kDistributed});
     const Backbone c = build_backbone(udg, {Engine::kCentralized});
     EXPECT_EQ(bb.ldel_icds_prime, c.ldel_icds_prime);
-    EXPECT_TRUE(graph::is_plane_embedding(bb.ldel_icds));
-    EXPECT_TRUE(graph::is_connected_on(bb.ldel_icds, bb.in_backbone));
-    EXPECT_TRUE(graph::is_connected(bb.ldel_icds_prime));
-    for (NodeId s = 0; s < udg.node_count(); s += 3) {
-        const auto base = graph::bfs_hops(udg, s);
-        const auto topo = graph::bfs_hops(bb.cds_prime, s);
-        for (NodeId t = 0; t < udg.node_count(); ++t) {
-            if (t == s) continue;
-            ASSERT_NE(topo[t], graph::kUnreachableHops);
-            EXPECT_LE(topo[t], 3 * base[t] + 2);
-        }
-    }
+    const verify::AuditTrail trail = verify::audit_backbone(udg, bb);
+    EXPECT_TRUE(trail.pass()) << trail.summary();
 }
 
 TEST(Backbone, GridWorkload) {

@@ -7,6 +7,7 @@
 
 #include "proximity/udg.h"
 #include "test_util.h"
+#include "verify/audit.h"
 
 namespace geospanner::protocol {
 namespace {
@@ -49,65 +50,21 @@ TEST_P(ClusteringSweep, HighestDegreePolicyDistributedEqualsCentralized) {
 }
 
 TEST_P(ClusteringSweep, HighestDegreePolicyYieldsValidMis) {
+    // MIS validity plus the Lemma 1–2 packing bounds hold under the
+    // alternative election criterion too — same shared certificate.
     const ClusterState s = cluster_reference(udg_, ClusterPolicy::kHighestDegree);
-    for (const auto& [u, v] : udg_.edges()) {
-        EXPECT_FALSE(s.is_dominator(u) && s.is_dominator(v));
-    }
-    for (NodeId v = 0; v < udg_.node_count(); ++v) {
-        if (!s.is_dominator(v)) {
-            EXPECT_FALSE(s.dominators_of[v].empty());
-            EXPECT_LE(s.dominators_of[v].size(), 5u);  // Lemma 1 holds regardless.
-        }
-    }
+    const auto report = verify::check_dominator_packing(udg_, s);
+    EXPECT_TRUE(report.pass) << report.summary();
 }
 
-TEST_P(ClusteringSweep, DominatorsFormMaximalIndependentSet) {
+TEST_P(ClusteringSweep, Lemma12DominatorPackingCertificate) {
+    // MIS validity (independence + domination), Lemma 1 (≤ 5 dominators
+    // per dominatee), and Lemma 2 (≤ (2k+1)² dominators in any k·radius
+    // disk) — all certified by the shared verify:: checker; a failure
+    // names the offending node and its dominator set.
     const ClusterState s = lowest_id_mis(udg_);
-    for (const auto& [u, v] : udg_.edges()) {
-        EXPECT_FALSE(s.is_dominator(u) && s.is_dominator(v))
-            << "adjacent dominators " << u << ", " << v;
-    }
-    // Maximality == domination: every dominatee has a dominator neighbor.
-    for (NodeId v = 0; v < udg_.node_count(); ++v) {
-        if (s.is_dominator(v)) continue;
-        EXPECT_FALSE(s.dominators_of[v].empty()) << "undominated node " << v;
-        for (const NodeId d : s.dominators_of[v]) {
-            EXPECT_TRUE(udg_.has_edge(v, d));
-            EXPECT_TRUE(s.is_dominator(d));
-        }
-    }
-}
-
-TEST_P(ClusteringSweep, Lemma1AtMostFiveDominators) {
-    const ClusterState s = lowest_id_mis(udg_);
-    for (NodeId v = 0; v < udg_.node_count(); ++v) {
-        EXPECT_LE(s.dominators_of[v].size(), 5u) << "node " << v;
-    }
-}
-
-TEST_P(ClusteringSweep, Lemma2BoundedDominatorsInKDisk) {
-    // Dominators are pairwise > radius apart, so the disk of radius
-    // k*radius around any node holds at most (2k+1)^2 of them (area
-    // argument with half-radius disks). Check k = 1, 2.
-    const ClusterState s = lowest_id_mis(udg_);
-    const double radius = 1.0;  // Work in units of the UDG radius.
-    // Recover the transmission radius from the longest edge.
-    double rmax = 0.0;
-    for (const auto& [u, v] : udg_.edges()) {
-        rmax = std::max(rmax, udg_.edge_length(u, v));
-    }
-    (void)radius;
-    for (NodeId v = 0; v < udg_.node_count(); ++v) {
-        for (const int k : {1, 2}) {
-            std::size_t count = 0;
-            for (NodeId d = 0; d < udg_.node_count(); ++d) {
-                if (!s.is_dominator(d)) continue;
-                if (geom::distance(udg_.point(v), udg_.point(d)) <= k * rmax) ++count;
-            }
-            const auto bound = static_cast<std::size_t>((2 * k + 1) * (2 * k + 1));
-            EXPECT_LE(count, bound) << "node " << v << " k=" << k;
-        }
-    }
+    const auto report = verify::check_dominator_packing(udg_, s);
+    EXPECT_TRUE(report.pass) << report.summary();
 }
 
 TEST_P(ClusteringSweep, TwoHopDominatorListsAreCorrect) {

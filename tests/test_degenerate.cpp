@@ -1,0 +1,134 @@
+// Degenerate-geometry suite: exactly collinear rows, exactly cocircular
+// 4+-sets, and duplicate / near-duplicate coordinates pushed through the
+// full UDG → clustering → connectors → ICDS → LDel pipeline, with the
+// verify:: audit trail as the oracle. Uniform workloads never produce
+// these inputs; the exact predicates and tie-breaks only get exercised
+// here and in the fuzz driver's degenerate modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/workload.h"
+#include "engine/engine.h"
+#include "geom/vec2.h"
+#include "proximity/udg.h"
+#include "test_util.h"
+#include "verify/audit.h"
+
+namespace geospanner {
+namespace {
+
+/// Builds the backbone (centralized) and asserts every stage certificate.
+void expect_clean_audit(const std::vector<geom::Point>& points, double radius) {
+    const auto udg = proximity::build_udg(points, radius);
+    ASSERT_GT(udg.node_count(), 0u);
+    const core::Backbone backbone =
+        core::build_backbone(udg, {core::Engine::kCentralized});
+    verify::AuditOptions options;
+    options.radius = radius;
+    const verify::AuditTrail trail = verify::audit_backbone(udg, backbone, options);
+    EXPECT_TRUE(trail.pass()) << trail.summary();
+}
+
+TEST(Degenerate, CollinearRowsAuditClean) {
+    core::WorkloadConfig config;
+    config.node_count = 48;
+    config.side = 180.0;
+    config.radius = 50.0;
+    for (const std::uint64_t seed : {11ULL, 29ULL, 53ULL}) {
+        config.seed = seed;
+        for (const std::size_t rows : {1UL, 3UL}) {
+            SCOPED_TRACE(::testing::Message() << "seed=" << seed << " rows=" << rows);
+            expect_clean_audit(core::collinear_points(config, rows), config.radius);
+        }
+    }
+}
+
+TEST(Degenerate, CocircularRingsAuditClean) {
+    core::WorkloadConfig config;
+    config.node_count = 48;
+    config.side = 200.0;
+    config.radius = 55.0;
+    for (const std::uint64_t seed : {11ULL, 29ULL, 53ULL}) {
+        config.seed = seed;
+        for (const std::size_t circles : {2UL, 4UL}) {
+            SCOPED_TRACE(::testing::Message() << "seed=" << seed
+                                              << " circles=" << circles);
+            expect_clean_audit(core::cocircular_points(config, circles),
+                               config.radius);
+        }
+    }
+}
+
+TEST(Degenerate, SingleCocircularOctetAuditClean) {
+    // The minimal interesting instance: one ring of 8 exactly cocircular
+    // points (all 4+-subsets cocircular) — every LDel in-circle test on
+    // this instance is a tie.
+    std::vector<geom::Point> pts;
+    for (const auto& [dx, dy] : {std::pair{30.0, 40.0}, {30.0, -40.0},
+                                 {-30.0, 40.0}, {-30.0, -40.0},
+                                 {40.0, 30.0}, {40.0, -30.0},
+                                 {-40.0, 30.0}, {-40.0, -30.0}}) {
+        pts.push_back({100.0 + dx, 100.0 + dy});
+    }
+    expect_clean_audit(pts, 110.0);
+}
+
+TEST(Degenerate, DuplicateCoordinatesAuditClean) {
+    // Exact duplicates: a uniform instance with every fourth point
+    // repeated verbatim. Coincident nodes are distinct protocol
+    // participants at distance zero.
+    auto pts = test::random_points(36, 150.0, 29);
+    const std::size_t base = pts.size();
+    for (std::size_t i = 0; i < base; i += 4) pts.push_back(pts[i]);
+    expect_clean_audit(pts, 50.0);
+}
+
+TEST(Degenerate, NearDuplicateCoordinatesAuditClean) {
+    // Near-duplicates one ulp-scale nudge apart: exercises the exact
+    // predicates on almost-identical coordinates, where naive epsilon
+    // comparisons misclassify.
+    auto pts = test::random_points(36, 150.0, 53);
+    const std::size_t base = pts.size();
+    for (std::size_t i = 0; i < base; i += 4) {
+        geom::Point p = pts[i];
+        p.x += 1e-9;
+        pts.push_back(p);
+    }
+    expect_clean_audit(pts, 50.0);
+}
+
+TEST(Degenerate, EngineMatchesCentralizedOnDegenerateInput) {
+    // The staged engine's determinism contract must also hold on the
+    // degenerate workloads, with audits enabled.
+    core::WorkloadConfig config;
+    config.node_count = 48;
+    config.side = 180.0;
+    config.radius = 50.0;
+    config.seed = 29;
+    for (const test::FuzzMode mode :
+         {test::FuzzMode::kCollinear, test::FuzzMode::kCocircular}) {
+        SCOPED_TRACE(test::fuzz_mode_name(mode));
+        const auto points = test::fuzz_points(mode, config);
+        const auto udg = proximity::build_udg(points, config.radius);
+        const core::Backbone reference =
+            core::build_backbone(udg, {core::Engine::kCentralized});
+
+        engine::EngineOptions options;
+        options.threads = 4;
+        options.audit = true;
+        options.audit_options.radius = config.radius;
+        engine::SpannerEngine engine(options);
+        const engine::BuildResult result = engine.build(points, config.radius);
+
+        EXPECT_TRUE(result.audit.pass()) << result.audit.summary();
+        EXPECT_EQ(result.udg, udg);
+        EXPECT_EQ(result.backbone.cds, reference.cds);
+        EXPECT_EQ(result.backbone.ldel_icds, reference.ldel_icds);
+        EXPECT_EQ(result.backbone.ldel_icds_prime, reference.ldel_icds_prime);
+    }
+}
+
+}  // namespace
+}  // namespace geospanner

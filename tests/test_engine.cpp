@@ -129,10 +129,29 @@ TEST_P(EngineDeterminism, MatchesSequentialPathAtEveryThreadCount) {
         BuildResult result = engine.build(points, config.radius);
         EXPECT_EQ(result.udg, udg) << "threads=" << threads;
         expect_backbones_equal(expected, result.backbone);
+        EXPECT_TRUE(result.audit.stages.empty()) << "audit trail without opt-in";
 
         // Same through the UDG-skipping entry point.
         const core::Backbone direct = engine.build_backbone(udg, &stats);
         expect_backbones_equal(expected, direct);
+
+        // Audits are read-only: with them enabled, output stays
+        // edge-identical to the audits-off build at the same thread
+        // count, and the trail itself passes.
+        EngineOptions audited;
+        audited.threads = threads;
+        audited.audit = true;
+        audited.audit_options.radius = config.radius;
+        SpannerEngine audited_engine(audited);
+        const BuildResult audited_result =
+            audited_engine.build(points, config.radius);
+        EXPECT_EQ(audited_result.udg, udg) << "threads=" << threads;
+        expect_backbones_equal(expected, audited_result.backbone);
+        EXPECT_TRUE(audited_result.audit.pass()) << audited_result.audit.summary();
+        std::vector<std::string> stages;
+        for (const auto& s : audited_result.audit.stages) stages.push_back(s.stage);
+        EXPECT_EQ(stages, (std::vector<std::string>{"clustering", "connectors",
+                                                    "icds", "ldel"}));
     }
 }
 

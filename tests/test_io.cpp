@@ -138,6 +138,48 @@ TEST(Serialize, RejectsMalformedInput) {
     EXPECT_TRUE(parse("gsg 1\n2 1\n0 0\n1 1\n0 1\n").has_value());
 }
 
+TEST(Serialize, ReproCaseRoundTripExactly) {
+    ReproCase repro;
+    repro.seed = 0xdeadbeef12345678ULL;
+    repro.mode = "cocircular";
+    repro.radius = 55.0;
+    repro.failed_check = "planarity_certificate";
+    repro.points = geospanner::test::random_points(17, 200.0, 42);
+    repro.points.push_back({1.0 / 3.0, -2.0e-17});  // Awkward decimals.
+
+    const std::string json = to_json(repro);
+    const auto parsed = repro_from_json(json);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->seed, repro.seed);
+    EXPECT_EQ(parsed->mode, repro.mode);
+    EXPECT_DOUBLE_EQ(parsed->radius, repro.radius);
+    EXPECT_EQ(parsed->failed_check, repro.failed_check);
+    EXPECT_EQ(parsed->points, repro.points);  // Bit-exact coordinates.
+
+    const auto path = std::filesystem::temp_directory_path() / "gs_test_repro.json";
+    ASSERT_TRUE(save_repro(path.string(), repro));
+    const auto loaded = load_repro(path.string());
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->points, repro.points);
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, ReproCaseRejectsMalformedJson) {
+    EXPECT_FALSE(repro_from_json("").has_value());
+    EXPECT_FALSE(repro_from_json("{}").has_value());
+    EXPECT_FALSE(repro_from_json("{\"seed\":1,\"mode\":\"m\"}").has_value());
+    EXPECT_FALSE(
+        repro_from_json(
+            "{\"seed\":1,\"mode\":\"m\",\"radius\":2,\"failed_check\":\"c\","
+            "\"points\":[[1]]}")
+            .has_value());  // Truncated coordinate pair.
+    EXPECT_TRUE(
+        repro_from_json(
+            "{\"seed\":1,\"mode\":\"m\",\"radius\":2,\"failed_check\":\"c\","
+            "\"points\":[[1,2],[3,4]]}")
+            .has_value());
+}
+
 TEST(Serialize, DotOutput) {
     const std::string dot = to_dot(tiny_graph(), "demo");
     EXPECT_NE(dot.find("graph demo {"), std::string::npos);

@@ -11,6 +11,7 @@
 #include "proximity/classic.h"
 #include "proximity/udg.h"
 #include "test_util.h"
+#include "verify/audit.h"
 
 namespace geospanner::proximity {
 namespace {
@@ -58,9 +59,9 @@ TEST_P(LdelSweep, ContainsGabrielAndUdel) {
 }
 
 TEST_P(LdelSweep, PlanarizedIsPlanar) {
-    const auto pldel = build_pldel(udg_);
-    EXPECT_TRUE(graph::is_plane_embedding(pldel))
-        << "Algorithm 3 output has crossing edges";
+    // The shared certificate names the crossing edge pair on failure.
+    const auto report = verify::check_planarity_certificate(build_pldel(udg_));
+    EXPECT_TRUE(report.pass) << report.summary();
 }
 
 TEST_P(LdelSweep, PlanarizedStaysConnectedAndSpans) {

@@ -1,11 +1,22 @@
-// Shared helpers for the test suite.
+// Shared helpers for the test suite: deterministic instance generation,
+// the (n, radius, seed) sweep parameters, and the property-fuzz harness
+// support (generator modes, greedy shrinking, repro artifacts).
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/workload.h"
 #include "geom/vec2.h"
 #include "graph/geometric_graph.h"
+#include "io/serialize.h"
+#include "io/svg.h"
 #include "proximity/udg.h"
 #include "random/rng.h"
 
@@ -23,8 +34,11 @@ inline std::vector<geom::Point> random_points(std::size_t n, double side,
     return pts;
 }
 
-/// A connected UDG drawn from the standard workload generator; tests
-/// treat generation failure as a test failure via the assertion macros.
+/// A connected UDG drawn from the standard workload generator. A
+/// generation failure is loud: it records a non-fatal test failure
+/// naming the exact config, and callers see an empty graph (their
+/// ASSERT_GT(node_count, 0) then stops the test). Property sweeps can
+/// never vacuously pass on an empty instance.
 inline graph::GeometricGraph connected_udg(std::size_t n, double side, double radius,
                                            std::uint64_t seed) {
     core::WorkloadConfig config;
@@ -33,7 +47,13 @@ inline graph::GeometricGraph connected_udg(std::size_t n, double side, double ra
     config.radius = radius;
     config.seed = seed;
     auto udg = core::random_connected_udg(config);
-    return udg ? std::move(*udg) : graph::GeometricGraph{};
+    if (!udg) {
+        ADD_FAILURE() << "connected-UDG generation exhausted its budget: n=" << n
+                      << " side=" << side << " radius=" << radius << " seed=" << seed
+                      << " max_attempts=" << config.max_attempts;
+        return graph::GeometricGraph{};
+    }
+    return std::move(*udg);
 }
 
 /// Parameter tuple for the (n, radius, seed) sweeps used by the
@@ -54,6 +74,105 @@ inline std::vector<SweepParam> standard_sweep() {
         }
     }
     return params;
+}
+
+// ---- Property-fuzz harness -------------------------------------------
+
+/// The five generator modes the fuzz driver sweeps. The last two are the
+/// degenerate-geometry modes (exact collinear rows, exact cocircular
+/// rings) that uniform workloads never produce.
+enum class FuzzMode {
+    kUniform,
+    kClustered,
+    kGrid,
+    kCollinear,
+    kCocircular,
+};
+
+inline const char* fuzz_mode_name(FuzzMode mode) {
+    switch (mode) {
+        case FuzzMode::kUniform: return "uniform";
+        case FuzzMode::kClustered: return "clustered";
+        case FuzzMode::kGrid: return "grid";
+        case FuzzMode::kCollinear: return "collinear";
+        case FuzzMode::kCocircular: return "cocircular";
+    }
+    return "unknown";
+}
+
+inline std::vector<FuzzMode> all_fuzz_modes() {
+    return {FuzzMode::kUniform, FuzzMode::kClustered, FuzzMode::kGrid,
+            FuzzMode::kCollinear, FuzzMode::kCocircular};
+}
+
+/// Deterministic point set for (mode, config): same inputs, same points.
+inline std::vector<geom::Point> fuzz_points(FuzzMode mode,
+                                            const core::WorkloadConfig& config) {
+    switch (mode) {
+        case FuzzMode::kUniform: return core::uniform_points(config);
+        case FuzzMode::kClustered: return core::clustered_points(config, 4);
+        case FuzzMode::kGrid: return core::grid_points(config, 0.15);
+        case FuzzMode::kCollinear: return core::collinear_points(config, 3);
+        case FuzzMode::kCocircular: return core::cocircular_points(config, 4);
+    }
+    return {};
+}
+
+/// Greedily shrinks `pts` to a minimal set still satisfying
+/// `fails(points)` (ddmin-style: drop halves, then smaller chunks, then
+/// single points, until nothing more can go). `fails(pts)` must hold on
+/// entry; the result still fails and removing any single point from it
+/// makes the failure disappear.
+template <typename Pred>
+std::vector<geom::Point> shrink_points(std::vector<geom::Point> pts, Pred&& fails) {
+    std::size_t chunk = std::max<std::size_t>(1, pts.size() / 2);
+    while (true) {
+        bool removed = false;
+        for (std::size_t start = 0; start + chunk <= pts.size();) {
+            std::vector<geom::Point> candidate;
+            candidate.reserve(pts.size() - chunk);
+            candidate.insert(candidate.end(), pts.begin(),
+                             pts.begin() + static_cast<std::ptrdiff_t>(start));
+            candidate.insert(candidate.end(),
+                             pts.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                             pts.end());
+            if (fails(candidate)) {
+                pts = std::move(candidate);
+                removed = true;
+            } else {
+                start += chunk;
+            }
+        }
+        if (removed) continue;  // Retry the same granularity after progress.
+        if (chunk == 1) break;
+        chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return pts;
+}
+
+/// Where repro artifacts land: $GS_FUZZ_ARTIFACT_DIR or ./fuzz_repros.
+inline std::filesystem::path fuzz_artifact_dir() {
+    const char* env = std::getenv("GS_FUZZ_ARTIFACT_DIR");
+    std::filesystem::path dir = env != nullptr ? env : "fuzz_repros";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+/// Writes the JSON (+ SVG rendering of the UDG) repro artifacts for a
+/// shrunk failing instance; the seed is in the filename. Returns the
+/// JSON path ("" if the write failed).
+inline std::string dump_repro(const io::ReproCase& repro) {
+    const auto dir = fuzz_artifact_dir();
+    const std::string base =
+        "repro_" + repro.mode + "_seed" + std::to_string(repro.seed);
+    const auto json_path = (dir / (base + ".json")).string();
+    if (!io::save_repro(json_path, repro)) return {};
+    io::SvgStyle style;
+    style.title = base + " (" + repro.failed_check + ")";
+    io::write_svg((dir / (base + ".svg")).string(),
+                  proximity::build_udg(repro.points, repro.radius), {}, style);
+    return json_path;
 }
 
 }  // namespace geospanner::test

@@ -8,11 +8,13 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "engine/thread_pool.h"
 #include "graph/metrics.h"
 
 using namespace geospanner;
 
 int main() {
+    engine::ThreadPool pool;
     const double side = 250.0;
     const double radius = 60.0;
     const std::size_t n = 100;
@@ -43,8 +45,8 @@ int main() {
             dominators.add(static_cast<double>(bb.cluster.dominator_count()));
             backbone.add(static_cast<double>(bb.backbone_size()));
             deg_max.add(static_cast<double>(graph::degree_stats(bb.cds).max));
-            len_avg.add(graph::length_stretch(*udg, bb.ldel_icds_prime, radius).avg);
-            hop_avg.add(graph::hop_stretch(*udg, bb.ldel_icds_prime, radius).avg);
+            len_avg.add(graph::length_stretch(*udg, bb.ldel_icds_prime, radius, &pool).avg);
+            hop_avg.add(graph::hop_stretch(*udg, bb.ldel_icds_prime, radius, &pool).avg);
             msg_max.add(
                 static_cast<double>(core::MessageStats::max_of(bb.messages.after_ldel)));
             msg_avg.add(core::MessageStats::avg_of(bb.messages.after_ldel));

@@ -7,12 +7,14 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "engine/thread_pool.h"
 #include "graph/metrics.h"
 #include "graph/planarity.h"
 
 using namespace geospanner;
 
 int main() {
+    engine::ThreadPool pool;
     const std::size_t n = 100;
     const double side = 250.0;
     const double radius = 60.0;
@@ -41,8 +43,8 @@ int main() {
 
             edges.add(static_cast<double>(bb.ldel_icds.edge_count()));
             triangles.add(static_cast<double>(bb.ldel_triangles.size()));
-            len_avg.add(graph::length_stretch(*udg, bb.ldel_icds_prime, radius).avg);
-            hop_avg.add(graph::hop_stretch(*udg, bb.ldel_icds_prime, radius).avg);
+            len_avg.add(graph::length_stretch(*udg, bb.ldel_icds_prime, radius, &pool).avg);
+            hop_avg.add(graph::hop_stretch(*udg, bb.ldel_icds_prime, radius, &pool).avg);
             msg_max.add(
                 static_cast<double>(core::MessageStats::max_of(bb.messages.after_ldel)));
             msg_avg.add(core::MessageStats::avg_of(bb.messages.after_ldel));

@@ -2,7 +2,10 @@
 // mobility. Random-waypoint movement at several speeds; the backbone is
 // rebuilt only when a used link breaks (the paper's validity condition).
 // Reports how often the logical backbone survives an epoch, the rebuild
-// rate, and the amortized broadcast cost per epoch.
+// rate, and the amortized broadcast cost per epoch. Rebuild and
+// broadcast counts cover maintenance only — the initial construction is
+// tracked separately (MaintenanceStats::initial_broadcasts) and does not
+// skew the per-epoch amortization.
 #include <iostream>
 
 #include "bench_util.h"

@@ -1,0 +1,125 @@
+// Incremental maintenance throughput: updates/sec and dirty-region size
+// of DynamicSpanner patches vs node count, batch size, and displacement,
+// against the full parallel rebuild as baseline. The headline number is
+// the single-node-move speedup at the largest n — the localized patch
+// touches O(dirty region) state where the rebuild touches O(n).
+//
+// With GS_BENCH_JSON set, appends one JSON line per configuration
+// (bench "dynamic_updates") carrying patch_ms, full_build_ms, speedup,
+// dirty nodes, and fallback counts.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "dynamic/spanner.h"
+#include "random/rng.h"
+
+using namespace geospanner;
+
+namespace {
+
+double now_ms() {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+int main() {
+    const double radius = 60.0;
+    const std::size_t patches = bench::trials_or(30);
+
+    std::cout << "=== Dynamic updates: incremental patch vs full rebuild (R=" << radius
+              << ", " << patches << " patches/config) ===\n"
+              << "random-walk moves; displacement in units/update\n\n";
+
+    io::Table table({"n", "batch", "step", "patch ms", "dirty nodes", "fallbacks",
+                     "updates/s", "full ms", "speedup"});
+    for (const std::size_t n : {2000, 5000, 20000}) {
+        // Side chosen for constant density (average UDG degree ~12).
+        const double side =
+            radius * std::sqrt(static_cast<double>(n) * 3.14159265358979 / 12.0);
+        core::WorkloadConfig config;
+        config.node_count = n;
+        config.side = side;
+        config.radius = radius;
+        config.seed = 9000 + n;
+        const auto points = core::uniform_points(config);
+
+        engine::EngineOptions eopts;
+        const auto t0 = now_ms();
+        engine::SpannerEngine engine(eopts);
+        dynamic::DynamicSpanner dyn(engine, points, radius);
+        (void)t0;
+        const auto t1 = now_ms();
+        auto full = engine.build(points, radius);
+        const double full_ms = now_ms() - t1;
+        (void)full;
+
+        for (const std::size_t batch_size : {std::size_t{1}, std::size_t{8},
+                                             std::size_t{32}}) {
+            for (const double step : {1.0, radius / 4.0, radius}) {
+                rnd::Xoshiro256 rng(1234 + batch_size * 7 +
+                                    static_cast<std::uint64_t>(step));
+                bench::MaxAvg patch_ms, dirty;
+                std::size_t fallbacks = 0;
+                for (std::size_t trial = 0; trial < patches; ++trial) {
+                    dynamic::UpdateBatch batch;
+                    for (std::size_t i = 0; i < batch_size; ++i) {
+                        const auto v =
+                            static_cast<graph::NodeId>(rng.below(dyn.node_count()));
+                        const geom::Point p = dyn.positions()[v];
+                        const double angle = rng.uniform(0.0, 6.28318530717959);
+                        batch.moves.push_back({v,
+                                               {p.x + step * std::cos(angle),
+                                                p.y + step * std::sin(angle)}});
+                    }
+                    const auto start = now_ms();
+                    const auto stats = dyn.apply(batch);
+                    patch_ms.add(now_ms() - start);
+                    dirty.add(static_cast<double>(stats.dirty_nodes));
+                    if (stats.fell_back) ++fallbacks;
+                }
+                const double updates_per_sec =
+                    patch_ms.avg() <= 0.0
+                        ? 0.0
+                        : 1000.0 * static_cast<double>(batch_size) / patch_ms.avg();
+                const double speedup =
+                    patch_ms.avg() <= 0.0 ? 0.0 : full_ms / patch_ms.avg();
+                table.begin_row()
+                    .cell(n)
+                    .cell(batch_size)
+                    .cell(step, 1)
+                    .cell(patch_ms.avg(), 3)
+                    .cell(dirty.avg(), 1)
+                    .cell(fallbacks)
+                    .cell(updates_per_sec, 1)
+                    .cell(full_ms, 1)
+                    .cell(speedup, 1);
+                const auto json_path = bench::json_output_path();
+                if (!json_path.empty()) {
+                    bench::JsonObject obj;
+                    obj.add("bench", "dynamic_updates")
+                        .add("n", n)
+                        .add("batch", batch_size)
+                        .add("step", step)
+                        .add("patch_ms_avg", patch_ms.avg())
+                        .add("patch_ms_max", patch_ms.max)
+                        .add("dirty_nodes_avg", dirty.avg())
+                        .add("fallbacks", fallbacks)
+                        .add("updates_per_sec", updates_per_sec)
+                        .add("full_build_ms", full_ms)
+                        .add("speedup", speedup);
+                    bench::append_json_line(json_path, obj.str());
+                }
+            }
+        }
+    }
+    std::cout << table.str()
+              << "\nthe patch cost tracks the dirty-region size, not n: at the largest\n"
+                 "n a single-node move repairs the backbone orders of magnitude\n"
+                 "faster than the from-scratch parallel rebuild.\n";
+    return 0;
+}

@@ -7,11 +7,13 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "engine/thread_pool.h"
 #include "graph/metrics.h"
 
 using namespace geospanner;
 
 int main() {
+    engine::ThreadPool pool;
     const double side = 250.0;
     const double radius = 60.0;
     const std::size_t trials = bench::trials_or(20);
@@ -36,8 +38,8 @@ int main() {
             const graph::GeometricGraph* topos[3] = {&bb.cds_prime, &bb.icds_prime,
                                                      &bb.ldel_icds_prime};
             for (int i = 0; i < 3; ++i) {
-                const auto len = graph::length_stretch(udg, *topos[i], radius);
-                const auto hop = graph::hop_stretch(udg, *topos[i], radius);
+                const auto len = graph::length_stretch(udg, *topos[i], radius, &pool);
+                const auto hop = graph::hop_stretch(udg, *topos[i], radius, &pool);
                 len_max[i].add(len.max);
                 len_avg[i].add(len.avg);
                 hop_max[i].add(hop.max);

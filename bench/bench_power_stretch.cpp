@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "engine/thread_pool.h"
 #include "graph/metrics.h"
 #include "proximity/classic.h"
 #include "proximity/ldel.h"
@@ -15,6 +16,7 @@
 using namespace geospanner;
 
 int main() {
+    engine::ThreadPool pool;
     const std::size_t n = 100;
     const double side = 250.0;
     const double radius = 60.0;
@@ -39,7 +41,7 @@ int main() {
                 proximity::build_pldel(udg), instance->backbone.cds_prime,
                 instance->backbone.ldel_icds_prime};
             for (int i = 0; i < 5; ++i) {
-                const auto s = graph::power_stretch(udg, topos[i], beta, radius);
+                const auto s = graph::power_stretch(udg, topos[i], beta, radius, &pool);
                 avg_acc[i].add(s.avg);
                 max_acc[i].add(s.max);
             }

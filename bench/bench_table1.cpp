@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "engine/thread_pool.h"
 #include "core/report.h"
 #include "proximity/classic.h"
 #include "proximity/ldel.h"
@@ -17,6 +18,7 @@
 using namespace geospanner;
 
 int main() {
+    engine::ThreadPool pool;
     const std::size_t n = 100;
     // Side chosen so the UDG density matches the paper's Table I row
     // (avg degree 21.4 at n=100): n·π·R²/side² ≈ 21 -> side ≈ 210.
@@ -46,7 +48,7 @@ int main() {
         const auto measure = [&](std::size_t row, const graph::GeometricGraph& topo,
                                  bool spanning) {
             rows[row].push_back(
-                core::measure_topology(names[row], udg, topo, spanning, radius));
+                core::measure_topology(names[row], udg, topo, spanning, radius, &pool));
         };
         measure(0, udg, true);
         measure(1, proximity::build_rng(udg), true);

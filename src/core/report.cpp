@@ -47,15 +47,15 @@ std::string PipelineStats::json() const {
 
 TopologyReport measure_topology(std::string name, const graph::GeometricGraph& udg,
                                 const graph::GeometricGraph& topo, bool spanning,
-                                double min_euclidean) {
+                                double min_euclidean, engine::ThreadPool* pool) {
     TopologyReport report;
     report.name = std::move(name);
     report.degree = graph::degree_stats(topo);
     report.edges = topo.edge_count();
     report.has_stretch = spanning;
     if (spanning) {
-        report.length = graph::length_stretch(udg, topo, min_euclidean);
-        report.hops = graph::hop_stretch(udg, topo, min_euclidean);
+        report.length = graph::length_stretch(udg, topo, min_euclidean, pool);
+        report.hops = graph::hop_stretch(udg, topo, min_euclidean, pool);
     }
     return report;
 }

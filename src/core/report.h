@@ -25,10 +25,13 @@ struct TopologyReport {
 /// is expected to connect all nodes (enables stretch computation).
 /// `min_euclidean` excludes close pairs from the stretch ratios (the
 /// paper measures only pairs more than one transmission radius apart).
+/// A ThreadPool parallelizes the all-pairs stretch sweeps over source
+/// nodes; results are identical for any thread count.
 [[nodiscard]] TopologyReport measure_topology(std::string name,
                                               const graph::GeometricGraph& udg,
                                               const graph::GeometricGraph& topo,
-                                              bool spanning, double min_euclidean = 0.0);
+                                              bool spanning, double min_euclidean = 0.0,
+                                              engine::ThreadPool* pool = nullptr);
 
 /// Averages reports of the same topology across instances: degree/stretch
 /// averages are means of per-instance averages, maxima are maxima of

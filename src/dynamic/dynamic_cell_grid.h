@@ -1,0 +1,84 @@
+// Mutable spatial hash grid for dynamic topologies.
+//
+// Same cell geometry and hash as proximity::build_cell_grid (square
+// cells of side `cell_side`, ascending node ids per cell), plus O(1)
+// amortized point relocation: moving a node re-buckets it only when it
+// crosses a cell boundary. After any update sequence the grid equals
+// build_cell_grid over the current positions — the delta enumeration of
+// the incremental engine and the from-scratch UDG builder therefore see
+// identical candidate sets (tests/test_dynamic.cpp pins the equality).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/geometric_graph.h"
+#include "proximity/cell_grid.h"
+
+namespace geospanner::dynamic {
+
+class DynamicCellGrid {
+  public:
+    DynamicCellGrid() = default;
+
+    DynamicCellGrid(const std::vector<geom::Point>& points, double cell_side)
+        : grid_(proximity::build_cell_grid(points, cell_side)), cell_side_(cell_side) {}
+
+    [[nodiscard]] double cell_side() const noexcept { return cell_side_; }
+    [[nodiscard]] const proximity::CellGrid& cells() const noexcept { return grid_; }
+
+    void insert(graph::NodeId v, geom::Point p) {
+        auto& list = grid_[proximity::cell_of(p, cell_side_)];
+        list.insert(std::lower_bound(list.begin(), list.end(), v), v);
+    }
+
+    void remove(graph::NodeId v, geom::Point p) {
+        const auto cell = proximity::cell_of(p, cell_side_);
+        const auto it = grid_.find(cell);
+        if (it == grid_.end()) return;
+        auto& list = it->second;
+        const auto pos = std::lower_bound(list.begin(), list.end(), v);
+        if (pos != list.end() && *pos == v) list.erase(pos);
+        if (list.empty()) grid_.erase(it);
+    }
+
+    /// Moves v from `from` to `to`; no re-bucketing when both positions
+    /// share a cell (the common case for small displacements).
+    void relocate(graph::NodeId v, geom::Point from, geom::Point to) {
+        if (proximity::cell_of(from, cell_side_) == proximity::cell_of(to, cell_side_)) {
+            return;
+        }
+        remove(v, from);
+        insert(v, to);
+    }
+
+    /// Appends every u != v with |pu - pv| <= radius to `out`, then
+    /// sorts it — the full (not id-above) neighborhood of v, used to
+    /// diff a node's incident UDG edge set after it moved. Requires
+    /// radius <= cell_side.
+    void collect_neighbors(const std::vector<geom::Point>& points, double radius,
+                           graph::NodeId v, std::vector<graph::NodeId>& out) const {
+        const double r2 = radius * radius;
+        const auto [cx, cy] = proximity::cell_of(points[v], cell_side_);
+        for (long long dx = -1; dx <= 1; ++dx) {
+            for (long long dy = -1; dy <= 1; ++dy) {
+                const auto it = grid_.find({cx + dx, cy + dy});
+                if (it == grid_.end()) continue;
+                for (const graph::NodeId u : it->second) {
+                    if (u == v) continue;
+                    if (geom::squared_distance(points[u], points[v]) <= r2) {
+                        out.push_back(u);
+                    }
+                }
+            }
+        }
+        std::sort(out.begin(), out.end());
+    }
+
+  private:
+    proximity::CellGrid grid_;
+    double cell_side_ = 1.0;
+};
+
+}  // namespace geospanner::dynamic

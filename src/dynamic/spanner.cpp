@@ -1,0 +1,1173 @@
+#include "dynamic/spanner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+
+#include "engine/thread_pool.h"
+#include "geom/predicates.h"
+
+namespace geospanner::dynamic {
+
+using graph::GeometricGraph;
+using protocol::Role;
+
+namespace {
+
+/// Minimum dirty-item count before a kernel is worth the pool; smaller
+/// patches run inline (results are identical either way — kernels write
+/// index-owned slots and commit in index order).
+constexpr std::size_t kParallelThreshold = 64;
+
+std::uint64_t mix64(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+bool sorted_insert(std::vector<graph::NodeId>& list, graph::NodeId value) {
+    const auto it = std::lower_bound(list.begin(), list.end(), value);
+    if (it != list.end() && *it == value) return false;
+    list.insert(it, value);
+    return true;
+}
+
+void sort_unique(std::vector<graph::NodeId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+void sort_unique_pairs(std::vector<std::pair<graph::NodeId, graph::NodeId>>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+std::pair<graph::NodeId, graph::NodeId> norm(graph::NodeId a, graph::NodeId b) {
+    return {std::min(a, b), std::max(a, b)};
+}
+
+/// Election ranking of the clustering cascade — must match
+/// protocol::key_of exactly: kLowestId ranks by id, kHighestDegree by
+/// inverted degree then id. Keys are static for the duration of one
+/// patch (degrees are fixed once stage_udg finished), so the worklist
+/// processes nodes in a globally consistent order.
+struct ClusterKey {
+    std::size_t primary = 0;
+    graph::NodeId id = 0;
+    friend auto operator<=>(const ClusterKey&, const ClusterKey&) = default;
+};
+
+ClusterKey cluster_key(const GeometricGraph& udg, graph::NodeId v,
+                       protocol::ClusterPolicy policy) {
+    if (policy == protocol::ClusterPolicy::kHighestDegree) {
+        return {udg.node_count() - udg.degree(v), v};
+    }
+    return {0, v};
+}
+
+/// Wall-clock of one stage kernel, appended to the patch's PipelineStats.
+class StageTimer {
+  public:
+    StageTimer(core::PipelineStats& stats, std::string name)
+        : stats_(stats), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+
+    void finish(std::size_t items, std::size_t threads = 1) {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        core::StageStats s;
+        s.name = name_;
+        s.wall_ms =
+            std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(elapsed)
+                .count();
+        s.items = items;
+        s.threads = threads;
+        stats_.stages.push_back(std::move(s));
+    }
+
+  private:
+    core::PipelineStats& stats_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::size_t DynamicSpanner::PairHash::operator()(Pair p) const noexcept {
+    return static_cast<std::size_t>(
+        mix64((static_cast<std::uint64_t>(p.first) << 32) | p.second));
+}
+
+std::size_t DynamicSpanner::TriHash::operator()(TriangleKey t) const noexcept {
+    std::uint64_t h = mix64((static_cast<std::uint64_t>(t.a) << 32) | t.b);
+    return static_cast<std::size_t>(mix64(h ^ (static_cast<std::uint64_t>(t.c) << 16)));
+}
+
+bool DynamicSpanner::EdgeRefs::inc(Pair e) { return ++counts[e] == 1; }
+
+bool DynamicSpanner::EdgeRefs::dec(Pair e) {
+    const auto it = counts.find(e);
+    assert(it != counts.end() && it->second > 0);
+    if (--it->second > 0) return false;
+    counts.erase(it);
+    return true;
+}
+
+void DynamicSpanner::PatchContext::reset(std::size_t n) {
+    moved.clear();
+    moved_flag.assign(n, 0);
+    joined.clear();
+    adj_changed.clear();
+    adj_changed_flag.assign(n, 0);
+    udg_added.clear();
+    udg_removed.clear();
+    udg_removed_adj.clear();
+    roles_changed.clear();
+    old_role.clear();
+    dom_list_changed.clear();
+    old_dominators.clear();
+    two_hop_changed.clear();
+    connector_changed.clear();
+    backbone_changed.clear();
+    icds_added.clear();
+    icds_removed.clear();
+    icds_adj_changed_flag.assign(n, 0);
+    icds_adj_changed.clear();
+    icds_removed_adj.clear();
+    ldel_dirty.clear();
+    dirty_union.assign(n, 0);
+    dirty_count = 0;
+}
+
+void DynamicSpanner::PatchContext::touch(NodeId v) {
+    if (dirty_union[v] != 0) return;
+    dirty_union[v] = 1;
+    ++dirty_count;
+}
+
+// ---- Construction ----------------------------------------------------
+
+DynamicSpanner::DynamicSpanner(engine::SpannerEngine& engine,
+                               std::vector<geom::Point> points, double radius)
+    : engine_(&engine), radius_(radius), points_(std::move(points)) {
+    assert(radius_ > 0.0);
+    PatchStats stats;
+    rebuild_from_scratch(stats);
+}
+
+void DynamicSpanner::append_node(geom::Point p) {
+    const auto v = static_cast<NodeId>(points_.size());
+    points_.push_back(p);
+    grid_.insert(v, p);
+    udg_.add_node(p);
+    backbone_.cds.add_node(p);
+    backbone_.cds_prime.add_node(p);
+    backbone_.icds.add_node(p);
+    backbone_.icds_prime.add_node(p);
+    backbone_.ldel_icds.add_node(p);
+    backbone_.ldel_icds_prime.add_node(p);
+    backbone_.cluster.role.push_back(Role::kDominatee);
+    backbone_.cluster.dominators_of.emplace_back();
+    backbone_.cluster.two_hop_dominators_of.emplace_back();
+    backbone_.is_connector.push_back(false);
+    backbone_.in_backbone.push_back(false);
+    connector_refs_.push_back(0);
+    local_tris_.emplace_back();
+}
+
+void DynamicSpanner::apply_positions_only(const UpdateBatch& batch) {
+    for (const auto& mv : batch.moves) {
+        assert(mv.node < points_.size());
+        points_[mv.node] = mv.to;
+    }
+    for (const geom::Point p : batch.joins) points_.push_back(p);
+    for (const NodeId leaver : batch.leaves) {
+        assert(leaver < points_.size());
+        points_[leaver] = points_.back();
+        points_.pop_back();
+    }
+}
+
+void DynamicSpanner::rebuild_from_scratch(PatchStats& stats) {
+    const std::size_t n = points_.size();
+    grid_ = DynamicCellGrid(points_, radius_);
+    udg_ = engine::build_udg_staged(engine_->pool(), points_, radius_, &stats.pipeline);
+
+    backbone_ = core::Backbone{};
+    backbone_.cluster.role.assign(n, Role::kDominatee);
+    backbone_.cluster.dominators_of.assign(n, {});
+    backbone_.cluster.two_hop_dominators_of.assign(n, {});
+    backbone_.is_connector.assign(n, false);
+    backbone_.in_backbone.assign(n, false);
+    backbone_.cds = GeometricGraph(points_);
+    backbone_.cds_prime = GeometricGraph(points_);
+    backbone_.icds = GeometricGraph(points_);
+    backbone_.icds_prime = GeometricGraph(points_);
+    backbone_.ldel_icds = GeometricGraph(points_);
+    backbone_.ldel_icds_prime = GeometricGraph(points_);
+
+    pairs_a_.clear();
+    pairs_b_.clear();
+    connector_refs_.assign(n, 0);
+    cds_refs_.clear();
+    local_tris_.assign(n, {});
+    ldel1_.clear();
+    kept_.clear();
+    tri_bins_.clear();
+    tri_grid_.clear();
+    gabriel_.clear();
+    ldel_icds_refs_.clear();
+    cds_prime_refs_.clear();
+    icds_prime_refs_.clear();
+    ldel_icds_prime_refs_.clear();
+
+    // Everything dirty: the patch kernels then perform the full build,
+    // so the from-scratch and incremental paths share one code path.
+    PatchContext ctx;
+    ctx.reset(n);
+    ctx.moved.reserve(n);
+    ctx.adj_changed.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        ctx.moved.push_back(v);
+        ctx.moved_flag[v] = 1;
+        ctx.adj_changed.push_back(v);
+        ctx.adj_changed_flag[v] = 1;
+        ctx.touch(v);
+    }
+
+    {
+        StageTimer t(stats.pipeline, "cluster-patch");
+        (void)run_cluster_cascade(ctx, /*cap=*/static_cast<std::size_t>(-1));
+        t.finish(n);
+    }
+    {
+        StageTimer t(stats.pipeline, "connectors-patch");
+        stage_connectors(ctx);
+        t.finish(ctx.pairs_recomputed());
+    }
+    {
+        StageTimer t(stats.pipeline, "icds-patch");
+        stage_icds(ctx);
+        t.finish(ctx.backbone_changed.size());
+    }
+    {
+        StageTimer t(stats.pipeline, "ldel-patch");
+        stage_ldel(ctx, stats);
+        t.finish(ctx.ldel_dirty.size(), engine_->thread_count());
+    }
+    {
+        StageTimer t(stats.pipeline, "gabriel-patch");
+        stage_gabriel(ctx);
+        t.finish(backbone_.icds.edge_count(), engine_->thread_count());
+    }
+    {
+        StageTimer t(stats.pipeline, "assemble-patch");
+        stage_assemble(ctx);
+        t.finish(ctx.dom_list_changed.size());
+    }
+
+    stats.dirty_nodes = n;
+    stats.roles_changed = ctx.roles_changed.size();
+}
+
+// ---- apply -----------------------------------------------------------
+
+PatchStats DynamicSpanner::apply(const UpdateBatch& batch) {
+    PatchStats stats;
+    const engine::EngineOptions& opts = engine_->options();
+    const bool incremental_ok = opts.incremental &&
+                                opts.planarizer == core::Planarizer::kLdel1 &&
+                                batch.leaves.empty();
+    if (!incremental_ok) {
+        apply_positions_only(batch);
+        rebuild_from_scratch(stats);
+        stats.fell_back = true;
+        return stats;
+    }
+
+    const std::size_t n_after = points_.size() + batch.joins.size();
+    PatchContext ctx;
+    ctx.reset(n_after);
+
+    {
+        StageTimer t(stats.pipeline, "udg-patch");
+        stage_udg(batch, ctx);
+        t.finish(ctx.udg_added.size() + ctx.udg_removed.size());
+    }
+    stats.udg_edge_changes = ctx.udg_added.size() + ctx.udg_removed.size();
+
+    // Fallback gate: the dirty region every later stage works from is
+    // bounded by the 2-hop closure (over old ∪ new adjacency) of the
+    // nodes whose position or incident edge set changed. Past the
+    // configured fraction of n, localized bookkeeping loses to a
+    // from-scratch rebuild (which depends only on current positions, so
+    // bailing here — after stage_udg already mutated state — is safe).
+    std::vector<NodeId> seeds = ctx.moved;
+    seeds.insert(seeds.end(), ctx.adj_changed.begin(), ctx.adj_changed.end());
+    seeds.insert(seeds.end(), ctx.joined.begin(), ctx.joined.end());
+    sort_unique(seeds);
+    const std::size_t cap = static_cast<std::size_t>(
+        opts.incremental_options.rebuild_fraction * static_cast<double>(n_after));
+    const auto region = expand_hops(udg_, ctx.udg_removed_adj, seeds, 2);
+    if (region.size() > cap) {
+        rebuild_from_scratch(stats);
+        stats.fell_back = true;
+        return stats;
+    }
+    for (const NodeId v : region) ctx.touch(v);
+
+    bool cascade_ok = true;
+    {
+        StageTimer t(stats.pipeline, "cluster-patch");
+        cascade_ok = run_cluster_cascade(ctx, cap);
+        t.finish(ctx.roles_changed.size());
+    }
+    if (!cascade_ok) {
+        rebuild_from_scratch(stats);
+        stats.fell_back = true;
+        return stats;
+    }
+    {
+        StageTimer t(stats.pipeline, "connectors-patch");
+        stage_connectors(ctx);
+        t.finish(ctx.pairs_recomputed());
+    }
+    {
+        StageTimer t(stats.pipeline, "icds-patch");
+        stage_icds(ctx);
+        t.finish(ctx.icds_added.size() + ctx.icds_removed.size());
+    }
+    {
+        StageTimer t(stats.pipeline, "ldel-patch");
+        stage_ldel(ctx, stats);
+        t.finish(ctx.ldel_dirty.size());
+    }
+    {
+        StageTimer t(stats.pipeline, "gabriel-patch");
+        stage_gabriel(ctx);
+        t.finish(ctx.ldel_dirty.size());
+    }
+    {
+        StageTimer t(stats.pipeline, "assemble-patch");
+        stage_assemble(ctx);
+        t.finish(ctx.dom_list_changed.size());
+    }
+
+    stats.dirty_nodes = ctx.dirty_count;
+    stats.roles_changed = ctx.roles_changed.size();
+    stats.pairs_recomputed = ctx.pairs_recomputed();
+    return stats;
+}
+
+// ---- Stage U: positions, grid, UDG edge deltas -----------------------
+
+void DynamicSpanner::stage_udg(const UpdateBatch& batch, PatchContext& ctx) {
+    for (const geom::Point p : batch.joins) {
+        const auto id = static_cast<NodeId>(points_.size());
+        append_node(p);
+        ctx.joined.push_back(id);
+        ctx.touch(id);
+    }
+    for (const auto& mv : batch.moves) {
+        assert(mv.node < points_.size());
+        const geom::Point old = points_[mv.node];
+        if (old == mv.to) continue;
+        grid_.relocate(mv.node, old, mv.to);
+        points_[mv.node] = mv.to;
+        if (ctx.moved_flag[mv.node] == 0) {
+            ctx.moved_flag[mv.node] = 1;
+            ctx.moved.push_back(mv.node);
+            ctx.touch(mv.node);
+        }
+    }
+    sort_unique(ctx.moved);
+    for (const NodeId v : ctx.moved) {
+        udg_.set_point(v, points_[v]);
+        backbone_.cds.set_point(v, points_[v]);
+        backbone_.cds_prime.set_point(v, points_[v]);
+        backbone_.icds.set_point(v, points_[v]);
+        backbone_.icds_prime.set_point(v, points_[v]);
+        backbone_.ldel_icds.set_point(v, points_[v]);
+        backbone_.ldel_icds_prime.set_point(v, points_[v]);
+    }
+
+    // Re-derive the incident edge set of every moved/joined node from
+    // the grid. Desired sets are functions of the final positions, so
+    // processing order between two affected nodes cannot disagree;
+    // add/remove return-values dedupe the doubly-enumerated case.
+    std::vector<NodeId> affected = ctx.moved;
+    affected.insert(affected.end(), ctx.joined.begin(), ctx.joined.end());
+    sort_unique(affected);
+    const auto mark_adj = [&](NodeId v) {
+        if (ctx.adj_changed_flag[v] == 0) {
+            ctx.adj_changed_flag[v] = 1;
+            ctx.adj_changed.push_back(v);
+            ctx.touch(v);
+        }
+    };
+    std::vector<NodeId> desired;
+    std::vector<NodeId> stale;
+    for (const NodeId v : affected) {
+        desired.clear();
+        grid_.collect_neighbors(points_, radius_, v, desired);
+        stale.assign(udg_.neighbors(v).begin(), udg_.neighbors(v).end());
+        // stale and desired are both sorted: one merge pass yields the
+        // adds (desired only) and removals (stale only).
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < stale.size() || j < desired.size()) {
+            if (j == desired.size() || (i < stale.size() && stale[i] < desired[j])) {
+                const NodeId u = stale[i++];
+                if (udg_.remove_edge(v, u)) {
+                    ctx.udg_removed.push_back(norm(v, u));
+                    ctx.udg_removed_adj[v].push_back(u);
+                    ctx.udg_removed_adj[u].push_back(v);
+                    mark_adj(v);
+                    mark_adj(u);
+                }
+            } else if (i == stale.size() || desired[j] < stale[i]) {
+                const NodeId u = desired[j++];
+                if (udg_.add_edge(v, u)) {
+                    ctx.udg_added.push_back(norm(v, u));
+                    mark_adj(v);
+                    mark_adj(u);
+                }
+            } else {
+                ++i;
+                ++j;
+            }
+        }
+    }
+    sort_unique(ctx.adj_changed);
+    sort_unique_pairs(ctx.udg_added);
+    sort_unique_pairs(ctx.udg_removed);
+    for (auto& [v, list] : ctx.udg_removed_adj) sort_unique(list);
+}
+
+// ---- Stage 1: clustering cascade + derived lists ---------------------
+
+bool DynamicSpanner::run_cluster_cascade(PatchContext& ctx, std::size_t cap) {
+    const auto policy = engine_->options().cluster_policy;
+    auto& cluster = backbone_.cluster;
+
+    // Seeds: every node whose role-function inputs changed — its own
+    // neighbor set (adj_changed, joins), and under kHighestDegree the
+    // keys of its neighbors (degree changes propagate one hop).
+    std::set<ClusterKey> worklist;
+    const auto seed = [&](NodeId v) { worklist.insert(cluster_key(udg_, v, policy)); };
+    for (const NodeId v : ctx.adj_changed) seed(v);
+    for (const NodeId v : ctx.joined) seed(v);
+    if (policy == protocol::ClusterPolicy::kHighestDegree) {
+        for (const NodeId v : ctx.adj_changed) {
+            for (const NodeId u : udg_.neighbors(v)) seed(u);
+        }
+    }
+
+    // Greedy MIS in key order (== cluster_reference's synchronized
+    // rounds): v is a dominator iff no key-smaller neighbor is one.
+    // Pops increase monotonically and a role change only re-enqueues
+    // key-larger neighbors, so every processed node sees the final
+    // roles of all key-smaller nodes — the defining property of the
+    // greedy order, which makes the localized cascade exact.
+    while (!worklist.empty()) {
+        const ClusterKey key = *worklist.begin();
+        worklist.erase(worklist.begin());
+        const NodeId v = key.id;
+        bool dominated = false;
+        for (const NodeId u : udg_.neighbors(v)) {
+            if (cluster.role[u] == Role::kDominator &&
+                cluster_key(udg_, u, policy) < key) {
+                dominated = true;
+                break;
+            }
+        }
+        const Role role = dominated ? Role::kDominatee : Role::kDominator;
+        if (role == cluster.role[v]) continue;
+        ctx.old_role.emplace(v, cluster.role[v]);
+        cluster.role[v] = role;
+        ctx.roles_changed.push_back(v);
+        if (ctx.roles_changed.size() > cap) return false;
+        for (const NodeId u : udg_.neighbors(v)) {
+            if (cluster_key(udg_, u, policy) > key) {
+                worklist.insert(cluster_key(udg_, u, policy));
+            }
+        }
+    }
+    sort_unique(ctx.roles_changed);
+    for (const NodeId v : ctx.roles_changed) ctx.touch(v);
+
+    // dominators_of[v] depends on v's role, v's neighbor set, and the
+    // roles of its neighbors.
+    std::vector<NodeId> dom_recompute = ctx.roles_changed;
+    for (const NodeId v : ctx.roles_changed) {
+        for (const NodeId u : udg_.neighbors(v)) dom_recompute.push_back(u);
+    }
+    dom_recompute.insert(dom_recompute.end(), ctx.adj_changed.begin(),
+                         ctx.adj_changed.end());
+    dom_recompute.insert(dom_recompute.end(), ctx.joined.begin(), ctx.joined.end());
+    sort_unique(dom_recompute);
+    std::vector<NodeId> fresh;
+    for (const NodeId v : dom_recompute) {
+        fresh.clear();
+        if (cluster.role[v] == Role::kDominatee) {
+            for (const NodeId u : udg_.neighbors(v)) {
+                if (cluster.role[u] == Role::kDominator) fresh.push_back(u);
+            }
+        }
+        if (fresh != cluster.dominators_of[v]) {
+            ctx.old_dominators.emplace(v, std::move(cluster.dominators_of[v]));
+            cluster.dominators_of[v] = fresh;
+            ctx.dom_list_changed.push_back(v);
+            ctx.touch(v);
+        }
+    }
+
+    // two_hop_dominators_of[v] depends on v's neighbor set and, for
+    // each neighbor w, on role[w] and dominators_of[w].
+    std::vector<NodeId> two_hop_recompute = ctx.adj_changed;
+    two_hop_recompute.insert(two_hop_recompute.end(), ctx.joined.begin(),
+                             ctx.joined.end());
+    for (const NodeId w : ctx.roles_changed) {
+        for (const NodeId v : udg_.neighbors(w)) two_hop_recompute.push_back(v);
+    }
+    for (const NodeId w : ctx.dom_list_changed) {
+        for (const NodeId v : udg_.neighbors(w)) two_hop_recompute.push_back(v);
+    }
+    sort_unique(two_hop_recompute);
+    for (const NodeId v : two_hop_recompute) {
+        fresh.clear();
+        for (const NodeId w : udg_.neighbors(v)) {
+            if (cluster.role[w] != Role::kDominatee) continue;
+            for (const NodeId d : cluster.dominators_of[w]) {
+                if (d != v && !udg_.has_edge(v, d)) sorted_insert(fresh, d);
+            }
+        }
+        if (fresh != cluster.two_hop_dominators_of[v]) {
+            cluster.two_hop_dominators_of[v] = fresh;
+            ctx.two_hop_changed.push_back(v);
+            ctx.touch(v);
+        }
+    }
+    return true;
+}
+
+// ---- Stage 2: connector pair elections -------------------------------
+
+bool DynamicSpanner::wins(NodeId w, const std::vector<NodeId>& candidates) const {
+    // Matches find_connectors: w wins iff no smaller-id candidate of
+    // the same pair is UDG-adjacent to it.
+    return std::none_of(candidates.begin(), candidates.end(), [&](NodeId c) {
+        return c < w && udg_.has_edge(c, w);
+    });
+}
+
+void DynamicSpanner::delete_pair(PairLedger& ledger, Pair key,
+                                 std::vector<NodeId>& conn_touched) {
+    const auto it = ledger.entries.find(key);
+    if (it == ledger.entries.end()) return;
+    for (const NodeId c : it->second.connectors) {
+        if (--connector_refs_[c] == 0) conn_touched.push_back(c);
+    }
+    for (const Pair e : it->second.edges) cds_edge_dec(e);
+    ledger.by_node[key.first].erase(key);
+    ledger.by_node[key.second].erase(key);
+    ledger.entries.erase(it);
+}
+
+void DynamicSpanner::commit_pair(PairLedger& ledger, Pair key, PairOutcome outcome,
+                                 std::vector<NodeId>& conn_touched) {
+    if (outcome.connectors.empty() && outcome.edges.empty()) return;
+    sort_unique(outcome.connectors);
+    sort_unique_pairs(outcome.edges);
+    for (const NodeId c : outcome.connectors) {
+        if (connector_refs_[c]++ == 0) conn_touched.push_back(c);
+    }
+    for (const Pair e : outcome.edges) cds_edge_inc(e);
+    ledger.by_node[key.first].insert(key);
+    ledger.by_node[key.second].insert(key);
+    const bool inserted = ledger.entries.emplace(key, std::move(outcome)).second;
+    assert(inserted);
+    (void)inserted;
+}
+
+void DynamicSpanner::stage_connectors(PatchContext& ctx) {
+    const auto& cluster = backbone_.cluster;
+
+    // C2: nodes whose election-relevant state changed (adjacency, role,
+    // dominator list, two-hop dominator list, or a fresh join). Every
+    // pair whose election can differ has a dominator within the 2-hop
+    // closure S2 of C2 over old ∪ new edges, because elections are pure
+    // functions of the states of N2(pair): delete those pairs' ledger
+    // entries and re-run them.
+    std::vector<NodeId> c2 = ctx.adj_changed;
+    c2.insert(c2.end(), ctx.joined.begin(), ctx.joined.end());
+    c2.insert(c2.end(), ctx.roles_changed.begin(), ctx.roles_changed.end());
+    c2.insert(c2.end(), ctx.dom_list_changed.begin(), ctx.dom_list_changed.end());
+    c2.insert(c2.end(), ctx.two_hop_changed.begin(), ctx.two_hop_changed.end());
+    sort_unique(c2);
+    const auto s2 = expand_hops(udg_, ctx.udg_removed_adj, c2, 2);
+
+    std::vector<NodeId> dirty_dominators;
+    for (const NodeId d : s2) {
+        ctx.touch(d);
+        const bool is_now = cluster.role[d] == Role::kDominator;
+        const auto it = ctx.old_role.find(d);
+        const bool was = it != ctx.old_role.end() ? it->second == Role::kDominator
+                                                  : is_now;
+        if (is_now || was) dirty_dominators.push_back(d);
+    }
+
+    std::vector<NodeId> conn_touched;
+    std::size_t deleted = 0;
+    for (const NodeId d : dirty_dominators) {
+        for (PairLedger* ledger : {&pairs_a_, &pairs_b_}) {
+            const auto idx = ledger->by_node.find(d);
+            if (idx == ledger->by_node.end()) continue;
+            const std::vector<Pair> keys(idx->second.begin(), idx->second.end());
+            for (const Pair key : keys) {
+                delete_pair(*ledger, key, conn_touched);
+                ++deleted;
+            }
+        }
+    }
+
+    // Re-elect every pair with a recompute-dominator endpoint. All its
+    // candidate generators w lie within 2 hops of that endpoint, so one
+    // ascending scan of W2 rebuilds the candidate lists in the same
+    // node-id order find_connectors produces.
+    std::vector<NodeId> rec;
+    std::vector<char> rec_flag(points_.size(), 0);
+    for (const NodeId d : dirty_dominators) {
+        if (cluster.role[d] == Role::kDominator) {
+            rec.push_back(d);
+            rec_flag[d] = 1;
+        }
+    }
+    const auto w2 = expand_hops(udg_, ctx.udg_removed_adj, rec, 2);
+
+    std::map<Pair, std::vector<NodeId>> cand_a;
+    std::map<Pair, std::vector<NodeId>> cand_b;
+    for (const NodeId w : w2) {
+        const auto& doms = cluster.dominators_of[w];
+        for (std::size_t i = 0; i < doms.size(); ++i) {
+            for (std::size_t j = i + 1; j < doms.size(); ++j) {
+                if (rec_flag[doms[i]] != 0 || rec_flag[doms[j]] != 0) {
+                    cand_a[{doms[i], doms[j]}].push_back(w);
+                }
+            }
+        }
+        for (const NodeId u : doms) {
+            for (const NodeId v : cluster.two_hop_dominators_of[w]) {
+                if (rec_flag[u] != 0 || rec_flag[v] != 0) {
+                    cand_b[{u, v}].push_back(w);
+                }
+            }
+        }
+    }
+
+    // Phase A: dominators two hops apart, unordered pairs.
+    for (const auto& [pair, candidates] : cand_a) {
+        PairOutcome outcome;
+        for (const NodeId w : candidates) {
+            if (!wins(w, candidates)) continue;
+            outcome.connectors.push_back(w);
+            outcome.edges.push_back(norm(pair.first, w));
+            outcome.edges.push_back(norm(w, pair.second));
+        }
+        commit_pair(pairs_a_, pair, std::move(outcome), conn_touched);
+    }
+
+    // Phases B+C: ordered pairs (u, v) three hops apart — first-leg
+    // winners among u's dominatees, then the second-leg election among
+    // v's dominatees audible from a first-leg winner.
+    for (const auto& [pair, candidates] : cand_b) {
+        PairOutcome outcome;
+        std::vector<NodeId> winners;
+        for (const NodeId w : candidates) {
+            if (!wins(w, candidates)) continue;
+            winners.push_back(w);
+            outcome.connectors.push_back(w);
+            outcome.edges.push_back(norm(pair.first, w));
+        }
+        if (!winners.empty()) {
+            std::set<NodeId> second;
+            std::map<NodeId, std::vector<NodeId>> audible;
+            for (const NodeId w : winners) {
+                for (const NodeId x : udg_.neighbors(w)) {
+                    const auto& doms = cluster.dominators_of[x];
+                    if (std::binary_search(doms.begin(), doms.end(), pair.second)) {
+                        second.insert(x);
+                        audible[x].push_back(w);
+                    }
+                }
+            }
+            const std::vector<NodeId> second_candidates(second.begin(), second.end());
+            for (const NodeId x : second_candidates) {
+                if (!wins(x, second_candidates)) continue;
+                outcome.connectors.push_back(x);
+                outcome.edges.push_back(norm(x, pair.second));
+                for (const NodeId w : audible[x]) outcome.edges.push_back(norm(x, w));
+            }
+        }
+        commit_pair(pairs_b_, pair, std::move(outcome), conn_touched);
+    }
+
+    ctx.pairs_deleted = deleted;
+    ctx.pairs_reelected = cand_a.size() + cand_b.size();
+
+    // Settle connector flags from the final refcounts.
+    sort_unique(conn_touched);
+    for (const NodeId c : conn_touched) {
+        const bool now = connector_refs_[c] > 0;
+        if (backbone_.is_connector[c] != now) {
+            backbone_.is_connector[c] = now;
+            ctx.connector_changed.push_back(c);
+            ctx.touch(c);
+        }
+    }
+}
+
+// ---- Stage 3: induced backbone (ICDS) --------------------------------
+
+void DynamicSpanner::icds_edge_added(NodeId u, NodeId v, PatchContext& ctx) {
+    const Pair e = norm(u, v);
+    ctx.icds_added.push_back(e);
+    for (const NodeId x : {u, v}) {
+        if (ctx.icds_adj_changed_flag[x] == 0) {
+            ctx.icds_adj_changed_flag[x] = 1;
+            ctx.icds_adj_changed.push_back(x);
+        }
+    }
+    if (icds_prime_refs_.inc(e)) backbone_.icds_prime.add_edge(e.first, e.second);
+}
+
+void DynamicSpanner::icds_edge_removed(NodeId u, NodeId v, PatchContext& ctx) {
+    const Pair e = norm(u, v);
+    ctx.icds_removed.push_back(e);
+    ctx.icds_removed_adj[u].push_back(v);
+    ctx.icds_removed_adj[v].push_back(u);
+    for (const NodeId x : {u, v}) {
+        if (ctx.icds_adj_changed_flag[x] == 0) {
+            ctx.icds_adj_changed_flag[x] = 1;
+            ctx.icds_adj_changed.push_back(x);
+        }
+    }
+    if (icds_prime_refs_.dec(e)) backbone_.icds_prime.remove_edge(e.first, e.second);
+}
+
+void DynamicSpanner::stage_icds(PatchContext& ctx) {
+    auto& in_backbone = backbone_.in_backbone;
+
+    std::vector<NodeId> flips = ctx.roles_changed;
+    flips.insert(flips.end(), ctx.connector_changed.begin(),
+                 ctx.connector_changed.end());
+    flips.insert(flips.end(), ctx.joined.begin(), ctx.joined.end());
+    sort_unique(flips);
+    for (const NodeId v : flips) {
+        const bool now =
+            backbone_.cluster.role[v] == Role::kDominator || backbone_.is_connector[v];
+        if (in_backbone[v] != now) {
+            in_backbone[v] = now;
+            ctx.backbone_changed.push_back(v);
+            ctx.touch(v);
+        }
+    }
+
+    // UDG edge deltas restricted to backbone endpoints, then membership
+    // flips: a node entering the backbone gains its UDG edges to other
+    // backbone nodes, a node leaving drops every incident ICDS edge.
+    for (const auto& [u, v] : ctx.udg_added) {
+        if (in_backbone[u] && in_backbone[v] && backbone_.icds.add_edge(u, v)) {
+            icds_edge_added(u, v, ctx);
+        }
+    }
+    for (const auto& [u, v] : ctx.udg_removed) {
+        if (backbone_.icds.remove_edge(u, v)) icds_edge_removed(u, v, ctx);
+    }
+    std::vector<NodeId> incident;
+    for (const NodeId v : ctx.backbone_changed) {
+        if (in_backbone[v]) {
+            for (const NodeId u : udg_.neighbors(v)) {
+                if (in_backbone[u] && backbone_.icds.add_edge(v, u)) {
+                    icds_edge_added(v, u, ctx);
+                }
+            }
+        } else {
+            incident.assign(backbone_.icds.neighbors(v).begin(),
+                            backbone_.icds.neighbors(v).end());
+            for (const NodeId u : incident) {
+                if (backbone_.icds.remove_edge(v, u)) icds_edge_removed(v, u, ctx);
+            }
+        }
+    }
+    sort_unique(ctx.icds_adj_changed);
+    sort_unique_pairs(ctx.icds_added);
+    sort_unique_pairs(ctx.icds_removed);
+    for (auto& [v, list] : ctx.icds_removed_adj) sort_unique(list);
+}
+
+// ---- Stage 4: LDel¹ triangles + Algorithm-3 survival -----------------
+
+DynamicSpanner::TriBin DynamicSpanner::bin_of(TriangleKey t) const {
+    const geom::Point pa = points_[t.a];
+    const geom::Point pb = points_[t.b];
+    const geom::Point pc = points_[t.c];
+    TriBin bin;
+    bin.min_x = std::min({pa.x, pb.x, pc.x});
+    bin.max_x = std::max({pa.x, pb.x, pc.x});
+    bin.min_y = std::min({pa.y, pb.y, pc.y});
+    bin.max_y = std::max({pa.y, pb.y, pc.y});
+    bin.cell = proximity::cell_of({bin.min_x, bin.min_y}, radius_);
+    return bin;
+}
+
+void DynamicSpanner::tri_insert(TriangleKey t) {
+    const TriBin bin = bin_of(t);
+    tri_bins_.emplace(t, bin);
+    tri_grid_[bin.cell].push_back(t);
+}
+
+void DynamicSpanner::tri_remove(TriangleKey t) {
+    const auto it = tri_bins_.find(t);
+    assert(it != tri_bins_.end());
+    auto& cell = tri_grid_[it->second.cell];
+    cell.erase(std::find(cell.begin(), cell.end(), t));
+    if (cell.empty()) tri_grid_.erase(it->second.cell);
+    tri_bins_.erase(it);
+}
+
+bool DynamicSpanner::removed_by_partner(TriangleKey t, TriangleKey r) const {
+    // Algorithm 3's pairwise rule, oriented for "does r remove t":
+    // remove the triangle whose circumcircle strictly contains a vertex
+    // of the other; when neither test fires on an intersecting pair
+    // (exactly cocircular corners), remove the larger key — matching
+    // Alg3Filter's deterministic tie-break.
+    if (!proximity::triangles_intersect(backbone_.icds, t, r)) return false;
+    if (proximity::circumcircle_contains_vertex_of(backbone_.icds, t, r)) return true;
+    if (proximity::circumcircle_contains_vertex_of(backbone_.icds, r, t)) return false;
+    return r < t;
+}
+
+bool DynamicSpanner::survives_alg3(TriangleKey t) const {
+    // Partner enumeration over the bbox buckets: every LDel¹ triangle
+    // has sides <= radius, so any partner's min corner lies within one
+    // cell (= radius) below t's box and never above its max corner.
+    const TriBin bin = tri_bins_.at(t);
+    const auto lo = proximity::cell_of({bin.min_x - radius_, bin.min_y - radius_}, radius_);
+    const auto hi = proximity::cell_of({bin.max_x, bin.max_y}, radius_);
+    for (long long cx = lo.first; cx <= hi.first; ++cx) {
+        for (long long cy = lo.second; cy <= hi.second; ++cy) {
+            const auto it = tri_grid_.find({cx, cy});
+            if (it == tri_grid_.end()) continue;
+            for (const TriangleKey r : it->second) {
+                if (r == t) continue;
+                const TriBin& rb = tri_bins_.at(r);
+                if (rb.min_x > bin.max_x || rb.max_x < bin.min_x ||
+                    rb.min_y > bin.max_y || rb.max_y < bin.min_y) {
+                    continue;
+                }
+                if (removed_by_partner(t, r)) return false;
+            }
+        }
+    }
+    return true;
+}
+
+void DynamicSpanner::stage_ldel(PatchContext& ctx, PatchStats& stats) {
+    // Local triangle lists to recompute: a node's list depends on its
+    // ICDS neighbor set, the positions of itself and those neighbors,
+    // and the edges among them — so recompute every backbone node whose
+    // ICDS adjacency changed or that is ICDS-adjacent (over old ∪ new
+    // edges) to a moved or adjacency-changed node.
+    std::vector<NodeId> seeds = ctx.icds_adj_changed;
+    for (const NodeId v : ctx.moved) {
+        if (backbone_.in_backbone[v]) seeds.push_back(v);
+    }
+    sort_unique(seeds);
+    ctx.ldel_dirty = expand_hops(backbone_.icds, ctx.icds_removed_adj, seeds, 1);
+    const auto& dirty = ctx.ldel_dirty;
+    for (const NodeId v : dirty) ctx.touch(v);
+
+    std::vector<std::vector<TriangleKey>> fresh(dirty.size());
+    const auto body = [&](std::size_t i) {
+        fresh[i] = proximity::local_triangles_at(backbone_.icds, dirty[i]);
+    };
+    if (dirty.size() >= kParallelThreshold) {
+        engine_->pool().parallel_for(0, dirty.size(), body);
+    } else {
+        for (std::size_t i = 0; i < dirty.size(); ++i) body(i);
+    }
+
+    // Candidate triangles: anything in an old or new local list of a
+    // dirty node. A triangle none of whose corners is dirty has all
+    // three membership votes unchanged.
+    std::vector<TriangleKey> candidates;
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+        candidates.insert(candidates.end(), local_tris_[dirty[i]].begin(),
+                          local_tris_[dirty[i]].end());
+        candidates.insert(candidates.end(), fresh[i].begin(), fresh[i].end());
+        local_tris_[dirty[i]] = std::move(fresh[i]);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    // Membership delta + bbox re-binning. `touched_boxes` collects the
+    // old and new extents of every added/removed/moved triangle; any
+    // retained triangle whose box meets one of them must re-run its
+    // survival test.
+    const auto in_local = [&](NodeId v, TriangleKey t) {
+        const auto& list = local_tris_[v];
+        return std::binary_search(list.begin(), list.end(), t);
+    };
+    std::vector<TriBin> touched_boxes;
+    for (const TriangleKey t : candidates) {
+        const bool now = in_local(t.a, t) && in_local(t.b, t) && in_local(t.c, t);
+        const bool was = ldel1_.contains(t);
+        if (now && !was) {
+            ldel1_.insert(t);
+            tri_insert(t);
+            touched_boxes.push_back(tri_bins_.at(t));
+        } else if (!now && was) {
+            ldel1_.erase(t);
+            touched_boxes.push_back(tri_bins_.at(t));
+            tri_remove(t);
+            if (kept_.erase(t) > 0) {
+                ldel_edge_dec(norm(t.a, t.b));
+                ldel_edge_dec(norm(t.b, t.c));
+                ldel_edge_dec(norm(t.a, t.c));
+            }
+        } else if (now && was && (ctx.moved_flag[t.a] != 0 || ctx.moved_flag[t.b] != 0 ||
+                                  ctx.moved_flag[t.c] != 0)) {
+            touched_boxes.push_back(tri_bins_.at(t));  // old geometry
+            tri_remove(t);
+            tri_insert(t);
+            touched_boxes.push_back(tri_bins_.at(t));  // new geometry
+        }
+    }
+
+    // Survival recompute set: residents of every cell a touched box can
+    // reach (partners' min corners lie within one cell below the box).
+    std::vector<TriangleKey> retest;
+    for (const TriBin& box : touched_boxes) {
+        const auto lo =
+            proximity::cell_of({box.min_x - radius_, box.min_y - radius_}, radius_);
+        const auto hi = proximity::cell_of({box.max_x, box.max_y}, radius_);
+        for (long long cx = lo.first; cx <= hi.first; ++cx) {
+            for (long long cy = lo.second; cy <= hi.second; ++cy) {
+                const auto it = tri_grid_.find({cx, cy});
+                if (it == tri_grid_.end()) continue;
+                retest.insert(retest.end(), it->second.begin(), it->second.end());
+            }
+        }
+    }
+    std::sort(retest.begin(), retest.end());
+    retest.erase(std::unique(retest.begin(), retest.end()), retest.end());
+    stats.triangles_retested += retest.size();
+
+    std::vector<char> survives(retest.size(), 0);
+    const auto survive_body = [&](std::size_t i) {
+        survives[i] = survives_alg3(retest[i]) ? 1 : 0;
+    };
+    if (retest.size() >= kParallelThreshold) {
+        engine_->pool().parallel_for(0, retest.size(), survive_body);
+    } else {
+        for (std::size_t i = 0; i < retest.size(); ++i) survive_body(i);
+    }
+    for (std::size_t i = 0; i < retest.size(); ++i) {
+        const TriangleKey t = retest[i];
+        const bool keep = survives[i] != 0;
+        const bool was = kept_.contains(t);
+        if (keep && !was) {
+            kept_.insert(t);
+            ldel_edge_inc(norm(t.a, t.b));
+            ldel_edge_inc(norm(t.b, t.c));
+            ldel_edge_inc(norm(t.a, t.c));
+        } else if (!keep && was) {
+            kept_.erase(t);
+            ldel_edge_dec(norm(t.a, t.b));
+            ldel_edge_dec(norm(t.b, t.c));
+            ldel_edge_dec(norm(t.a, t.c));
+        }
+    }
+}
+
+// ---- Stage 4b: Gabriel(ICDS) edges -----------------------------------
+
+void DynamicSpanner::stage_gabriel(PatchContext& ctx) {
+    // An edge's Gabriel status depends on its endpoints' positions and
+    // common-ICDS-neighbor set — dirty exactly when an endpoint is in
+    // the LDel dirty set (moved/adjacency-changed nodes + their ICDS
+    // ring, which covers every moved or gained/lost witness).
+    for (const Pair e : ctx.icds_removed) {
+        if (gabriel_.erase(e) > 0) ldel_edge_dec(e);
+    }
+
+    std::vector<char> in_dirty(points_.size(), 0);
+    for (const NodeId v : ctx.ldel_dirty) in_dirty[v] = 1;
+    std::vector<Pair> dirty_edges;
+    for (const NodeId u : ctx.ldel_dirty) {
+        for (const NodeId v : backbone_.icds.neighbors(u)) {
+            if (u < v || in_dirty[v] == 0) dirty_edges.push_back(norm(u, v));
+        }
+    }
+    sort_unique_pairs(dirty_edges);
+
+    std::vector<char> in_gabriel(dirty_edges.size(), 0);
+    const auto body = [&](std::size_t i) {
+        const auto [u, v] = dirty_edges[i];
+        const auto nu = backbone_.icds.neighbors(u);
+        const auto nv = backbone_.icds.neighbors(v);
+        bool blocked = false;
+        std::size_t a = 0;
+        std::size_t b = 0;
+        while (a < nu.size() && b < nv.size() && !blocked) {
+            if (nu[a] < nv[b]) {
+                ++a;
+            } else if (nu[a] > nv[b]) {
+                ++b;
+            } else {
+                // Closed-disk witness rule, matching build_gabriel.
+                if (geom::in_diametral_circle(points_[u], points_[v],
+                                              points_[nu[a]]) >= 0) {
+                    blocked = true;
+                }
+                ++a;
+                ++b;
+            }
+        }
+        in_gabriel[i] = blocked ? 0 : 1;
+    };
+    if (dirty_edges.size() >= kParallelThreshold) {
+        engine_->pool().parallel_for(0, dirty_edges.size(), body);
+    } else {
+        for (std::size_t i = 0; i < dirty_edges.size(); ++i) body(i);
+    }
+
+    for (std::size_t i = 0; i < dirty_edges.size(); ++i) {
+        const Pair e = dirty_edges[i];
+        const bool now = in_gabriel[i] != 0;
+        const bool was = gabriel_.contains(e);
+        if (now && !was) {
+            gabriel_.insert(e);
+            ldel_edge_inc(e);
+        } else if (!now && was) {
+            gabriel_.erase(e);
+            ldel_edge_dec(e);
+        }
+    }
+}
+
+// ---- Stage 5: assembly (primed graphs, triangle list) ----------------
+
+void DynamicSpanner::stage_assemble(PatchContext& ctx) {
+    // Dominatee-link deltas feed all three primed unions. A node's link
+    // set equals its dominators_of list, so only dom_list_changed nodes
+    // (old lists captured during the cascade) contribute deltas.
+    for (const NodeId v : ctx.dom_list_changed) {
+        const auto& old_list = ctx.old_dominators.at(v);
+        const auto& new_list = backbone_.cluster.dominators_of[v];
+        for (const NodeId d : old_list) {
+            if (!std::binary_search(new_list.begin(), new_list.end(), d)) {
+                link_dec(norm(v, d));
+            }
+        }
+        for (const NodeId d : new_list) {
+            if (!std::binary_search(old_list.begin(), old_list.end(), d)) {
+                link_inc(norm(v, d));
+            }
+        }
+    }
+    backbone_.ldel_triangles.assign(kept_.begin(), kept_.end());
+}
+
+// ---- Edge-union plumbing ---------------------------------------------
+
+void DynamicSpanner::cds_edge_inc(Pair e) {
+    if (cds_refs_.inc(e)) {
+        backbone_.cds.add_edge(e.first, e.second);
+        if (cds_prime_refs_.inc(e)) backbone_.cds_prime.add_edge(e.first, e.second);
+    }
+}
+
+void DynamicSpanner::cds_edge_dec(Pair e) {
+    if (cds_refs_.dec(e)) {
+        backbone_.cds.remove_edge(e.first, e.second);
+        if (cds_prime_refs_.dec(e)) backbone_.cds_prime.remove_edge(e.first, e.second);
+    }
+}
+
+void DynamicSpanner::ldel_edge_inc(Pair e) {
+    if (ldel_icds_refs_.inc(e)) {
+        backbone_.ldel_icds.add_edge(e.first, e.second);
+        if (ldel_icds_prime_refs_.inc(e)) {
+            backbone_.ldel_icds_prime.add_edge(e.first, e.second);
+        }
+    }
+}
+
+void DynamicSpanner::ldel_edge_dec(Pair e) {
+    if (ldel_icds_refs_.dec(e)) {
+        backbone_.ldel_icds.remove_edge(e.first, e.second);
+        if (ldel_icds_prime_refs_.dec(e)) {
+            backbone_.ldel_icds_prime.remove_edge(e.first, e.second);
+        }
+    }
+}
+
+void DynamicSpanner::link_inc(Pair e) {
+    if (cds_prime_refs_.inc(e)) backbone_.cds_prime.add_edge(e.first, e.second);
+    if (icds_prime_refs_.inc(e)) backbone_.icds_prime.add_edge(e.first, e.second);
+    if (ldel_icds_prime_refs_.inc(e)) {
+        backbone_.ldel_icds_prime.add_edge(e.first, e.second);
+    }
+}
+
+void DynamicSpanner::link_dec(Pair e) {
+    if (cds_prime_refs_.dec(e)) backbone_.cds_prime.remove_edge(e.first, e.second);
+    if (icds_prime_refs_.dec(e)) backbone_.icds_prime.remove_edge(e.first, e.second);
+    if (ldel_icds_prime_refs_.dec(e)) {
+        backbone_.ldel_icds_prime.remove_edge(e.first, e.second);
+    }
+}
+
+// ---- k-hop expansion over old ∪ new adjacency ------------------------
+
+std::vector<graph::NodeId> DynamicSpanner::expand_hops(
+    const GeometricGraph& g,
+    const std::unordered_map<NodeId, std::vector<NodeId>>& removed_adj,
+    const std::vector<NodeId>& seeds, int hops) const {
+    std::vector<char> visited(g.node_count(), 0);
+    std::vector<NodeId> frontier;
+    std::vector<NodeId> result;
+    for (const NodeId v : seeds) {
+        if (visited[v] == 0) {
+            visited[v] = 1;
+            frontier.push_back(v);
+            result.push_back(v);
+        }
+    }
+    std::vector<NodeId> next;
+    for (int h = 0; h < hops && !frontier.empty(); ++h) {
+        next.clear();
+        const auto visit = [&](NodeId u) {
+            if (visited[u] == 0) {
+                visited[u] = 1;
+                next.push_back(u);
+                result.push_back(u);
+            }
+        };
+        for (const NodeId v : frontier) {
+            for (const NodeId u : g.neighbors(v)) visit(u);
+            const auto it = removed_adj.find(v);
+            if (it != removed_adj.end()) {
+                for (const NodeId u : it->second) visit(u);
+            }
+        }
+        std::swap(frontier, next);
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+}  // namespace geospanner::dynamic

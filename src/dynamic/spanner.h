@@ -1,0 +1,274 @@
+// Incremental spanner maintenance for dynamic topologies.
+//
+// The paper's construction is local at every stage: a node's cluster
+// role depends on its 1-hop neighborhood, a connector election on the
+// 2-hop ball of its dominator pair, and an LDel¹ triangle on the 1-hop
+// balls of its three corners. DynamicSpanner exploits that locality to
+// repair a finished backbone after point updates (move/join/leave
+// batches) by recomputing only the *dirty region* — the k-hop closure,
+// over the union of old and new adjacency, of the nodes whose inputs
+// changed — and splicing the recomputed sub-results into the retained
+// GeometricGraphs.
+//
+// Correctness contract: after any update sequence the patched topology
+// is edge-for-edge identical to a from-scratch build on the same
+// positions (proximity::build_udg + core::build_backbone with
+// Engine::kCentralized, or equivalently the staged engine). The
+// per-stage dirty-set expansion rules that guarantee this are derived
+// in docs/ARCHITECTURE.md; tests/test_dynamic.cpp fuzzes the equality
+// across trace replays and runs the verify:: auditors on patched
+// outputs.
+//
+// Fallback policy: when the dirty region of a batch exceeds
+// EngineOptions::incremental_options.rebuild_fraction of n (or the
+// batch contains leaves, whose swap-remove id compaction perturbs the
+// id-keyed elections globally), the patch falls back to a full rebuild
+// from the current positions. The full rebuild runs the same stage
+// kernels with everything dirty, so both paths share one code path and
+// one correctness argument.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/report.h"
+#include "dynamic/dynamic_cell_grid.h"
+#include "engine/engine.h"
+#include "graph/geometric_graph.h"
+#include "proximity/ldel.h"
+
+namespace geospanner::dynamic {
+
+/// One batch of point updates, applied in this order: moves (to current
+/// ids), then joins (appended as new largest ids, returned implicitly
+/// as node_count() .. node_count()+joins-1), then leaves (each applied
+/// sequentially with swap-remove: the last node takes the leaver's id).
+struct UpdateBatch {
+    struct Move {
+        graph::NodeId node;
+        geom::Point to;
+    };
+    std::vector<Move> moves;
+    std::vector<geom::Point> joins;
+    std::vector<graph::NodeId> leaves;
+
+    [[nodiscard]] bool empty() const {
+        return moves.empty() && joins.empty() && leaves.empty();
+    }
+};
+
+/// What one apply() did: the repair path taken, the per-stage dirty
+/// volumes, and the stage timing breakdown (same PipelineStats type the
+/// engine emits for full builds).
+struct PatchStats {
+    bool fell_back = false;            ///< batch took the full-rebuild path
+    std::size_t dirty_nodes = 0;       ///< union of all per-stage dirty sets
+    std::size_t udg_edge_changes = 0;  ///< UDG edges added + removed
+    std::size_t roles_changed = 0;     ///< cluster roles flipped by the cascade
+    std::size_t pairs_recomputed = 0;  ///< connector pair elections rerun
+    std::size_t triangles_retested = 0;  ///< Algorithm-3 survivals re-evaluated
+    core::PipelineStats pipeline;
+};
+
+/// A maintained (UDG, Backbone) pair under point updates. The engine
+/// reference supplies the ThreadPool for the bulk kernels and the
+/// options (cluster policy, incremental gate, fallback fraction).
+/// Incremental patching supports the paper's default kLdel1 planarizer;
+/// kLdel2 configurations take the full-rebuild path on every batch.
+class DynamicSpanner {
+  public:
+    DynamicSpanner(engine::SpannerEngine& engine, std::vector<geom::Point> points,
+                   double radius);
+
+    /// Applies one update batch and repairs the backbone. Returns the
+    /// patch report; stats.pipeline carries one StageStats per patch
+    /// kernel (or the engine's stage names on the fallback path).
+    PatchStats apply(const UpdateBatch& batch);
+
+    [[nodiscard]] const graph::GeometricGraph& udg() const noexcept { return udg_; }
+    [[nodiscard]] const core::Backbone& backbone() const noexcept { return backbone_; }
+    [[nodiscard]] const std::vector<geom::Point>& positions() const noexcept {
+        return points_;
+    }
+    [[nodiscard]] std::size_t node_count() const noexcept { return points_.size(); }
+    [[nodiscard]] double radius() const noexcept { return radius_; }
+    [[nodiscard]] engine::SpannerEngine& engine() noexcept { return *engine_; }
+
+  private:
+    using NodeId = graph::NodeId;
+    using Pair = std::pair<NodeId, NodeId>;
+    using TriangleKey = proximity::TriangleKey;
+
+    struct PairHash {
+        std::size_t operator()(Pair p) const noexcept;
+    };
+    struct TriHash {
+        std::size_t operator()(TriangleKey t) const noexcept;
+    };
+
+    /// Refcounted edge union driving one retained GeometricGraph: each
+    /// logical contribution (a connector pair's elected link, a Gabriel
+    /// edge, a kept triangle side, a dominatee link, a base-graph edge
+    /// of a primed variant) holds one reference; the edge exists in the
+    /// graph iff its count is positive. Contributions overlap — e.g. a
+    /// connector's elected link can coincide with its dominatee link —
+    /// so plain add/remove would corrupt the union.
+    struct EdgeRefs {
+        std::unordered_map<Pair, int, PairHash> counts;
+
+        bool inc(Pair e);  ///< true on the 0 → 1 transition
+        bool dec(Pair e);  ///< true on the 1 → 0 transition
+        void clear() { counts.clear(); }
+    };
+
+    /// Per-pair connector election outcome retained in the ledger:
+    /// the connectors it elected and the CDS edges it contributed
+    /// (deduplicated within the pair; refcounted across pairs).
+    struct PairOutcome {
+        std::vector<NodeId> connectors;
+        std::vector<Pair> edges;
+    };
+
+    /// One connector-election ledger (phase A uses unordered pairs,
+    /// phases B+C ordered pairs) plus its node→pairs reverse index for
+    /// O(dirty) deletion.
+    struct PairLedger {
+        std::map<Pair, PairOutcome> entries;
+        std::unordered_map<NodeId, std::set<Pair>> by_node;
+
+        void clear() {
+            entries.clear();
+            by_node.clear();
+        }
+    };
+
+    /// Scratch + dirty sets of one apply() — rebuilt per batch, with
+    /// "everything dirty" on the full-rebuild path so both paths run
+    /// the same stage kernels.
+    struct PatchContext {
+        std::vector<NodeId> moved;        ///< sorted; nodes whose position changed
+        std::vector<char> moved_flag;     ///< n-sized
+        std::vector<NodeId> joined;       ///< sorted new ids
+        std::vector<NodeId> adj_changed;  ///< sorted; endpoints of UDG edge deltas
+        std::vector<char> adj_changed_flag;
+        std::vector<Pair> udg_added;
+        std::vector<Pair> udg_removed;
+        /// Removed-neighbor lists: adjacency of the *old* graph that the
+        /// new one lost, for k-hop expansion over old ∪ new edges.
+        std::unordered_map<NodeId, std::vector<NodeId>> udg_removed_adj;
+
+        std::vector<NodeId> roles_changed;  ///< sorted after the cascade
+        std::unordered_map<NodeId, protocol::Role> old_role;
+        /// Nodes whose dominators_of list changed, with the old list.
+        std::vector<NodeId> dom_list_changed;
+        std::unordered_map<NodeId, std::vector<NodeId>> old_dominators;
+        std::vector<NodeId> two_hop_changed;
+
+        std::vector<NodeId> connector_changed;  ///< is_connector flips
+        std::size_t pairs_deleted = 0;
+        std::size_t pairs_reelected = 0;
+        [[nodiscard]] std::size_t pairs_recomputed() const {
+            return pairs_deleted + pairs_reelected;
+        }
+
+        std::vector<NodeId> backbone_changed;  ///< in_backbone flips
+        std::vector<Pair> icds_added;
+        std::vector<Pair> icds_removed;
+        std::vector<char> icds_adj_changed_flag;
+        std::vector<NodeId> icds_adj_changed;
+        std::unordered_map<NodeId, std::vector<NodeId>> icds_removed_adj;
+
+        std::vector<NodeId> ldel_dirty;  ///< sorted; local triangle lists recomputed
+        std::vector<char> dirty_union;   ///< union of all per-stage dirty nodes
+        std::size_t dirty_count = 0;
+
+        void reset(std::size_t n);
+        void touch(NodeId v);  ///< adds v to the dirty union
+    };
+
+    // Stage kernels. Each reads the dirty inputs from `ctx`, patches the
+    // retained state, and records what it invalidated for the next
+    // stage. rebuild_from_scratch() runs them with everything dirty.
+    void stage_udg(const UpdateBatch& batch, PatchContext& ctx);
+    /// Role cascade + derived-list recompute; false → more than `cap`
+    /// roles flipped, caller falls back to a full rebuild.
+    bool run_cluster_cascade(PatchContext& ctx, std::size_t cap);
+    void stage_connectors(PatchContext& ctx);
+    void stage_icds(PatchContext& ctx);
+    void stage_ldel(PatchContext& ctx, PatchStats& stats);
+    void stage_gabriel(PatchContext& ctx);
+    void stage_assemble(PatchContext& ctx);
+
+    void append_node(geom::Point p);
+    void rebuild_from_scratch(PatchStats& stats);
+    void apply_positions_only(const UpdateBatch& batch);
+
+    // Connector-election helpers. `conn_touched` accumulates nodes whose
+    // election refcount hit or left zero, for the flag settle pass.
+    void delete_pair(PairLedger& ledger, Pair key, std::vector<NodeId>& conn_touched);
+    void commit_pair(PairLedger& ledger, Pair key, PairOutcome outcome,
+                     std::vector<NodeId>& conn_touched);
+    [[nodiscard]] bool wins(NodeId w, const std::vector<NodeId>& candidates) const;
+
+    // Triangle bookkeeping.
+    struct TriBin {
+        double min_x, max_x, min_y, max_y;
+        proximity::CellCoord cell;
+    };
+    [[nodiscard]] TriBin bin_of(TriangleKey t) const;
+    void tri_insert(TriangleKey t);
+    void tri_remove(TriangleKey t);
+    [[nodiscard]] bool removed_by_partner(TriangleKey t, TriangleKey r) const;
+    [[nodiscard]] bool survives_alg3(TriangleKey t) const;
+
+    [[nodiscard]] std::vector<NodeId> expand_hops(
+        const graph::GeometricGraph& g,
+        const std::unordered_map<NodeId, std::vector<NodeId>>& removed_adj,
+        const std::vector<NodeId>& seeds, int hops) const;
+
+    void cds_edge_inc(Pair e);
+    void cds_edge_dec(Pair e);
+    void ldel_edge_inc(Pair e);
+    void ldel_edge_dec(Pair e);
+    void link_inc(Pair e);  ///< dominatee link into all three primed unions
+    void link_dec(Pair e);
+    void icds_edge_added(NodeId u, NodeId v, PatchContext& ctx);
+    void icds_edge_removed(NodeId u, NodeId v, PatchContext& ctx);
+
+    engine::SpannerEngine* engine_;
+    double radius_ = 1.0;
+    std::vector<geom::Point> points_;
+    DynamicCellGrid grid_;
+    graph::GeometricGraph udg_;
+    core::Backbone backbone_;
+
+    // Connector state: per-pair outcomes + aggregate refcounts.
+    PairLedger pairs_a_;  ///< phase A, unordered (min, max) dominator pairs
+    PairLedger pairs_b_;  ///< phases B+C, ordered (u, v) dominator pairs
+    std::vector<int> connector_refs_;  ///< pairs electing each node
+    EdgeRefs cds_refs_;
+
+    // LDel state: per-node local triangle lists, the LDel¹ set, its
+    // bbox-bucket index (cell side = radius), and the Alg3 survivors.
+    std::vector<std::vector<TriangleKey>> local_tris_;
+    std::set<TriangleKey> ldel1_;
+    std::set<TriangleKey> kept_;
+    std::unordered_map<TriangleKey, TriBin, TriHash> tri_bins_;
+    std::unordered_map<proximity::CellCoord, std::vector<TriangleKey>,
+                       proximity::CellHash>
+        tri_grid_;
+
+    // Gabriel(ICDS) edges + the union refcounts of the assembled graphs.
+    std::set<Pair> gabriel_;
+    EdgeRefs ldel_icds_refs_;   ///< gabriel + kept-triangle sides
+    EdgeRefs cds_prime_refs_;   ///< cds edges + dominatee links
+    EdgeRefs icds_prime_refs_;  ///< icds edges + dominatee links
+    EdgeRefs ldel_icds_prime_refs_;  ///< ldel_icds edges + dominatee links
+};
+
+}  // namespace geospanner::dynamic

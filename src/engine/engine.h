@@ -29,6 +29,15 @@
 
 namespace geospanner::engine {
 
+/// Tunables of the incremental maintenance path (dynamic::DynamicSpanner).
+struct IncrementalOptions {
+    /// When the dirty region of an update batch (nodes whose stage state
+    /// is recomputed) exceeds this fraction of n, the patch falls back
+    /// to a full rebuild — beyond it the localized bookkeeping costs
+    /// more than recomputing from scratch.
+    double rebuild_fraction = 0.25;
+};
+
 struct EngineOptions {
     std::size_t threads = 0;  ///< 0 → hardware concurrency
     protocol::ClusterPolicy cluster_policy = protocol::ClusterPolicy::kLowestId;
@@ -40,6 +49,12 @@ struct EngineOptions {
     /// any thread count (test_engine.cpp pins this).
     bool audit = false;
     verify::AuditOptions audit_options;  ///< caps used when audit is on
+    /// Consumed by dynamic::DynamicSpanner: when true, update batches
+    /// are patched by localized recomputation of the dirty region; when
+    /// false every batch takes the full-rebuild path (the baseline mode
+    /// the benches compare against). Ignored by plain builds.
+    bool incremental = true;
+    IncrementalOptions incremental_options;
 };
 
 /// One constructed instance: the UDG, every backbone topology, the

@@ -25,6 +25,12 @@ bool sorted_erase(std::vector<NodeId>& list, NodeId value) {
 
 }  // namespace
 
+NodeId GeometricGraph::add_node(geom::Point p) {
+    points_.push_back(p);
+    adjacency_.emplace_back();
+    return static_cast<NodeId>(points_.size() - 1);
+}
+
 bool GeometricGraph::add_edge(NodeId u, NodeId v) {
     assert(u != v && u < node_count() && v < node_count());
     if (!sorted_insert(adjacency_[u], v)) return false;

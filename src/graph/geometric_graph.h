@@ -37,6 +37,15 @@ class GeometricGraph {
     }
     [[nodiscard]] std::size_t degree(NodeId v) const { return adjacency_[v].size(); }
 
+    /// Moves node v to `p`. Edges are untouched: callers maintaining a
+    /// proximity graph (UDG) must re-derive the incident edge set
+    /// themselves (see dynamic::DynamicSpanner).
+    void set_point(NodeId v, geom::Point p) { points_[v] = p; }
+
+    /// Appends an isolated node at `p` and returns its id (the new
+    /// largest id, so existing ids and edges are undisturbed).
+    NodeId add_node(geom::Point p);
+
     /// Adds the undirected edge {u, v}; no-op if already present.
     /// Returns true if the edge was inserted. Precondition: u != v.
     bool add_edge(NodeId u, NodeId v);

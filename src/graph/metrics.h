@@ -11,6 +11,10 @@
 
 #include "graph/geometric_graph.h"
 
+namespace geospanner::engine {
+class ThreadPool;
+}  // namespace geospanner::engine
+
 namespace geospanner::graph {
 
 struct DegreeStats {
@@ -32,19 +36,27 @@ struct StretchStats {
 /// `min_euclidean` (the paper measures stretch only for nodes more than
 /// one transmission radius apart — nearby pairs trivially inflate the
 /// ratio).
+///
+/// All stretch functions accept an optional ThreadPool that distributes
+/// the per-source Dijkstra/BFS sweeps over its lanes. Each source writes
+/// an index-owned partial merged in source order on the calling thread,
+/// so the result is identical for any thread count (nullptr included).
 [[nodiscard]] StretchStats length_stretch(const GeometricGraph& base,
                                           const GeometricGraph& topo,
-                                          double min_euclidean = 0.0);
+                                          double min_euclidean = 0.0,
+                                          engine::ThreadPool* pool = nullptr);
 
 /// Hop-count stretch of `topo` relative to `base`.
 [[nodiscard]] StretchStats hop_stretch(const GeometricGraph& base,
                                        const GeometricGraph& topo,
-                                       double min_euclidean = 0.0);
+                                       double min_euclidean = 0.0,
+                                       engine::ThreadPool* pool = nullptr);
 
 /// Power stretch with exponent beta (energy model: edge cost |uv|^beta).
 [[nodiscard]] StretchStats power_stretch(const GeometricGraph& base,
                                          const GeometricGraph& topo, double beta,
-                                         double min_euclidean = 0.0);
+                                         double min_euclidean = 0.0,
+                                         engine::ThreadPool* pool = nullptr);
 
 /// The node pair realizing the maximum length stretch, with its ratio —
 /// a checkable certificate for the reported maximum (ratio 0 when no
@@ -59,7 +71,8 @@ struct StretchWitness {
 
 [[nodiscard]] StretchWitness length_stretch_witness(const GeometricGraph& base,
                                                     const GeometricGraph& topo,
-                                                    double min_euclidean = 0.0);
+                                                    double min_euclidean = 0.0,
+                                                    engine::ThreadPool* pool = nullptr);
 
 /// Topology-control power assignment: each node's transmission power is
 /// set to reach its farthest neighbor in the topology, p(v) =

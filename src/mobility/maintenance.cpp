@@ -13,36 +13,37 @@ using graph::GeometricGraph;
 MaintainedBackbone::MaintainedBackbone(const std::vector<geom::Point>& points,
                                        double radius, core::BuildOptions options)
     : radius_(radius), options_(options) {
-    rebuild(points);
-}
-
-void MaintainedBackbone::rebuild(const std::vector<geom::Point>& points) {
-    udg_ = proximity::build_udg(points, radius_);
-    backbone_ = core::build_backbone(udg_, options_);
-    ++stats_.rebuilds;
-    account_build();
-    current_lifetime_ = 0;
-}
-
-void MaintainedBackbone::account_build() {
-    if (options_.engine != core::Engine::kDistributed) return;
-    for (const std::size_t m : backbone_.messages.after_ldel) {
-        stats_.total_broadcasts += m;
+    if (options_.engine == core::Engine::kCentralized) {
+        engine::EngineOptions eopts;
+        eopts.cluster_policy = options_.cluster_policy;
+        eopts.planarizer = options_.planarizer;
+        engine_ = std::make_unique<engine::SpannerEngine>(eopts);
+        dynamic_ = std::make_unique<dynamic::DynamicSpanner>(*engine_, points, radius_);
+    } else {
+        udg_ = proximity::build_udg(points, radius_);
+        backbone_ = core::build_backbone(udg_, options_);
+        stats_.initial_broadcasts = build_broadcasts();
     }
+}
+
+std::size_t MaintainedBackbone::build_broadcasts() const {
+    std::size_t total = 0;
+    for (const std::size_t m : backbone_.messages.after_ldel) total += m;
+    return total;
 }
 
 bool MaintainedBackbone::links_intact(const std::vector<geom::Point>& points) const {
     const double r2 = radius_ * radius_;
     // The links the routing scheme actually uses: the planar backbone
     // plus the dominatee->dominator access links (== LDel(ICDS')).
-    for (const auto& [u, v] : backbone_.ldel_icds_prime.edges()) {
+    for (const auto& [u, v] : backbone().ldel_icds_prime.edges()) {
         if (geom::squared_distance(points[u], points[v]) > r2) return false;
     }
     return true;
 }
 
 bool MaintainedBackbone::update(const std::vector<geom::Point>& points) {
-    assert(points.size() == udg_.node_count());
+    assert(points.size() == udg().node_count());
     ++stats_.epochs;
 
     if (links_intact(points)) {
@@ -52,16 +53,37 @@ bool MaintainedBackbone::update(const std::vector<geom::Point>& points) {
         return false;
     }
 
-    // A used link broke. Rebuild from current positions — unless the
+    // A used link broke. Repair from current positions — unless the
     // network itself is partitioned, in which case nothing is valid and
-    // we wait for reconnection.
-    const GeometricGraph fresh = proximity::build_udg(points, radius_);
+    // we keep the stale backbone until reconnection.
+    GeometricGraph fresh = proximity::build_udg(points, radius_);
     if (!graph::is_connected(fresh)) {
         ++stats_.disconnected_epochs;
         current_lifetime_ = 0;
         return false;
     }
-    rebuild(points);
+
+    if (dynamic_) {
+        // Positions may have drifted across several intact/disconnected
+        // epochs since the last repair; the batch carries the whole diff.
+        dynamic::UpdateBatch batch;
+        const auto& held = dynamic_->positions();
+        for (graph::NodeId v = 0; v < held.size(); ++v) {
+            if (!(held[v] == points[v])) batch.moves.push_back({v, points[v]});
+        }
+        const dynamic::PatchStats patch = dynamic_->apply(batch);
+        if (patch.fell_back) {
+            ++stats_.fallback_rebuilds;
+        } else {
+            ++stats_.incremental_patches;
+        }
+    } else {
+        udg_ = std::move(fresh);
+        backbone_ = core::build_backbone(udg_, options_);
+        stats_.total_broadcasts += build_broadcasts();
+    }
+    ++stats_.rebuilds;
+    current_lifetime_ = 0;
     return true;
 }
 

@@ -6,23 +6,36 @@
 // stays valid even though the drawn embedding shifts. This class
 // implements that policy: each epoch it checks whether every link the
 // current backbone uses (backbone links and dominatee→dominator links)
-// is still within transmission range, and rebuilds only on breakage,
-// accounting the rebuild broadcasts.
+// is still within transmission range, and repairs only on breakage.
+//
+// Repair path: with the centralized engine, breakage is served by a
+// dynamic::DynamicSpanner patch — only the dirty region around the
+// nodes that moved out of range is recomputed (falling back to a full
+// rebuild when the region is too large). The distributed engine re-runs
+// the full message-passing protocols, accounting the rebuild broadcasts.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/backbone.h"
+#include "dynamic/spanner.h"
 
 namespace geospanner::mobility {
 
 struct MaintenanceStats {
     std::size_t epochs = 0;
-    std::size_t intact_epochs = 0;        ///< backbone survived unchanged
-    std::size_t rebuilds = 0;             ///< includes the initial build
+    std::size_t intact_epochs = 0;  ///< backbone survived unchanged
+    /// Maintenance rebuilds only — the initial construction is reported
+    /// separately (initial_broadcasts), so broadcasts_per_rebuild and
+    /// the mobility ablations measure maintenance cost, not setup cost.
+    std::size_t rebuilds = 0;
+    std::size_t incremental_patches = 0;  ///< rebuilds served by localized patching
+    std::size_t fallback_rebuilds = 0;    ///< patches that took the full-rebuild path
     std::size_t disconnected_epochs = 0;  ///< UDG itself was partitioned
-    std::size_t total_broadcasts = 0;     ///< across all (re)builds
+    std::size_t initial_broadcasts = 0;   ///< broadcasts of the initial build
+    std::size_t total_broadcasts = 0;     ///< across maintenance rebuilds
     std::size_t longest_lifetime = 0;     ///< epochs, best backbone
 
     [[nodiscard]] double broadcasts_per_rebuild() const {
@@ -40,12 +53,17 @@ class MaintainedBackbone {
                        core::BuildOptions options = {});
 
     /// One maintenance epoch at the given (moved) positions. Returns
-    /// true if the backbone had to be rebuilt. Epochs where the UDG is
-    /// disconnected are counted and skipped (no topology can help).
+    /// true if the backbone had to be repaired. Epochs where the UDG is
+    /// disconnected are counted and skipped (no topology can help; the
+    /// stale backbone is kept until reconnection).
     bool update(const std::vector<geom::Point>& points);
 
-    [[nodiscard]] const core::Backbone& backbone() const noexcept { return backbone_; }
-    [[nodiscard]] const graph::GeometricGraph& udg() const noexcept { return udg_; }
+    [[nodiscard]] const core::Backbone& backbone() const noexcept {
+        return dynamic_ ? dynamic_->backbone() : backbone_;
+    }
+    [[nodiscard]] const graph::GeometricGraph& udg() const noexcept {
+        return dynamic_ ? dynamic_->udg() : udg_;
+    }
     [[nodiscard]] const MaintenanceStats& stats() const noexcept { return stats_; }
 
     /// True iff every link used by the current backbone is within range
@@ -53,13 +71,15 @@ class MaintainedBackbone {
     [[nodiscard]] bool links_intact(const std::vector<geom::Point>& points) const;
 
   private:
-    void rebuild(const std::vector<geom::Point>& points);
-    void account_build();
+    [[nodiscard]] std::size_t build_broadcasts() const;
 
     double radius_;
     core::BuildOptions options_;
-    graph::GeometricGraph udg_;   ///< UDG at the last rebuild
-    core::Backbone backbone_;
+    graph::GeometricGraph udg_;  ///< UDG at the last rebuild (distributed path)
+    core::Backbone backbone_;    ///< backbone of the distributed path
+    /// Centralized path: retained incremental state, patched on breakage.
+    std::unique_ptr<engine::SpannerEngine> engine_;
+    std::unique_ptr<dynamic::DynamicSpanner> dynamic_;
     MaintenanceStats stats_;
     std::size_t current_lifetime_ = 0;
 };

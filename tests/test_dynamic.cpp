@@ -1,0 +1,352 @@
+// Incremental maintenance engine: every patched topology must be
+// edge-for-edge identical to a from-scratch build on the same positions,
+// across moves, joins, leaves, both cluster policies, and forced
+// fallbacks — plus trace-replay fuzzing with ddmin shrinking and the
+// Lemma 1-8 auditors on patched outputs.
+#include "dynamic/spanner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/backbone.h"
+#include "dynamic/dynamic_cell_grid.h"
+#include "proximity/udg.h"
+#include "test_util.h"
+#include "verify/audit.h"
+
+namespace geospanner::dynamic {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+using protocol::ClusterPolicy;
+
+engine::EngineOptions engine_options(ClusterPolicy policy) {
+    engine::EngineOptions opts;
+    opts.threads = 2;
+    opts.cluster_policy = policy;
+    return opts;
+}
+
+core::Backbone reference_backbone(const GeometricGraph& udg, ClusterPolicy policy) {
+    core::BuildOptions opts;
+    opts.engine = core::Engine::kCentralized;
+    opts.cluster_policy = policy;
+    return core::build_backbone(udg, opts);
+}
+
+/// Component-wise comparison so a divergence names the structure.
+std::string backbone_diff(const core::Backbone& got, const core::Backbone& want) {
+    if (got.cluster.role != want.cluster.role) return "cluster.role";
+    if (got.cluster.dominators_of != want.cluster.dominators_of) {
+        return "cluster.dominators_of";
+    }
+    if (got.cluster.two_hop_dominators_of != want.cluster.two_hop_dominators_of) {
+        return "cluster.two_hop_dominators_of";
+    }
+    if (got.is_connector != want.is_connector) return "is_connector";
+    if (got.in_backbone != want.in_backbone) return "in_backbone";
+    if (!(got.cds == want.cds)) return "cds";
+    if (!(got.cds_prime == want.cds_prime)) return "cds_prime";
+    if (!(got.icds == want.icds)) return "icds";
+    if (!(got.icds_prime == want.icds_prime)) return "icds_prime";
+    if (!(got.ldel_icds == want.ldel_icds)) return "ldel_icds";
+    if (!(got.ldel_icds_prime == want.ldel_icds_prime)) return "ldel_icds_prime";
+    if (got.ldel_triangles != want.ldel_triangles) return "ldel_triangles";
+    return {};
+}
+
+/// "" when the patched state equals a from-scratch build on the same
+/// positions; otherwise the name of the first diverging structure.
+std::string divergence(const DynamicSpanner& dyn, ClusterPolicy policy) {
+    const GeometricGraph udg = proximity::build_udg(dyn.positions(), dyn.radius());
+    if (!(udg == dyn.udg())) return "udg";
+    return backbone_diff(dyn.backbone(), reference_backbone(udg, policy));
+}
+
+/// Deterministic mixed trace (random-walk moves, periodic joins) over an
+/// initial point set: returns the name of the first diverging structure,
+/// "" if the whole replay stays identical. Pure function of its inputs —
+/// the ddmin shrinker replays it on candidate subsets.
+std::string replay_divergence(const std::vector<geom::Point>& initial, double radius,
+                              std::uint64_t seed, ClusterPolicy policy, int steps,
+                              bool with_joins) {
+    if (initial.empty()) return {};
+    engine::SpannerEngine engine(engine_options(policy));
+    DynamicSpanner dyn(engine, initial, radius);
+    {
+        const std::string d = divergence(dyn, policy);
+        if (!d.empty()) return "initial-build:" + d;
+    }
+    rnd::Xoshiro256 rng(seed);
+    for (int step = 0; step < steps; ++step) {
+        UpdateBatch batch;
+        const std::size_t k = 1 + rng.below(3);
+        for (std::size_t i = 0; i < k; ++i) {
+            const auto v = static_cast<NodeId>(rng.below(dyn.node_count()));
+            const geom::Point p = dyn.positions()[v];
+            batch.moves.push_back(
+                {v,
+                 {p.x + rng.uniform(-radius, radius), p.y + rng.uniform(-radius, radius)}});
+        }
+        if (with_joins && step % 4 == 3) {
+            const geom::Point anchor = dyn.positions()[rng.below(dyn.node_count())];
+            batch.joins.push_back({anchor.x + rng.uniform(-radius, radius),
+                                   anchor.y + rng.uniform(-radius, radius)});
+        }
+        dyn.apply(batch);
+        const std::string d = divergence(dyn, policy);
+        if (!d.empty()) return "step" + std::to_string(step) + ":" + d;
+    }
+    return {};
+}
+
+TEST(DynamicCellGrid, TracksRelocationsExactly) {
+    const double radius = 50.0;
+    auto points = test::random_points(80, 300.0, 17);
+    DynamicCellGrid grid(points, radius);
+    rnd::Xoshiro256 rng(99);
+    for (int step = 0; step < 200; ++step) {
+        const auto v = static_cast<NodeId>(rng.below(points.size()));
+        const geom::Point to = {rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)};
+        grid.relocate(v, points[v], to);
+        points[v] = to;
+        if (step % 3 == 0) {
+            const auto id = static_cast<NodeId>(points.size());
+            points.push_back({rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)});
+            grid.insert(id, points.back());
+        }
+    }
+    ASSERT_EQ(grid.cells(), proximity::build_cell_grid(points, radius));
+    // Neighborhood enumeration equals a brute-force range scan.
+    std::vector<NodeId> got;
+    for (NodeId v = 0; v < points.size(); ++v) {
+        got.clear();
+        grid.collect_neighbors(points, radius, v, got);
+        std::vector<NodeId> want;
+        for (NodeId u = 0; u < points.size(); ++u) {
+            if (u != v &&
+                geom::squared_distance(points[u], points[v]) <= radius * radius) {
+                want.push_back(u);
+            }
+        }
+        ASSERT_EQ(got, want) << "node " << v;
+    }
+}
+
+TEST(DynamicSpanner, InitialBuildMatchesReference) {
+    for (const auto& param : test::standard_sweep()) {
+        for (const ClusterPolicy policy :
+             {ClusterPolicy::kLowestId, ClusterPolicy::kHighestDegree}) {
+            const auto udg = test::connected_udg(param.n, 200.0, param.radius, param.seed);
+            ASSERT_GT(udg.node_count(), 0u);
+            engine::SpannerEngine engine(engine_options(policy));
+            DynamicSpanner dyn(engine, udg.points(), param.radius);
+            EXPECT_EQ(divergence(dyn, policy), "")
+                << "n=" << param.n << " r=" << param.radius << " seed=" << param.seed;
+        }
+    }
+}
+
+TEST(DynamicSpanner, SingleMovesMatchReference) {
+    for (const auto& param : test::standard_sweep()) {
+        const auto udg = test::connected_udg(param.n, 200.0, param.radius, param.seed);
+        ASSERT_GT(udg.node_count(), 0u);
+        engine::SpannerEngine engine(engine_options(ClusterPolicy::kLowestId));
+        DynamicSpanner dyn(engine, udg.points(), param.radius);
+        rnd::Xoshiro256 rng(param.seed * 1000003);
+        for (int step = 0; step < 12; ++step) {
+            const auto v = static_cast<NodeId>(rng.below(dyn.node_count()));
+            const geom::Point p = dyn.positions()[v];
+            UpdateBatch batch;
+            batch.moves.push_back({v,
+                                   {p.x + rng.uniform(-param.radius, param.radius),
+                                    p.y + rng.uniform(-param.radius, param.radius)}});
+            dyn.apply(batch);
+            ASSERT_EQ(divergence(dyn, ClusterPolicy::kLowestId), "")
+                << "n=" << param.n << " r=" << param.radius << " seed=" << param.seed
+                << " step=" << step;
+        }
+    }
+}
+
+TEST(DynamicSpanner, BatchedMovesMatchReferenceUnderBothPolicies) {
+    for (const ClusterPolicy policy :
+         {ClusterPolicy::kLowestId, ClusterPolicy::kHighestDegree}) {
+        const auto udg = test::connected_udg(70, 200.0, 55.0, 31);
+        ASSERT_GT(udg.node_count(), 0u);
+        engine::SpannerEngine engine(engine_options(policy));
+        DynamicSpanner dyn(engine, udg.points(), 55.0);
+        rnd::Xoshiro256 rng(4242);
+        for (int step = 0; step < 10; ++step) {
+            UpdateBatch batch;
+            for (int i = 0; i < 5; ++i) {
+                const auto v = static_cast<NodeId>(rng.below(dyn.node_count()));
+                const geom::Point p = dyn.positions()[v];
+                batch.moves.push_back({v,
+                                       {p.x + rng.uniform(-30.0, 30.0),
+                                        p.y + rng.uniform(-30.0, 30.0)}});
+            }
+            dyn.apply(batch);
+            ASSERT_EQ(divergence(dyn, policy), "") << "step " << step;
+        }
+    }
+}
+
+TEST(DynamicSpanner, JoinsMatchReference) {
+    const auto udg = test::connected_udg(50, 200.0, 60.0, 7);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(engine_options(ClusterPolicy::kLowestId));
+    DynamicSpanner dyn(engine, udg.points(), 60.0);
+    rnd::Xoshiro256 rng(512);
+    for (int step = 0; step < 8; ++step) {
+        UpdateBatch batch;
+        const geom::Point anchor = dyn.positions()[rng.below(dyn.node_count())];
+        batch.joins.push_back(
+            {anchor.x + rng.uniform(-50.0, 50.0), anchor.y + rng.uniform(-50.0, 50.0)});
+        const std::size_t before = dyn.node_count();
+        dyn.apply(batch);
+        ASSERT_EQ(dyn.node_count(), before + 1);
+        ASSERT_EQ(divergence(dyn, ClusterPolicy::kLowestId), "") << "step " << step;
+    }
+}
+
+TEST(DynamicSpanner, LeavesFallBackAndMatchReference) {
+    const auto udg = test::connected_udg(50, 200.0, 60.0, 19);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(engine_options(ClusterPolicy::kLowestId));
+    DynamicSpanner dyn(engine, udg.points(), 60.0);
+    rnd::Xoshiro256 rng(77);
+    for (int step = 0; step < 5; ++step) {
+        UpdateBatch batch;
+        batch.leaves.push_back(static_cast<NodeId>(rng.below(dyn.node_count())));
+        const std::size_t before = dyn.node_count();
+        const PatchStats stats = dyn.apply(batch);
+        EXPECT_TRUE(stats.fell_back);
+        ASSERT_EQ(dyn.node_count(), before - 1);
+        ASSERT_EQ(divergence(dyn, ClusterPolicy::kLowestId), "") << "step " << step;
+    }
+}
+
+TEST(DynamicSpanner, ForcedFallbackStaysIdentical) {
+    // rebuild_fraction = 0 forces the full-rebuild path on every batch;
+    // both repair paths must land on the same topology.
+    const auto udg = test::connected_udg(40, 150.0, 55.0, 23);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::EngineOptions opts = engine_options(ClusterPolicy::kLowestId);
+    opts.incremental_options.rebuild_fraction = 0.0;
+    engine::SpannerEngine engine(opts);
+    DynamicSpanner dyn(engine, udg.points(), 55.0);
+    rnd::Xoshiro256 rng(5);
+    for (int step = 0; step < 5; ++step) {
+        const auto v = static_cast<NodeId>(rng.below(dyn.node_count()));
+        const geom::Point p = dyn.positions()[v];
+        UpdateBatch batch;
+        batch.moves.push_back(
+            {v, {p.x + rng.uniform(-20.0, 20.0), p.y + rng.uniform(-20.0, 20.0)}});
+        const PatchStats stats = dyn.apply(batch);
+        EXPECT_TRUE(stats.fell_back) << "step " << step;
+        ASSERT_EQ(divergence(dyn, ClusterPolicy::kLowestId), "") << "step " << step;
+    }
+}
+
+TEST(DynamicSpanner, IncrementalDisabledTakesFullRebuildPath) {
+    const auto udg = test::connected_udg(30, 150.0, 55.0, 3);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::EngineOptions opts = engine_options(ClusterPolicy::kLowestId);
+    opts.incremental = false;
+    engine::SpannerEngine engine(opts);
+    DynamicSpanner dyn(engine, udg.points(), 55.0);
+    UpdateBatch batch;
+    batch.moves.push_back({0, dyn.positions()[0]});
+    const PatchStats stats = dyn.apply(batch);
+    EXPECT_TRUE(stats.fell_back);
+    EXPECT_EQ(divergence(dyn, ClusterPolicy::kLowestId), "");
+}
+
+TEST(DynamicSpanner, PatchedOutputsPassLemmaAudits) {
+    const double radius = 60.0;
+    const auto udg = test::connected_udg(60, 200.0, radius, 41);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(engine_options(ClusterPolicy::kLowestId));
+    DynamicSpanner dyn(engine, udg.points(), radius);
+    rnd::Xoshiro256 rng(8);
+    for (int step = 0; step < 6; ++step) {
+        UpdateBatch batch;
+        for (int i = 0; i < 3; ++i) {
+            const auto v = static_cast<NodeId>(rng.below(dyn.node_count()));
+            const geom::Point p = dyn.positions()[v];
+            batch.moves.push_back(
+                {v, {p.x + rng.uniform(-25.0, 25.0), p.y + rng.uniform(-25.0, 25.0)}});
+        }
+        dyn.apply(batch);
+        verify::AuditOptions audit;
+        audit.radius = radius;
+        const auto trail = verify::audit_backbone(dyn.udg(), dyn.backbone(), audit);
+        ASSERT_TRUE(trail.pass()) << "step " << step << "\n" << trail.summary();
+    }
+}
+
+TEST(DynamicSpanner, PatchStatsReportLocalizedWork) {
+    const auto udg = test::connected_udg(90, 260.0, 50.0, 47);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(engine_options(ClusterPolicy::kLowestId));
+    DynamicSpanner dyn(engine, udg.points(), 50.0);
+    const geom::Point p = dyn.positions()[5];
+    UpdateBatch batch;
+    batch.moves.push_back({5, {p.x + 1.0, p.y + 1.0}});
+    const PatchStats stats = dyn.apply(batch);
+    if (!stats.fell_back) {
+        EXPECT_LT(stats.dirty_nodes, dyn.node_count());
+        EXPECT_FALSE(stats.pipeline.stages.empty());
+    }
+    EXPECT_EQ(divergence(dyn, ClusterPolicy::kLowestId), "");
+}
+
+// Trace-replay fuzz across the generator family: any divergence is
+// ddmin-shrunk to a minimal point set and dumped as a repro artifact.
+TEST(DynamicFuzz, TraceReplayAcrossGenerators) {
+    for (const auto mode : test::all_fuzz_modes()) {
+        for (const std::uint64_t seed : {1ULL, 2ULL}) {
+            core::WorkloadConfig config;
+            config.node_count = 36;
+            config.side = 170.0;
+            config.radius = 50.0;
+            config.seed = seed;
+            const auto points = test::fuzz_points(mode, config);
+            for (const ClusterPolicy policy :
+                 {ClusterPolicy::kLowestId, ClusterPolicy::kHighestDegree}) {
+                const auto fails = [&](const std::vector<geom::Point>& pts) {
+                    return !replay_divergence(pts, config.radius, seed * 7919 + 1,
+                                              policy, 10, true)
+                                .empty();
+                };
+                if (!fails(points)) continue;
+                const auto shrunk = test::shrink_points(points, fails);
+                io::ReproCase repro;
+                repro.seed = seed;
+                repro.mode = std::string("dynamic_") + test::fuzz_mode_name(mode);
+                repro.radius = config.radius;
+                repro.failed_check =
+                    "incremental_equivalence:" +
+                    replay_divergence(shrunk, config.radius, seed * 7919 + 1, policy,
+                                      10, true);
+                repro.points = shrunk;
+                const auto path = test::dump_repro(repro);
+                ADD_FAILURE() << "incremental replay diverged (mode="
+                              << test::fuzz_mode_name(mode) << ", seed=" << seed
+                              << ", policy="
+                              << (policy == ClusterPolicy::kLowestId ? "lowest-id"
+                                                                     : "highest-degree")
+                              << "): " << repro.failed_check
+                              << "\nshrunk to " << shrunk.size()
+                              << " points; repro: " << path;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace geospanner::dynamic

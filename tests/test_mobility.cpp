@@ -85,7 +85,8 @@ TEST(Maintenance, NoMovementMeansNoRebuilds) {
     for (int epoch = 0; epoch < 10; ++epoch) {
         EXPECT_FALSE(mb.update(udg.points()));
     }
-    EXPECT_EQ(mb.stats().rebuilds, 1u);
+    // Maintenance rebuilds only — the initial construction is not one.
+    EXPECT_EQ(mb.stats().rebuilds, 0u);
     EXPECT_EQ(mb.stats().intact_epochs, 10u);
     EXPECT_EQ(mb.stats().longest_lifetime, 10u);
 }
@@ -137,9 +138,13 @@ TEST(Maintenance, RebuiltBackboneIsValidAndPlanar) {
         }
     }
     EXPECT_EQ(mb.stats().epochs, 60u);
-    EXPECT_EQ(mb.stats().intact_epochs + mb.stats().rebuilds - 1 +
+    // Every epoch is exactly one of intact / rebuilt / disconnected now
+    // that rebuilds no longer counts the initial construction.
+    EXPECT_EQ(mb.stats().intact_epochs + mb.stats().rebuilds +
                   mb.stats().disconnected_epochs,
               60u);
+    EXPECT_EQ(mb.stats().rebuilds,
+              mb.stats().incremental_patches + mb.stats().fallback_rebuilds);
 }
 
 }  // namespace

@@ -2,10 +2,14 @@
 // and vs node count, single-instance and batched.
 //
 // Smoke mode (GS_BENCH_TRIALS <= 2, as CI sets) shrinks the node-count
-// sweep. Every measurement is appended as one JSON object to
-// $GS_BENCH_JSON (default BENCH_engine.json) for the perf trajectory;
-// the single-instance section also prints the 4-thread speedup on the
-// 50k-node uniform workload, the scaling acceptance metric.
+// sweep; GS_BENCH_NMAX overrides the sweep's ceiling in either mode
+// (rungs above it are dropped, and the ceiling itself becomes the top
+// rung — set GS_BENCH_NMAX=1000000 for a million-node soak). Every
+// measurement is appended as one JSON object to $GS_BENCH_JSON (default
+// BENCH_engine.json) for the perf trajectory; the single-instance
+// section also prints the 4-thread speedup on the 50k-node uniform
+// workload (the scaling acceptance metric) and the per-stage wall-time
+// breakdown at the largest n, where the stage mix actually matters.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -50,17 +54,19 @@ int main() {
         bench::json_output_path().empty() ? "BENCH_engine.json"
                                           : bench::json_output_path();
     const std::size_t hw = std::thread::hardware_concurrency();
+    const std::size_t nmax = bench::nmax_or(smoke ? 50'000 : 200'000);
     const std::vector<std::size_t> node_counts =
-        smoke ? std::vector<std::size_t>{10'000, 50'000}
-              : std::vector<std::size_t>{10'000, 20'000, 50'000, 100'000, 200'000};
+        smoke ? bench::node_ladder({10'000}, nmax)
+              : bench::node_ladder({10'000, 20'000, 50'000, 100'000}, nmax);
     const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
 
-    std::cout << "engine scaling (hardware threads: " << hw
+    std::cout << "engine scaling (hardware threads: " << hw << ", nmax: " << nmax
               << (smoke ? ", smoke mode" : "") << ")\n\n";
 
     // ---- Single-instance construction: one build, all lanes. ----
     io::Table single({"n", "threads", "wall_ms", "speedup", "udg_edges", "backbone"});
     double speedup_50k_4t = 0.0;
+    std::string largest_n_stage_table;
     for (const std::size_t n : node_counts) {
         const auto points = deployment(n, 2002 + n);
         double base_ms = 0.0;
@@ -71,6 +77,9 @@ int main() {
             if (threads == 1) base_ms = ms;
             const double speedup = ms > 0.0 ? base_ms / ms : 0.0;
             if (n == 50'000 && threads == 4) speedup_50k_4t = speedup;
+            if (n == node_counts.back() && threads == thread_counts.back()) {
+                largest_n_stage_table = result.stats.table();
+            }
 
             single.begin_row()
                 .cell(n)
@@ -98,6 +107,11 @@ int main() {
     if (speedup_50k_4t > 0.0) {
         std::cout << "4-thread speedup, 50k-node uniform workload: " << speedup_50k_4t
                   << "x (hardware threads: " << hw << ")\n\n";
+    }
+    if (!largest_n_stage_table.empty()) {
+        std::cout << "per-stage breakdown at n=" << node_counts.back() << ", threads="
+                  << thread_counts.back() << ":\n"
+                  << largest_n_stage_table << '\n';
     }
 
     // ---- Batch: many instances, lanes claim whole instances. ----

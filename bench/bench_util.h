@@ -27,6 +27,29 @@ inline std::size_t trials_or(std::size_t default_trials) {
     return default_trials;
 }
 
+/// Environment-tunable node-count ceiling for the scaling benches:
+/// GS_BENCH_NMAX caps (and extends) the largest instance swept, so CI
+/// smoke runs and million-node soak runs share one binary.
+inline std::size_t nmax_or(std::size_t default_nmax) {
+    if (const char* env = std::getenv("GS_BENCH_NMAX")) {
+        const auto v = std::strtoul(env, nullptr, 10);
+        if (v > 0) return v;
+    }
+    return default_nmax;
+}
+
+/// The standard node-count ladder up to `nmax`: every rung of `ladder`
+/// strictly below nmax, then nmax itself as the top rung.
+inline std::vector<std::size_t> node_ladder(const std::vector<std::size_t>& ladder,
+                                            std::size_t nmax) {
+    std::vector<std::size_t> out;
+    for (const std::size_t n : ladder) {
+        if (n < nmax) out.push_back(n);
+    }
+    out.push_back(nmax);
+    return out;
+}
+
 /// One experiment instance: a connected UDG and the full backbone built
 /// with the requested engine. Seeds are derived from (base_seed, trial).
 struct Instance {

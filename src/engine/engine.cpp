@@ -271,20 +271,30 @@ core::Backbone build_backbone_staged(ThreadPool& pool, const GeometricGraph& udg
                                      const EngineOptions& options,
                                      core::PipelineStats* stats,
                                      verify::AuditTrail* trail) {
+    const auto start = Clock::now();
+    protocol::ClusterState cluster =
+        protocol::cluster_reference(udg, options.cluster_policy);
+    push_stage(stats, "clustering", start, udg.node_count(), 1);
+    if (options.audit && trail != nullptr) {
+        trail->stages.push_back(
+            verify::audit_clustering(udg, cluster, options.audit_options));
+    }
+    return build_backbone_from_cluster(pool, udg, std::move(cluster), options, stats,
+                                       trail);
+}
+
+core::Backbone build_backbone_from_cluster(ThreadPool& pool, const GeometricGraph& udg,
+                                           protocol::ClusterState cluster,
+                                           const EngineOptions& options,
+                                           core::PipelineStats* stats,
+                                           verify::AuditTrail* trail) {
     const auto n = static_cast<NodeId>(udg.node_count());
     const std::size_t lanes = stage_threads(pool);
     const bool audit = options.audit && trail != nullptr;
     core::Backbone result;
+    result.cluster = std::move(cluster);
 
     auto start = Clock::now();
-    result.cluster = protocol::cluster_reference(udg, options.cluster_policy);
-    push_stage(stats, "clustering", start, n, 1);
-    if (audit) {
-        trail->stages.push_back(
-            verify::audit_clustering(udg, result.cluster, options.audit_options));
-    }
-
-    start = Clock::now();
     std::size_t candidate_items = 0;
     protocol::ConnectorState connectors =
         parallel_connectors(pool, udg, result.cluster, &candidate_items);

@@ -88,6 +88,20 @@ struct BuildResult {
                                                    core::PipelineStats* stats = nullptr,
                                                    verify::AuditTrail* trail = nullptr);
 
+/// The pipeline from the connector stage on, over an externally supplied
+/// clustering — the seam the tile-sharded builder (src/shard) plugs
+/// into: the MIS election is the one stage whose decision chains are not
+/// O(1)-hop local (a lowest-id chain propagates roles arbitrarily far),
+/// so the sharded engine elects roles once on the merged UDG and runs
+/// this per tile with the cluster state restricted to the tile's halo
+/// region. build_backbone_staged is exactly cluster_reference + this
+/// call. No clustering StageStats/StageAudit entry is appended here;
+/// the caller owns that stage.
+[[nodiscard]] core::Backbone build_backbone_from_cluster(
+    ThreadPool& pool, const graph::GeometricGraph& udg,
+    protocol::ClusterState cluster, const EngineOptions& options,
+    core::PipelineStats* stats = nullptr, verify::AuditTrail* trail = nullptr);
+
 /// Facade owning the pool: one engine, many builds.
 class SpannerEngine {
   public:

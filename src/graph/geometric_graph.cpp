@@ -64,6 +64,34 @@ std::vector<std::pair<NodeId, NodeId>> GeometricGraph::edges() const {
     return result;
 }
 
+GeometricGraph GeometricGraph::from_edges(
+    std::vector<geom::Point> points,
+    const std::vector<std::pair<NodeId, NodeId>>& sorted_edges) {
+    GeometricGraph g(std::move(points));
+    assert(std::is_sorted(sorted_edges.begin(), sorted_edges.end()) &&
+           std::adjacent_find(sorted_edges.begin(), sorted_edges.end()) ==
+               sorted_edges.end());
+    std::vector<std::size_t> degree(g.node_count(), 0);
+    for (const auto& [u, v] : sorted_edges) {
+        assert(u < v && v < g.node_count());
+        ++degree[u];
+        ++degree[v];
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) g.adjacency_[v].reserve(degree[v]);
+    // Lower neighbors first (u ascends across the sorted list for any
+    // fixed v), then higher neighbors (v ascends within each u) — and
+    // every lower neighbor is < the node < every higher neighbor, so
+    // each adjacency list comes out sorted without a merge.
+    for (const auto& [u, v] : sorted_edges) {
+        g.adjacency_[v].push_back(u);
+    }
+    for (const auto& [u, v] : sorted_edges) {
+        g.adjacency_[u].push_back(v);
+    }
+    g.edge_count_ = sorted_edges.size();
+    return g;
+}
+
 bool operator==(const GeometricGraph& a, const GeometricGraph& b) {
     return a.points_ == b.points_ && a.adjacency_ == b.adjacency_;
 }

@@ -62,6 +62,15 @@ class GeometricGraph {
     /// All edges as (u, v) pairs with u < v, in lexicographic order.
     [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
 
+    /// Bulk construction from a lexicographically sorted, duplicate-free
+    /// edge list with u < v per pair — the inverse of edges(). Equal to
+    /// add_edge-ing every pair, but O(nodes + edges) instead of paying a
+    /// sorted insert per edge; the merge step of the tile-sharded
+    /// builder assembles million-edge graphs through this.
+    [[nodiscard]] static GeometricGraph from_edges(
+        std::vector<geom::Point> points,
+        const std::vector<std::pair<NodeId, NodeId>>& sorted_edges);
+
     /// Structural equality: same points, same edge set.
     friend bool operator==(const GeometricGraph& a, const GeometricGraph& b);
 

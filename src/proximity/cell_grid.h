@@ -4,9 +4,12 @@
 // within one radius lies in the same or an adjacent cell. Both the
 // sequential UDG builder and the engine's parallel UDG stage consume the
 // same grid (and the same hash), so they enumerate identical candidate
-// sets.
+// sets. The grid is also tile-addressable: cells_in_rect answers
+// "every node in the cells covering this rectangle", which is how the
+// tile-sharded builder (src/shard) extracts a tile's halo region.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
@@ -55,6 +58,51 @@ using CellGrid = std::unordered_map<CellCoord, std::vector<graph::NodeId>, CellH
         grid[cell_of(points[v], cell_side)].push_back(v);
     }
     return grid;
+}
+
+/// Every node bucketed in a cell that intersects the closed rectangle
+/// [min_x, max_x] × [min_y, max_y], ascending and duplicate-free. Cell
+/// granularity: the result covers every node inside the rectangle but
+/// may include nodes up to one cell_side outside it (their cell touches
+/// the rectangle). When the rectangle spans more cells than the grid
+/// holds — a huge query over a sparse grid — the scan flips to
+/// iterating the populated cells instead, so the cost is
+/// O(min(cells in rect, populated cells) + hits log hits) either way.
+[[nodiscard]] inline std::vector<graph::NodeId> cells_in_rect(const CellGrid& grid,
+                                                              double cell_side,
+                                                              double min_x, double min_y,
+                                                              double max_x,
+                                                              double max_y) {
+    std::vector<graph::NodeId> out;
+    if (min_x > max_x || min_y > max_y) return out;
+    const auto [lo_x, lo_y] = cell_of({min_x, min_y}, cell_side);
+    const auto [hi_x, hi_y] = cell_of({max_x, max_y}, cell_side);
+    // Unsigned widths: the corner cells can sit at opposite ends of the
+    // coordinate range, where a signed difference would overflow.
+    const auto span_x = static_cast<std::uint64_t>(hi_x) - static_cast<std::uint64_t>(lo_x) + 1;
+    const auto span_y = static_cast<std::uint64_t>(hi_y) - static_cast<std::uint64_t>(lo_y) + 1;
+    const bool scan_grid = span_x > grid.size() || span_y > grid.size() ||
+                           span_x * span_y > grid.size();
+    if (scan_grid) {
+        for (const auto& [cell, ids] : grid) {
+            if (cell.first < lo_x || cell.first > hi_x || cell.second < lo_y ||
+                cell.second > hi_y) {
+                continue;
+            }
+            out.insert(out.end(), ids.begin(), ids.end());
+        }
+    } else {
+        for (long long cx = lo_x; cx <= hi_x; ++cx) {
+            for (long long cy = lo_y; cy <= hi_y; ++cy) {
+                const auto it = grid.find({cx, cy});
+                if (it == grid.end()) continue;
+                out.insert(out.end(), it->second.begin(), it->second.end());
+            }
+        }
+    }
+    // Cells are disjoint, so sorting alone canonicalizes the result.
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 /// Appends every neighbor u of v with u > v and |pu - pv| <= radius

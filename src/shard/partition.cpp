@@ -1,0 +1,105 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geospanner::shard {
+
+using graph::NodeId;
+
+namespace {
+
+/// Tile index along one axis: half-open strips [lo + i·w, lo + (i+1)·w),
+/// clamped so the closed top border (and any floating-point spill)
+/// lands in the last strip.
+std::size_t strip_of(double x, double lo, double strip_width, std::size_t strips) {
+    if (strips <= 1 || strip_width <= 0.0) return 0;
+    const double offset = std::floor((x - lo) / strip_width);
+    if (offset <= 0.0) return 0;
+    const auto i = static_cast<std::size_t>(offset);
+    return std::min(i, strips - 1);
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> PartitionPlan::regions() const {
+    std::vector<std::vector<NodeId>> out;
+    out.reserve(tiles.size());
+    for (const Tile& tile : tiles) out.push_back(tile.region);
+    return out;
+}
+
+PartitionPlan partition_points(const std::vector<geom::Point>& points, double radius,
+                               std::size_t tile_target, std::size_t halo_hops,
+                               const proximity::CellGrid& grid) {
+    PartitionPlan plan;
+    plan.halo_width = static_cast<double>(std::max<std::size_t>(halo_hops, 1)) *
+                      std::max(radius, 0.0);
+    if (points.empty()) {
+        plan.tiles.resize(1);
+        return plan;
+    }
+
+    double min_x = points[0].x, max_x = points[0].x;
+    double min_y = points[0].y, max_y = points[0].y;
+    for (const geom::Point& p : points) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+    }
+    const double width = max_x - min_x;
+    const double height = max_y - min_y;
+
+    // Near-square tiles: split the target count by the bbox aspect
+    // ratio. Degenerate extents (a collinear row, one point, exact
+    // duplicates everywhere) collapse that axis to a single strip.
+    const std::size_t target = std::max<std::size_t>(tile_target, 1);
+    const double aspect = (height > 0.0 && width > 0.0) ? width / height : 0.0;
+    if (width <= 0.0) {
+        plan.tiles_x = 1;
+        plan.tiles_y = height > 0.0 ? target : 1;
+    } else if (height <= 0.0) {
+        plan.tiles_x = target;
+        plan.tiles_y = 1;
+    } else {
+        plan.tiles_x = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::llround(std::sqrt(static_cast<double>(target) * aspect))));
+        plan.tiles_y = std::max<std::size_t>(1, (target + plan.tiles_x - 1) / plan.tiles_x);
+    }
+
+    const double tile_w = plan.tiles_x > 0 ? width / static_cast<double>(plan.tiles_x) : 0.0;
+    const double tile_h = plan.tiles_y > 0 ? height / static_cast<double>(plan.tiles_y) : 0.0;
+
+    plan.tiles.resize(plan.tiles_x * plan.tiles_y);
+    for (std::size_t ty = 0; ty < plan.tiles_y; ++ty) {
+        for (std::size_t tx = 0; tx < plan.tiles_x; ++tx) {
+            TileRect& rect = plan.tiles[ty * plan.tiles_x + tx].rect;
+            rect.min_x = min_x + static_cast<double>(tx) * tile_w;
+            rect.max_x = tx + 1 == plan.tiles_x ? max_x : rect.min_x + tile_w;
+            rect.min_y = min_y + static_cast<double>(ty) * tile_h;
+            rect.max_y = ty + 1 == plan.tiles_y ? max_y : rect.min_y + tile_h;
+        }
+    }
+
+    plan.tile_of.resize(points.size());
+    for (NodeId v = 0; v < points.size(); ++v) {
+        const std::size_t tx = strip_of(points[v].x, min_x, tile_w, plan.tiles_x);
+        const std::size_t ty = strip_of(points[v].y, min_y, tile_h, plan.tiles_y);
+        const std::size_t t = ty * plan.tiles_x + tx;
+        plan.tile_of[v] = static_cast<std::uint32_t>(t);
+        plan.tiles[t].owned.push_back(v);  // v ascends, so lists stay sorted
+    }
+
+    for (Tile& tile : plan.tiles) {
+        if (tile.owned.empty()) continue;  // nothing to build, region unused
+        tile.region = proximity::cells_in_rect(
+            grid, radius, tile.rect.min_x - plan.halo_width,
+            tile.rect.min_y - plan.halo_width, tile.rect.max_x + plan.halo_width,
+            tile.rect.max_y + plan.halo_width);
+    }
+    return plan;
+}
+
+}  // namespace geospanner::shard

@@ -1,0 +1,60 @@
+// Tile partition of a point set for sharded construction.
+//
+// The plane's bounding box is cut into an axis-aligned tiles_x × tiles_y
+// grid. Every node is *owned* by exactly one tile (half-open ownership
+// rectangles, the top/right border rows closed — a point exactly on an
+// interior tile line belongs to the tile above/right of it, so ownership
+// is a total function even on degenerate inputs). Each tile's *region*
+// is its owned rectangle grown by halo_width = halo_hops · radius on
+// every side, materialized at cell granularity through the shared
+// spatial grid (proximity::cells_in_rect) — a superset of the exact
+// halo, which is always safe: owned decisions read at most halo_hops
+// UDG hops ≤ halo_width of context, and extra context beyond that
+// cannot change them (see docs/ARCHITECTURE.md, shard layer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/geometric_graph.h"
+#include "proximity/cell_grid.h"
+
+namespace geospanner::shard {
+
+/// Closed rectangle; owned rectangles of adjacent tiles share borders
+/// but ownership is decided by index arithmetic, not rect membership.
+struct TileRect {
+    double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+};
+
+struct Tile {
+    TileRect rect;                          ///< owned rectangle
+    std::vector<graph::NodeId> owned;       ///< ascending
+    std::vector<graph::NodeId> region;      ///< ascending superset: owned + halo
+};
+
+struct PartitionPlan {
+    std::size_t tiles_x = 1;
+    std::size_t tiles_y = 1;
+    double halo_width = 0.0;                ///< Euclidean halo margin per side
+    std::vector<Tile> tiles;                ///< row-major, tiles_x * tiles_y
+    std::vector<std::uint32_t> tile_of;     ///< node id → owning tile index
+
+    [[nodiscard]] std::size_t tile_count() const noexcept { return tiles.size(); }
+    /// Per-tile region node lists, the shape verify::audit_shards takes.
+    [[nodiscard]] std::vector<std::vector<graph::NodeId>> regions() const;
+};
+
+/// Partitions `points` into roughly `tile_target` tiles (at least one;
+/// the grid is chosen near-square in tile aspect) with a halo of
+/// halo_hops · radius. Precondition: radius > 0 and `grid` is the cell
+/// grid of `points` at cell side `radius` (the same one the UDG stage
+/// scans), so the halo query and the neighbor scans agree on bucketing.
+[[nodiscard]] PartitionPlan partition_points(const std::vector<geom::Point>& points,
+                                             double radius, std::size_t tile_target,
+                                             std::size_t halo_hops,
+                                             const proximity::CellGrid& grid);
+
+}  // namespace geospanner::shard

@@ -173,4 +173,33 @@ struct AuditTrail {
                                         const core::Backbone& backbone,
                                         const AuditOptions& options = {});
 
+// ---- Sharded-construction audit --------------------------------------
+
+/// How a tile-sharded build (src/shard) carved the plane: the ownership
+/// map and, per tile, the halo-extended region the tile's pipeline ran
+/// on. Lives here rather than in src/shard so the auditor stays below
+/// the engines in the layer order.
+struct ShardLayout {
+    std::vector<std::uint32_t> tile_of;               ///< node → owner tile
+    std::vector<std::vector<graph::NodeId>> regions;  ///< per tile, ascending
+    std::size_t halo_hops = 0;                        ///< halo width in hop units
+};
+
+/// Shard-boundary audit of a merged sharded build:
+///  * shard_ownership — every node is owned by exactly one valid tile
+///    and appears in that tile's region;
+///  * shard_halo — halo-width sufficiency, certified by multi-source
+///    BFS: every node within halo_hops UDG hops of a tile's owned set
+///    lies in that tile's region (each hop spans ≤ radius, so the
+///    Euclidean halo must dominate the hop ball — this is the invariant
+///    the equivalence proof rests on);
+///  * shard_edge_coverage — every merged backbone edge (CDS, ICDS,
+///    LDel(ICDS) and primed variants) plus every UDG edge has both
+///    endpoints inside its owner tile's region, i.e. at least one tile
+///    actually certified it.
+[[nodiscard]] StageAudit audit_shards(const graph::GeometricGraph& udg,
+                                      const core::Backbone& backbone,
+                                      const ShardLayout& layout,
+                                      const AuditOptions& options = {});
+
 }  // namespace geospanner::verify

@@ -1,0 +1,311 @@
+// Tile-sharded construction: the equivalence contract — the merged
+// output of TileShardedEngine is edge-for-edge identical to the
+// monolithic SpannerEngine build — across workload shapes × seeds ×
+// tile counts × thread counts, with the full audit trail (including
+// verify::audit_shards) as the oracle; plus the degenerate boundary
+// geometries sharding adds on top of test_degenerate's (points exactly
+// on tile lines, collinear rows spanning tiles, duplicate coordinates
+// straddling halos) and a truncation instance whose regions are real
+// strict subsets of the world.
+#include "shard/tile_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/workload.h"
+#include "engine/engine.h"
+#include "proximity/udg.h"
+#include "shard/partition.h"
+#include "test_util.h"
+#include "verify/audit.h"
+
+namespace geospanner::shard {
+namespace {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+void expect_backbones_equal(const core::Backbone& expected, const core::Backbone& got) {
+    EXPECT_EQ(expected.cluster.role, got.cluster.role);
+    EXPECT_EQ(expected.cluster.dominators_of, got.cluster.dominators_of);
+    EXPECT_EQ(expected.is_connector, got.is_connector);
+    EXPECT_EQ(expected.in_backbone, got.in_backbone);
+    EXPECT_EQ(expected.cds, got.cds);
+    EXPECT_EQ(expected.cds_prime, got.cds_prime);
+    EXPECT_EQ(expected.icds, got.icds);
+    EXPECT_EQ(expected.icds_prime, got.icds_prime);
+    EXPECT_EQ(expected.ldel_triangles, got.ldel_triangles);
+    EXPECT_EQ(expected.ldel_icds, got.ldel_icds);
+    EXPECT_EQ(expected.ldel_icds_prime, got.ldel_icds_prime);
+}
+
+/// Monolithic reference build (sequential centralized path) for `points`.
+struct Reference {
+    GeometricGraph udg;
+    core::Backbone backbone;
+};
+
+Reference reference_build(const std::vector<geom::Point>& points, double radius) {
+    Reference ref;
+    ref.udg = proximity::build_udg(points, radius);
+    ref.backbone = core::build_backbone(ref.udg, {core::Engine::kCentralized});
+    return ref;
+}
+
+/// Asserts one sharded build against the monolithic reference, audits on.
+void expect_sharded_matches(const std::vector<geom::Point>& points, double radius,
+                            const Reference& ref, std::size_t tiles,
+                            std::size_t threads) {
+    SCOPED_TRACE(::testing::Message() << "tiles=" << tiles << " threads=" << threads);
+    ShardOptions options;
+    options.threads = threads;
+    options.tiles = tiles;
+    options.audit = true;
+    options.audit_options.radius = radius;
+    TileShardedEngine engine(options);
+    const ShardBuildResult result = engine.build(points, radius);
+
+    EXPECT_EQ(result.udg, ref.udg);
+    expect_backbones_equal(ref.backbone, result.backbone);
+    EXPECT_TRUE(result.audit.pass()) << result.audit.summary();
+
+    std::vector<std::string> audit_stages;
+    for (const auto& s : result.audit.stages) audit_stages.push_back(s.stage);
+    EXPECT_EQ(audit_stages, (std::vector<std::string>{"clustering", "connectors",
+                                                      "icds", "ldel", "shards"}));
+
+    std::vector<std::string> stats_stages;
+    for (const auto& s : result.stats.stages) stats_stages.push_back(s.name);
+    EXPECT_EQ(stats_stages, (std::vector<std::string>{"partition", "udg", "clustering",
+                                                      "shards", "merge"}));
+
+    // Per-shard accounting: every node owned exactly once, regions are
+    // supersets of their owned sets, and each built shard carries its
+    // own pipeline timing breakdown.
+    EXPECT_FALSE(result.shards.empty());
+    std::size_t owned_total = 0;
+    for (const ShardStats& shard : result.shards) {
+        owned_total += shard.owned;
+        EXPECT_GE(shard.region, shard.owned) << "tile " << shard.tile;
+        EXPECT_FALSE(shard.stats.stages.empty()) << "tile " << shard.tile;
+        EXPECT_EQ(shard.stats.stages.front().name, "connectors") << "tile " << shard.tile;
+    }
+    EXPECT_EQ(owned_total, points.size());
+}
+
+// ---- Equivalence sweep -----------------------------------------------
+
+enum class Shape { kUniform, kClustered, kGrid };
+
+std::vector<geom::Point> make_points(Shape shape, const core::WorkloadConfig& config) {
+    switch (shape) {
+        case Shape::kUniform:
+            return core::uniform_points(config);
+        case Shape::kClustered:
+            return core::clustered_points(config, 4);
+        case Shape::kGrid:
+            return core::grid_points(config, 0.25);
+    }
+    return {};
+}
+
+class ShardEquivalence
+    : public ::testing::TestWithParam<std::tuple<Shape, std::uint64_t>> {};
+
+TEST_P(ShardEquivalence, MatchesMonolithicAcrossTilesAndThreads) {
+    const auto [shape, seed] = GetParam();
+    core::WorkloadConfig config;
+    config.node_count = 70;
+    config.side = 220.0;
+    config.radius = 55.0;
+    config.seed = seed;
+    const auto points = make_points(shape, config);
+    const Reference ref = reference_build(points, config.radius);
+
+    for (const std::size_t tiles : {1UL, 4UL, 9UL}) {
+        for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+            expect_sharded_matches(points, config.radius, ref, tiles, threads);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSeeds, ShardEquivalence,
+    ::testing::Combine(::testing::Values(Shape::kUniform, Shape::kClustered,
+                                         Shape::kGrid),
+                       ::testing::Values(11ULL, 29ULL, 53ULL)));
+
+// ---- Degenerate tile boundaries --------------------------------------
+
+TEST(ShardDegenerate, PointsExactlyOnTileLines) {
+    // A 10×10 integer lattice split 3×3: the interior tile lines fall on
+    // x,y ∈ {3, 6} — coordinates many lattice points hit exactly, so
+    // every half-open ownership tie-break is exercised.
+    std::vector<geom::Point> points;
+    for (int y = 0; y < 10; ++y) {
+        for (int x = 0; x < 10; ++x) points.push_back({double(x), double(y)});
+    }
+    const double radius = 1.5;
+    const Reference ref = reference_build(points, radius);
+    for (const std::size_t threads : {1UL, 4UL}) {
+        expect_sharded_matches(points, radius, ref, 9, threads);
+    }
+}
+
+TEST(ShardDegenerate, CollinearRowsSpanningTiles) {
+    // Exactly collinear rows crossing every vertical tile boundary: the
+    // lowest-id MIS decision chains run along the rows through multiple
+    // tiles — the workload that forces the global election (a tile-local
+    // MIS with any fixed halo gets the roles wrong here).
+    core::WorkloadConfig config;
+    config.node_count = 48;
+    config.side = 180.0;
+    config.radius = 50.0;
+    for (const std::uint64_t seed : {11ULL, 29ULL}) {
+        SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+        config.seed = seed;
+        const auto points = core::collinear_points(config, 3);
+        const Reference ref = reference_build(points, config.radius);
+        expect_sharded_matches(points, config.radius, ref, 4, 2);
+    }
+}
+
+TEST(ShardDegenerate, DuplicateCoordinatesAcrossHalos) {
+    // Exact duplicates (every fourth point repeated verbatim): the copies
+    // have distant ids, so a point and its duplicate often land in the
+    // same tile while only one id is a region boundary case. Coincident
+    // nodes at distance zero must survive restriction and merge.
+    auto points = test::random_points(36, 150.0, 29);
+    const std::size_t base = points.size();
+    for (std::size_t i = 0; i < base; i += 4) points.push_back(points[i]);
+    const double radius = 50.0;
+    const Reference ref = reference_build(points, radius);
+    for (const std::size_t tiles : {4UL, 9UL}) {
+        expect_sharded_matches(points, radius, ref, tiles, 2);
+    }
+}
+
+TEST(ShardDegenerate, CocircularRingsAcrossTiles) {
+    core::WorkloadConfig config;
+    config.node_count = 48;
+    config.side = 200.0;
+    config.radius = 55.0;
+    config.seed = 53;
+    const auto points = core::cocircular_points(config, 4);
+    const Reference ref = reference_build(points, config.radius);
+    expect_sharded_matches(points, config.radius, ref, 4, 2);
+}
+
+// ---- Real halo truncation --------------------------------------------
+
+TEST(ShardTruncation, RegionsAreStrictSubsetsAndStillExact) {
+    // The sweep instances above are small relative to halo_hops · radius,
+    // so their regions degenerate to the whole world. This instance is
+    // wide enough (side ≫ 2 · halo · radius + tile side) that every
+    // region is a strict subset — the merge must reconstruct decisions
+    // whose tiles genuinely did not see the far side of the world.
+    core::WorkloadConfig config;
+    config.node_count = 3000;
+    config.side = 100.0;
+    config.radius = 2.0;
+    config.seed = 17;
+    const auto points = core::uniform_points(config);
+    const Reference ref = reference_build(points, config.radius);
+
+    ShardOptions options;
+    options.threads = 2;
+    options.tiles = 9;
+    TileShardedEngine engine(options);
+    const ShardBuildResult result = engine.build(points, config.radius);
+    EXPECT_EQ(result.udg, ref.udg);
+    expect_backbones_equal(ref.backbone, result.backbone);
+
+    bool some_truncated = false;
+    for (const ShardStats& shard : result.shards) {
+        if (shard.region < points.size()) some_truncated = true;
+    }
+    EXPECT_TRUE(some_truncated) << "instance too small to exercise halo truncation";
+}
+
+// ---- Edge cases -------------------------------------------------------
+
+TEST(ShardEdgeCases, EmptySinglePointAndZeroRadius) {
+    ShardOptions options;
+    options.threads = 2;
+    options.tiles = 4;
+    TileShardedEngine engine(options);
+
+    const ShardBuildResult empty = engine.build({}, 1.0);
+    EXPECT_EQ(empty.udg.node_count(), 0u);
+    EXPECT_TRUE(empty.shards.empty());
+
+    const ShardBuildResult single = engine.build({{3.0, 4.0}}, 1.0);
+    EXPECT_EQ(single.udg.node_count(), 1u);
+    EXPECT_EQ(single.udg.edge_count(), 0u);
+    EXPECT_TRUE(single.backbone.cluster.is_dominator(0));
+
+    // radius 0 takes the monolithic degenerate path: no geometry to shard.
+    const ShardBuildResult zero = engine.build({{0.0, 0.0}, {1.0, 1.0}}, 0.0);
+    EXPECT_EQ(zero.udg.edge_count(), 0u);
+    EXPECT_TRUE(zero.shards.empty());
+}
+
+TEST(ShardEdgeCases, AllPointsCoincidentZeroExtentBbox) {
+    // Every point identical: the bounding box has zero width and height,
+    // the partition collapses to one tile owning everything.
+    const std::vector<geom::Point> points(7, {5.0, 5.0});
+    const Reference ref = reference_build(points, 1.0);
+    expect_sharded_matches(points, 1.0, ref, 8, 2);
+}
+
+TEST(ShardEdgeCases, MoreTilesThanPoints) {
+    const auto points = test::random_points(5, 50.0, 7);
+    const Reference ref = reference_build(points, 60.0);
+    expect_sharded_matches(points, 60.0, ref, 64, 2);
+}
+
+// ---- Partition plan ---------------------------------------------------
+
+TEST(ShardPartition, OwnershipIsAPartitionAndRegionsCoverHalos) {
+    const auto points = test::random_points(400, 100.0, 21);
+    const double radius = 3.0;
+    const auto grid = proximity::build_cell_grid(points, radius);
+    const PartitionPlan plan = partition_points(points, radius, 16, 4, grid);
+
+    EXPECT_EQ(plan.tiles_x * plan.tiles_y, plan.tile_count());
+    EXPECT_DOUBLE_EQ(plan.halo_width, 4.0 * radius);
+    ASSERT_EQ(plan.tile_of.size(), points.size());
+
+    std::size_t owned_total = 0;
+    for (std::size_t t = 0; t < plan.tile_count(); ++t) {
+        const Tile& tile = plan.tiles[t];
+        owned_total += tile.owned.size();
+        EXPECT_TRUE(std::is_sorted(tile.owned.begin(), tile.owned.end()));
+        EXPECT_TRUE(std::is_sorted(tile.region.begin(), tile.region.end()));
+        for (const NodeId v : tile.owned) {
+            EXPECT_EQ(plan.tile_of[v], t);
+            EXPECT_TRUE(std::binary_search(tile.region.begin(), tile.region.end(), v));
+        }
+        // Region ⊇ every node within the Euclidean halo of the rect.
+        for (NodeId v = 0; v < points.size(); ++v) {
+            const geom::Point p = points[v];
+            if (p.x >= tile.rect.min_x - plan.halo_width &&
+                p.x <= tile.rect.max_x + plan.halo_width &&
+                p.y >= tile.rect.min_y - plan.halo_width &&
+                p.y <= tile.rect.max_y + plan.halo_width && !tile.owned.empty()) {
+                EXPECT_TRUE(
+                    std::binary_search(tile.region.begin(), tile.region.end(), v))
+                    << "node " << v << " inside halo of tile " << t
+                    << " missing from region";
+            }
+        }
+    }
+    EXPECT_EQ(owned_total, points.size());
+}
+
+}  // namespace
+}  // namespace geospanner::shard

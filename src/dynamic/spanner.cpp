@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <iterator>
 
 #include "engine/thread_pool.h"
 #include "geom/predicates.h"
@@ -135,6 +136,8 @@ void DynamicSpanner::PatchContext::reset(std::size_t n) {
     icds_adj_changed.clear();
     icds_removed_adj.clear();
     ldel_dirty.clear();
+    kept_added.clear();
+    kept_removed.clear();
     dirty_union.assign(n, 0);
     dirty_count = 0;
 }
@@ -296,20 +299,24 @@ PatchStats DynamicSpanner::apply(const UpdateBatch& batch) {
     }
     stats.udg_edge_changes = ctx.udg_added.size() + ctx.udg_removed.size();
 
-    // Fallback gate: the dirty region every later stage works from is
-    // bounded by the 2-hop closure (over old ∪ new adjacency) of the
-    // nodes whose position or incident edge set changed. Past the
-    // configured fraction of n, localized bookkeeping loses to a
-    // from-scratch rebuild (which depends only on current positions, so
-    // bailing here — after stage_udg already mutated state — is safe).
+    // Whole-batch gate: the dirty region every later stage works from
+    // is bounded by the 2-hop closure (over old ∪ new adjacency) of the
+    // nodes whose position or incident edge set changed. Past
+    // total_rebuild_fraction of n, even perfectly decomposed localized
+    // patching loses to one parallel rebuild (which depends only on
+    // current positions, so bailing here — after stage_udg already
+    // mutated state — is safe). Whether a *component* is too big is
+    // decided after decomposition, per component.
     std::vector<NodeId> seeds = ctx.moved;
     seeds.insert(seeds.end(), ctx.adj_changed.begin(), ctx.adj_changed.end());
     seeds.insert(seeds.end(), ctx.joined.begin(), ctx.joined.end());
     sort_unique(seeds);
-    const std::size_t cap = static_cast<std::size_t>(
+    const std::size_t comp_cap = static_cast<std::size_t>(
         opts.incremental_options.rebuild_fraction * static_cast<double>(n_after));
+    const std::size_t total_cap = static_cast<std::size_t>(
+        opts.incremental_options.total_rebuild_fraction * static_cast<double>(n_after));
     const auto region = expand_hops(udg_, ctx.udg_removed_adj, seeds, 2);
-    if (region.size() > cap) {
+    if (region.size() > total_cap) {
         rebuild_from_scratch(stats);
         stats.fell_back = true;
         return stats;
@@ -319,7 +326,7 @@ PatchStats DynamicSpanner::apply(const UpdateBatch& batch) {
     bool cascade_ok = true;
     {
         StageTimer t(stats.pipeline, "cluster-patch");
-        cascade_ok = run_cluster_cascade(ctx, cap);
+        cascade_ok = run_cluster_cascade(ctx, total_cap);
         t.finish(ctx.roles_changed.size());
     }
     if (!cascade_ok) {
@@ -327,10 +334,49 @@ PatchStats DynamicSpanner::apply(const UpdateBatch& batch) {
         stats.fell_back = true;
         return stats;
     }
+
+    // Decompose the connector-stage seed set into connected dirty
+    // components and make the rebuild decision per component: only a
+    // single over-cap component (or an over-cap union) forces the
+    // fallback, so many small far-apart updates stay localized.
+    const std::size_t merge_hops =
+        std::max<std::size_t>(opts.incremental_options.component_merge_hops, 8);
+    std::vector<DirtyComponent> comps;
+    {
+        StageTimer t(stats.pipeline, "decompose-patch");
+        // Seeds: the connector-stage set c2 plus every moved node — a
+        // move that changed no UDG edge still dirties the LDel/Gabriel
+        // stages, so it must occupy a component (and count against the
+        // caps). Planning with the superset only re-runs elections
+        // whose inputs are unchanged, which is idempotent.
+        std::vector<NodeId> comp_seeds = build_c2(ctx);
+        comp_seeds.insert(comp_seeds.end(), ctx.moved.begin(), ctx.moved.end());
+        sort_unique(comp_seeds);
+        comps = decompose_components(ctx, comp_seeds, merge_hops);
+        t.finish(comps.size());
+    }
+    stats.separation_hops = merge_hops + 1;
+    std::size_t region_total = 0;
+    for (DirtyComponent& comp : comps) {
+        comp.over_cap = comp.region.size() > comp_cap;
+        region_total += comp.region.size();
+        if (comp.over_cap) ++stats.component_fallbacks;
+        ComponentStats cs;
+        cs.seed_count = comp.seeds.size();
+        cs.over_cap = comp.over_cap;
+        cs.region = comp.region;
+        stats.components.push_back(std::move(cs));
+    }
+    if (stats.component_fallbacks > 0 || region_total > total_cap) {
+        rebuild_from_scratch(stats);
+        stats.fell_back = true;
+        return stats;
+    }
     {
         StageTimer t(stats.pipeline, "connectors-patch");
-        stage_connectors(ctx);
-        t.finish(ctx.pairs_recomputed());
+        stage_connectors_componentwise(ctx, comps);
+        t.finish(ctx.pairs_recomputed(),
+                 comps.size() > 1 ? engine_->thread_count() : 1);
     }
     {
         StageTimer t(stats.pipeline, "icds-patch");
@@ -405,18 +451,29 @@ void DynamicSpanner::stage_udg(const UpdateBatch& batch, PatchContext& ctx) {
             ctx.touch(v);
         }
     };
-    std::vector<NodeId> desired;
+    // Grid queries are pure reads of the settled grid + positions, so
+    // the desired lists collect in parallel; the edge splice below
+    // mutates shared adjacency and stays serial in node order.
+    std::vector<std::vector<NodeId>> desired(affected.size());
+    const auto collect = [&](std::size_t i) {
+        grid_.collect_neighbors(points_, radius_, affected[i], desired[i]);
+    };
+    if (affected.size() >= kParallelThreshold) {
+        engine_->pool().parallel_for(0, affected.size(), collect);
+    } else {
+        for (std::size_t i = 0; i < affected.size(); ++i) collect(i);
+    }
     std::vector<NodeId> stale;
-    for (const NodeId v : affected) {
-        desired.clear();
-        grid_.collect_neighbors(points_, radius_, v, desired);
+    for (std::size_t ai = 0; ai < affected.size(); ++ai) {
+        const NodeId v = affected[ai];
         stale.assign(udg_.neighbors(v).begin(), udg_.neighbors(v).end());
         // stale and desired are both sorted: one merge pass yields the
         // adds (desired only) and removals (stale only).
+        const std::vector<NodeId>& want = desired[ai];
         std::size_t i = 0;
         std::size_t j = 0;
-        while (i < stale.size() || j < desired.size()) {
-            if (j == desired.size() || (i < stale.size() && stale[i] < desired[j])) {
+        while (i < stale.size() || j < want.size()) {
+            if (j == want.size() || (i < stale.size() && stale[i] < want[j])) {
                 const NodeId u = stale[i++];
                 if (udg_.remove_edge(v, u)) {
                     ctx.udg_removed.push_back(norm(v, u));
@@ -425,8 +482,8 @@ void DynamicSpanner::stage_udg(const UpdateBatch& batch, PatchContext& ctx) {
                     mark_adj(v);
                     mark_adj(u);
                 }
-            } else if (i == stale.size() || desired[j] < stale[i]) {
-                const NodeId u = desired[j++];
+            } else if (i == stale.size() || want[j] < stale[i]) {
+                const NodeId u = want[j++];
                 if (udg_.add_edge(v, u)) {
                     ctx.udg_added.push_back(norm(v, u));
                     mark_adj(v);
@@ -555,23 +612,27 @@ bool DynamicSpanner::run_cluster_cascade(PatchContext& ctx, std::size_t cap) {
 
 bool DynamicSpanner::wins(NodeId w, const std::vector<NodeId>& candidates) const {
     // Matches find_connectors: w wins iff no smaller-id candidate of
-    // the same pair is UDG-adjacent to it.
-    return std::none_of(candidates.begin(), candidates.end(), [&](NodeId c) {
-        return c < w && udg_.has_edge(c, w);
-    });
+    // the same pair is UDG-adjacent to it. Candidate lists are built in
+    // ascending id order, so the scan stops at w.
+    for (const NodeId c : candidates) {
+        if (c >= w) break;
+        if (udg_.has_edge(c, w)) return false;
+    }
+    return true;
 }
 
-void DynamicSpanner::delete_pair(PairLedger& ledger, Pair key,
+bool DynamicSpanner::delete_pair(PairLedger& ledger, Pair key,
                                  std::vector<NodeId>& conn_touched) {
     const auto it = ledger.entries.find(key);
-    if (it == ledger.entries.end()) return;
+    if (it == ledger.entries.end()) return false;
     for (const NodeId c : it->second.connectors) {
         if (--connector_refs_[c] == 0) conn_touched.push_back(c);
     }
-    for (const Pair e : it->second.edges) cds_edge_dec(e);
+    for (const Pair& e : it->second.edges) cds_edge_dec(e);
     ledger.by_node[key.first].erase(key);
     ledger.by_node[key.second].erase(key);
     ledger.entries.erase(it);
+    return true;
 }
 
 void DynamicSpanner::commit_pair(PairLedger& ledger, Pair key, PairOutcome outcome,
@@ -582,7 +643,7 @@ void DynamicSpanner::commit_pair(PairLedger& ledger, Pair key, PairOutcome outco
     for (const NodeId c : outcome.connectors) {
         if (connector_refs_[c]++ == 0) conn_touched.push_back(c);
     }
-    for (const Pair e : outcome.edges) cds_edge_inc(e);
+    for (const Pair& e : outcome.edges) cds_edge_inc(e);
     ledger.by_node[key.first].insert(key);
     ledger.by_node[key.second].insert(key);
     const bool inserted = ledger.entries.emplace(key, std::move(outcome)).second;
@@ -590,26 +651,115 @@ void DynamicSpanner::commit_pair(PairLedger& ledger, Pair key, PairOutcome outco
     (void)inserted;
 }
 
-void DynamicSpanner::stage_connectors(PatchContext& ctx) {
-    const auto& cluster = backbone_.cluster;
-
+std::vector<graph::NodeId> DynamicSpanner::build_c2(const PatchContext& ctx) const {
     // C2: nodes whose election-relevant state changed (adjacency, role,
     // dominator list, two-hop dominator list, or a fresh join). Every
     // pair whose election can differ has a dominator within the 2-hop
     // closure S2 of C2 over old ∪ new edges, because elections are pure
-    // functions of the states of N2(pair): delete those pairs' ledger
-    // entries and re-run them.
+    // functions of the states of N2(pair).
     std::vector<NodeId> c2 = ctx.adj_changed;
     c2.insert(c2.end(), ctx.joined.begin(), ctx.joined.end());
     c2.insert(c2.end(), ctx.roles_changed.begin(), ctx.roles_changed.end());
     c2.insert(c2.end(), ctx.dom_list_changed.begin(), ctx.dom_list_changed.end());
     c2.insert(c2.end(), ctx.two_hop_changed.begin(), ctx.two_hop_changed.end());
     sort_unique(c2);
+    return c2;
+}
+
+std::vector<DynamicSpanner::DirtyComponent> DynamicSpanner::decompose_components(
+    const PatchContext& ctx, const std::vector<NodeId>& c2,
+    std::size_t merge_hops) const {
+    std::vector<DirtyComponent> comps;
+    if (c2.empty()) return comps;
+
+    // Union-find over seed indices; smaller root wins, so each class's
+    // root is its smallest seed and the final component order is the
+    // deterministic smallest-seed order.
+    std::vector<std::uint32_t> parent(c2.size());
+    for (std::uint32_t i = 0; i < parent.size(); ++i) parent[i] = i;
+    const auto find = [&](std::uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    const auto unite = [&](std::uint32_t a, std::uint32_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return;
+        if (a < b) {
+            parent[b] = a;
+        } else {
+            parent[a] = b;
+        }
+    };
+
+    // Multi-source label BFS over old ∪ new adjacency, ceil(merge_hops/2)
+    // rounds per side. Seeds within 2·depth >= merge_hops hops collide on
+    // some middle node and merge; seeds of distinct final components are
+    // therefore >= 2·depth + 1 >= merge_hops + 1 hops apart — clear of
+    // the <= 7-hop reach of every stage's dirty expansion, which is what
+    // makes the per-component plans' read/write sets disjoint.
+    const std::size_t depth = (merge_hops + 1) / 2;
+    constexpr std::uint32_t kNone = ~std::uint32_t{0};
+    std::vector<std::uint32_t> label(points_.size(), kNone);
+    std::vector<NodeId> frontier;
+    std::vector<NodeId> next;
+    for (std::uint32_t i = 0; i < c2.size(); ++i) {
+        label[c2[i]] = i;
+        frontier.push_back(c2[i]);
+    }
+    for (std::size_t h = 0; h < depth && !frontier.empty(); ++h) {
+        next.clear();
+        for (const NodeId v : frontier) {
+            const std::uint32_t cv = label[v];
+            const auto visit = [&](NodeId u) {
+                if (label[u] == kNone) {
+                    label[u] = cv;
+                    next.push_back(u);
+                } else {
+                    unite(cv, label[u]);
+                }
+            };
+            for (const NodeId u : udg_.neighbors(v)) visit(u);
+            const auto it = ctx.udg_removed_adj.find(v);
+            if (it != ctx.udg_removed_adj.end()) {
+                for (const NodeId u : it->second) visit(u);
+            }
+        }
+        std::swap(frontier, next);
+    }
+
+    // Group seeds by root. Seed indices ascend within each class and c2
+    // is sorted, so every component's seed list comes out sorted.
+    std::vector<std::vector<std::uint32_t>> members(c2.size());
+    for (std::uint32_t i = 0; i < c2.size(); ++i) members[find(i)].push_back(i);
+    for (std::uint32_t r = 0; r < members.size(); ++r) {
+        if (members[r].empty()) continue;
+        DirtyComponent comp;
+        comp.seeds.reserve(members[r].size());
+        for (const std::uint32_t idx : members[r]) comp.seeds.push_back(c2[idx]);
+        comp.region = expand_hops(udg_, ctx.udg_removed_adj, comp.seeds, 2);
+        comps.push_back(std::move(comp));
+    }
+    return comps;
+}
+
+void DynamicSpanner::plan_connectors(const PatchContext& ctx,
+                                     const std::vector<NodeId>& c2,
+                                     ConnectorPlan& plan) const {
+    const auto& cluster = backbone_.cluster;
+
+    // Delete every ledger pair with a dirty-dominator endpoint in this
+    // component's S2 and re-run its election. Everything here reads the
+    // frozen pre-commit state only — ctx dirty sets, the UDG, the
+    // cluster lists, and the ledgers are not mutated until commit.
     const auto s2 = expand_hops(udg_, ctx.udg_removed_adj, c2, 2);
+    plan.touched = s2;
 
     std::vector<NodeId> dirty_dominators;
     for (const NodeId d : s2) {
-        ctx.touch(d);
         const bool is_now = cluster.role[d] == Role::kDominator;
         const auto it = ctx.old_role.find(d);
         const bool was = it != ctx.old_role.end() ? it->second == Role::kDominator
@@ -617,17 +767,13 @@ void DynamicSpanner::stage_connectors(PatchContext& ctx) {
         if (is_now || was) dirty_dominators.push_back(d);
     }
 
-    std::vector<NodeId> conn_touched;
-    std::size_t deleted = 0;
+    std::vector<std::pair<int, Pair>> deletions;
     for (const NodeId d : dirty_dominators) {
-        for (PairLedger* ledger : {&pairs_a_, &pairs_b_}) {
-            const auto idx = ledger->by_node.find(d);
-            if (idx == ledger->by_node.end()) continue;
-            const std::vector<Pair> keys(idx->second.begin(), idx->second.end());
-            for (const Pair key : keys) {
-                delete_pair(*ledger, key, conn_touched);
-                ++deleted;
-            }
+        for (const int which : {0, 1}) {
+            const PairLedger& ledger = which == 0 ? pairs_a_ : pairs_b_;
+            const auto idx = ledger.by_node.find(d);
+            if (idx == ledger.by_node.end()) continue;
+            for (const Pair& key : idx->second) deletions.emplace_back(which, key);
         }
     }
 
@@ -645,28 +791,63 @@ void DynamicSpanner::stage_connectors(PatchContext& ctx) {
     }
     const auto w2 = expand_hops(udg_, ctx.udg_removed_adj, rec, 2);
 
-    std::map<Pair, std::vector<NodeId>> cand_a;
-    std::map<Pair, std::vector<NodeId>> cand_b;
+    // Candidate lists as flat (pair, w) tuples grouped by a stable sort
+    // — the w2 scan emits w ascending, so each group keeps the ascending
+    // candidate order the elections expect, without per-pair map nodes.
+    std::vector<std::pair<Pair, NodeId>> cand_a;
+    std::vector<std::pair<Pair, NodeId>> cand_b;
     for (const NodeId w : w2) {
         const auto& doms = cluster.dominators_of[w];
         for (std::size_t i = 0; i < doms.size(); ++i) {
             for (std::size_t j = i + 1; j < doms.size(); ++j) {
                 if (rec_flag[doms[i]] != 0 || rec_flag[doms[j]] != 0) {
-                    cand_a[{doms[i], doms[j]}].push_back(w);
+                    cand_a.push_back({{doms[i], doms[j]}, w});
                 }
             }
         }
         for (const NodeId u : doms) {
             for (const NodeId v : cluster.two_hop_dominators_of[w]) {
                 if (rec_flag[u] != 0 || rec_flag[v] != 0) {
-                    cand_b[{u, v}].push_back(w);
+                    cand_b.push_back({{u, v}, w});
                 }
             }
         }
     }
+    const auto by_pair = [](const std::pair<Pair, NodeId>& a,
+                            const std::pair<Pair, NodeId>& b) {
+        return a.first < b.first;
+    };
+    std::stable_sort(cand_a.begin(), cand_a.end(), by_pair);
+    std::stable_sort(cand_b.begin(), cand_b.end(), by_pair);
+
+    // A re-elected outcome identical to the pair's retained ledger
+    // entry makes its delete + recommit a refcount no-op: record the
+    // key as retained (ascending — groups iterate in pair order) and
+    // emit neither. Ledger outcomes are stored deduplicated, so the
+    // comparison needs the planned outcome in the same form.
+    std::vector<Pair> retained_a;
+    std::vector<Pair> retained_b;
+    const auto settle = [](PairOutcome& outcome) {
+        sort_unique(outcome.connectors);
+        sort_unique_pairs(outcome.edges);
+    };
+    const auto unchanged = [](const PairLedger& ledger, Pair key,
+                              const PairOutcome& outcome) {
+        const auto it = ledger.entries.find(key);
+        return it != ledger.entries.end() &&
+               it->second.connectors == outcome.connectors &&
+               it->second.edges == outcome.edges;
+    };
 
     // Phase A: dominators two hops apart, unordered pairs.
-    for (const auto& [pair, candidates] : cand_a) {
+    std::vector<NodeId> candidates;
+    for (std::size_t lo = 0; lo < cand_a.size();) {
+        const Pair pair = cand_a[lo].first;
+        candidates.clear();
+        for (; lo < cand_a.size() && cand_a[lo].first == pair; ++lo) {
+            candidates.push_back(cand_a[lo].second);
+        }
+        ++plan.pairs_reelected;
         PairOutcome outcome;
         for (const NodeId w : candidates) {
             if (!wins(w, candidates)) continue;
@@ -674,13 +855,25 @@ void DynamicSpanner::stage_connectors(PatchContext& ctx) {
             outcome.edges.push_back(norm(pair.first, w));
             outcome.edges.push_back(norm(w, pair.second));
         }
-        commit_pair(pairs_a_, pair, std::move(outcome), conn_touched);
+        settle(outcome);
+        if (unchanged(pairs_a_, pair, outcome)) {
+            retained_a.push_back(pair);
+            ++plan.pairs_retained;
+            continue;
+        }
+        plan.commits_a.emplace_back(pair, std::move(outcome));
     }
 
     // Phases B+C: ordered pairs (u, v) three hops apart — first-leg
     // winners among u's dominatees, then the second-leg election among
     // v's dominatees audible from a first-leg winner.
-    for (const auto& [pair, candidates] : cand_b) {
+    for (std::size_t lo = 0; lo < cand_b.size();) {
+        const Pair pair = cand_b[lo].first;
+        candidates.clear();
+        for (; lo < cand_b.size() && cand_b[lo].first == pair; ++lo) {
+            candidates.push_back(cand_b[lo].second);
+        }
+        ++plan.pairs_reelected;
         PairOutcome outcome;
         std::vector<NodeId> winners;
         for (const NodeId w : candidates) {
@@ -709,13 +902,48 @@ void DynamicSpanner::stage_connectors(PatchContext& ctx) {
                 for (const NodeId w : audible[x]) outcome.edges.push_back(norm(x, w));
             }
         }
-        commit_pair(pairs_b_, pair, std::move(outcome), conn_touched);
+        settle(outcome);
+        if (unchanged(pairs_b_, pair, outcome)) {
+            retained_b.push_back(pair);
+            ++plan.pairs_retained;
+            continue;
+        }
+        plan.commits_b.emplace_back(pair, std::move(outcome));
     }
 
-    ctx.pairs_deleted = deleted;
-    ctx.pairs_reelected = cand_a.size() + cand_b.size();
+    // Deletions, minus the retained keys.
+    plan.deletions.reserve(deletions.size());
+    for (const auto& [which, key] : deletions) {
+        const auto& retained = which == 0 ? retained_a : retained_b;
+        if (std::binary_search(retained.begin(), retained.end(), key)) continue;
+        plan.deletions.emplace_back(which, key);
+    }
+}
 
-    // Settle connector flags from the final refcounts.
+void DynamicSpanner::commit_connector_plan(ConnectorPlan& plan, PatchContext& ctx,
+                                           std::vector<NodeId>& conn_touched) {
+    for (const NodeId v : plan.touched) ctx.touch(v);
+    // A pair with both endpoints dirty in the same component is planned
+    // for deletion twice; delete_pair is idempotent and only real
+    // deletions count (matching the monolithic path, where the first
+    // deletion removed the pair from the second endpoint's index).
+    std::size_t deleted = 0;
+    for (const auto& [which, key] : plan.deletions) {
+        PairLedger& ledger = which == 0 ? pairs_a_ : pairs_b_;
+        if (delete_pair(ledger, key, conn_touched)) ++deleted;
+    }
+    for (auto& [key, outcome] : plan.commits_a) {
+        commit_pair(pairs_a_, key, std::move(outcome), conn_touched);
+    }
+    for (auto& [key, outcome] : plan.commits_b) {
+        commit_pair(pairs_b_, key, std::move(outcome), conn_touched);
+    }
+    ctx.pairs_deleted += deleted;
+    ctx.pairs_reelected += plan.pairs_reelected;
+}
+
+void DynamicSpanner::settle_connector_flags(std::vector<NodeId>& conn_touched,
+                                            PatchContext& ctx) {
     sort_unique(conn_touched);
     for (const NodeId c : conn_touched) {
         const bool now = connector_refs_[c] > 0;
@@ -725,6 +953,36 @@ void DynamicSpanner::stage_connectors(PatchContext& ctx) {
             ctx.touch(c);
         }
     }
+}
+
+void DynamicSpanner::stage_connectors(PatchContext& ctx) {
+    ConnectorPlan plan;
+    plan_connectors(ctx, build_c2(ctx), plan);
+    std::vector<NodeId> conn_touched;
+    commit_connector_plan(plan, ctx, conn_touched);
+    settle_connector_flags(conn_touched, ctx);
+}
+
+void DynamicSpanner::stage_connectors_componentwise(
+    PatchContext& ctx, const std::vector<DirtyComponent>& comps) {
+    // Plans are read-only against the frozen state and component
+    // regions are disjoint, so planning parallelizes freely; commits
+    // mutate the shared ledgers/refcounts/graphs and run serially in
+    // deterministic component order. Disjointness makes the serial
+    // commit order immaterial to the result — the output is
+    // edge-identical to the monolithic path at any thread count.
+    std::vector<ConnectorPlan> plans(comps.size());
+    const auto body = [&](std::size_t i) {
+        plan_connectors(ctx, comps[i].seeds, plans[i]);
+    };
+    if (comps.size() > 1) {
+        engine_->pool().parallel_for(0, comps.size(), body);
+    } else {
+        for (std::size_t i = 0; i < comps.size(); ++i) body(i);
+    }
+    std::vector<NodeId> conn_touched;
+    for (ConnectorPlan& plan : plans) commit_connector_plan(plan, ctx, conn_touched);
+    settle_connector_flags(conn_touched, ctx);
 }
 
 // ---- Stage 3: induced backbone (ICDS) --------------------------------
@@ -874,17 +1132,32 @@ bool DynamicSpanner::survives_alg3(TriangleKey t) const {
 }
 
 void DynamicSpanner::stage_ldel(PatchContext& ctx, PatchStats& stats) {
-    // Local triangle lists to recompute: a node's list depends on its
-    // ICDS neighbor set, the positions of itself and those neighbors,
-    // and the edges among them — so recompute every backbone node whose
-    // ICDS adjacency changed or that is ICDS-adjacent (over old ∪ new
-    // edges) to a moved or adjacency-changed node.
+    // Local triangle lists to recompute: local_triangles_at(icds, v)
+    // reads v's ICDS neighbor set, the positions of v and those
+    // neighbors, and the ICDS edges among the neighbors (the opposite
+    // sides). So v is dirty exactly when (a) its adjacency changed, (b)
+    // v or a current neighbor moved, or (c) an edge between two of its
+    // current neighbors was added or removed — i.e. v is a common
+    // neighbor of an edge delta. A node that lost its adjacency to the
+    // changed/moved node is in icds_adj_changed already, which is why
+    // (b) and (c) only need current adjacency.
     std::vector<NodeId> seeds = ctx.icds_adj_changed;
     for (const NodeId v : ctx.moved) {
-        if (backbone_.in_backbone[v]) seeds.push_back(v);
+        if (!backbone_.in_backbone[v]) continue;
+        seeds.push_back(v);
+        const auto nbrs = backbone_.icds.neighbors(v);
+        seeds.insert(seeds.end(), nbrs.begin(), nbrs.end());
     }
+    const auto mark_common = [&](Pair e) {
+        const auto na = backbone_.icds.neighbors(e.first);
+        const auto nb = backbone_.icds.neighbors(e.second);
+        std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                              std::back_inserter(seeds));
+    };
+    for (const Pair& e : ctx.icds_added) mark_common(e);
+    for (const Pair& e : ctx.icds_removed) mark_common(e);
     sort_unique(seeds);
-    ctx.ldel_dirty = expand_hops(backbone_.icds, ctx.icds_removed_adj, seeds, 1);
+    ctx.ldel_dirty = std::move(seeds);
     const auto& dirty = ctx.ldel_dirty;
     for (const NodeId v : dirty) ctx.touch(v);
 
@@ -933,6 +1206,7 @@ void DynamicSpanner::stage_ldel(PatchContext& ctx, PatchStats& stats) {
             touched_boxes.push_back(tri_bins_.at(t));
             tri_remove(t);
             if (kept_.erase(t) > 0) {
+                ctx.kept_removed.push_back(t);
                 ldel_edge_dec(norm(t.a, t.b));
                 ldel_edge_dec(norm(t.b, t.c));
                 ldel_edge_dec(norm(t.a, t.c));
@@ -946,8 +1220,13 @@ void DynamicSpanner::stage_ldel(PatchContext& ctx, PatchStats& stats) {
         }
     }
 
-    // Survival recompute set: residents of every cell a touched box can
-    // reach (partners' min corners lie within one cell below the box).
+    // Survival recompute set: a retained triangle's verdict can only
+    // change when its partner set or a partner's geometry did, and
+    // partner coupling requires bbox intersection — so only residents
+    // whose box meets a touched box (old or new geometry of an
+    // added/removed/moved triangle) re-run the test. Candidate cells:
+    // everything a touched box can reach (partners' min corners lie
+    // within one cell below the box).
     std::vector<TriangleKey> retest;
     for (const TriBin& box : touched_boxes) {
         const auto lo =
@@ -957,7 +1236,14 @@ void DynamicSpanner::stage_ldel(PatchContext& ctx, PatchStats& stats) {
             for (long long cy = lo.second; cy <= hi.second; ++cy) {
                 const auto it = tri_grid_.find({cx, cy});
                 if (it == tri_grid_.end()) continue;
-                retest.insert(retest.end(), it->second.begin(), it->second.end());
+                for (const TriangleKey r : it->second) {
+                    const TriBin& rb = tri_bins_.at(r);
+                    if (rb.min_x > box.max_x || rb.max_x < box.min_x ||
+                        rb.min_y > box.max_y || rb.max_y < box.min_y) {
+                        continue;
+                    }
+                    retest.push_back(r);
+                }
             }
         }
     }
@@ -980,11 +1266,13 @@ void DynamicSpanner::stage_ldel(PatchContext& ctx, PatchStats& stats) {
         const bool was = kept_.contains(t);
         if (keep && !was) {
             kept_.insert(t);
+            ctx.kept_added.push_back(t);
             ldel_edge_inc(norm(t.a, t.b));
             ldel_edge_inc(norm(t.b, t.c));
             ldel_edge_inc(norm(t.a, t.c));
         } else if (!keep && was) {
             kept_.erase(t);
+            ctx.kept_removed.push_back(t);
             ldel_edge_dec(norm(t.a, t.b));
             ldel_edge_dec(norm(t.b, t.c));
             ldel_edge_dec(norm(t.a, t.c));
@@ -997,9 +1285,10 @@ void DynamicSpanner::stage_ldel(PatchContext& ctx, PatchStats& stats) {
 void DynamicSpanner::stage_gabriel(PatchContext& ctx) {
     // An edge's Gabriel status depends on its endpoints' positions and
     // common-ICDS-neighbor set — dirty exactly when an endpoint is in
-    // the LDel dirty set (moved/adjacency-changed nodes + their ICDS
-    // ring, which covers every moved or gained/lost witness).
-    for (const Pair e : ctx.icds_removed) {
+    // the LDel dirty set: a moved or gained/lost witness marks both
+    // endpoints (they are its current neighbors / adjacency-changed),
+    // and moved or adjacency-changed endpoints mark themselves.
+    for (const Pair& e : ctx.icds_removed) {
         if (gabriel_.erase(e) > 0) ldel_edge_dec(e);
     }
 
@@ -1078,7 +1367,23 @@ void DynamicSpanner::stage_assemble(PatchContext& ctx) {
             }
         }
     }
-    backbone_.ldel_triangles.assign(kept_.begin(), kept_.end());
+    // Triangle-list merge from the survivor deltas: both delta lists
+    // come out of sorted scans, and a key can only transition once per
+    // patch, so two linear passes replace the O(|kept|) set walk.
+    if (!ctx.kept_added.empty() || !ctx.kept_removed.empty()) {
+        std::sort(ctx.kept_added.begin(), ctx.kept_added.end());
+        std::sort(ctx.kept_removed.begin(), ctx.kept_removed.end());
+        std::vector<TriangleKey> surviving;
+        surviving.reserve(backbone_.ldel_triangles.size());
+        std::set_difference(backbone_.ldel_triangles.begin(),
+                            backbone_.ldel_triangles.end(), ctx.kept_removed.begin(),
+                            ctx.kept_removed.end(), std::back_inserter(surviving));
+        std::vector<TriangleKey> merged;
+        merged.reserve(surviving.size() + ctx.kept_added.size());
+        std::merge(surviving.begin(), surviving.end(), ctx.kept_added.begin(),
+                   ctx.kept_added.end(), std::back_inserter(merged));
+        backbone_.ldel_triangles = std::move(merged);
+    }
 }
 
 // ---- Edge-union plumbing ---------------------------------------------

@@ -19,13 +19,28 @@
 // across trace replays and runs the verify:: auditors on patched
 // outputs.
 //
-// Fallback policy: when the dirty region of a batch exceeds
-// EngineOptions::incremental_options.rebuild_fraction of n (or the
-// batch contains leaves, whose swap-remove id compaction perturbs the
-// id-keyed elections globally), the patch falls back to a full rebuild
-// from the current positions. The full rebuild runs the same stage
-// kernels with everything dirty, so both paths share one code path and
-// one correctness argument.
+// Concurrency: a batch's dirty set is decomposed into connected dirty
+// components (multi-source label BFS over old ∪ new adjacency with a
+// hop merge margin, unioned when frontiers meet). Components whose seed
+// sets stay >= component_merge_hops + 1 hops apart have disjoint
+// per-stage read and write sets — every stage's dirty expansion reaches
+// at most 7 hops past the seeds — so their connector elections are
+// *planned* concurrently on the engine ThreadPool against the frozen
+// pre-commit state and committed serially in deterministic component
+// order. The LDel/Alg3 and Gabriel kernels stay global (crossing
+// triangles couple hop-distant regions spatially, which is exactly what
+// Algorithm 3 resolves) and parallelize over items as before.
+//
+// Fallback policy: the rebuild decision is per component. Only a batch
+// with a *single* component whose 2-hop dirty region exceeds
+// IncrementalOptions::rebuild_fraction of n (or whose union of regions
+// exceeds total_rebuild_fraction, or that contains leaves, whose
+// swap-remove id compaction perturbs the id-keyed elections globally)
+// falls back to a full rebuild from the current positions. Many small
+// far-apart updates therefore stay on the localized path even when
+// their merged dirty set spans the graph. The full rebuild runs the
+// same stage kernels with everything dirty, so both paths share one
+// code path and one correctness argument.
 #pragma once
 
 #include <cstddef>
@@ -62,9 +77,18 @@ struct UpdateBatch {
     }
 };
 
+/// One connected dirty component of a batch: its connector-stage seed
+/// set size, its 2-hop dirty region (sorted node ids), and whether that
+/// region alone exceeded the per-component rebuild gate.
+struct ComponentStats {
+    std::size_t seed_count = 0;
+    bool over_cap = false;                 ///< region > rebuild_fraction * n
+    std::vector<graph::NodeId> region;     ///< sorted 2-hop dirty region
+};
+
 /// What one apply() did: the repair path taken, the per-stage dirty
-/// volumes, and the stage timing breakdown (same PipelineStats type the
-/// engine emits for full builds).
+/// volumes, the dirty-component decomposition, and the stage timing
+/// breakdown (same PipelineStats type the engine emits for full builds).
 struct PatchStats {
     bool fell_back = false;            ///< batch took the full-rebuild path
     std::size_t dirty_nodes = 0;       ///< union of all per-stage dirty sets
@@ -72,6 +96,16 @@ struct PatchStats {
     std::size_t roles_changed = 0;     ///< cluster roles flipped by the cascade
     std::size_t pairs_recomputed = 0;  ///< connector pair elections rerun
     std::size_t triangles_retested = 0;  ///< Algorithm-3 survivals re-evaluated
+    /// The connected dirty components the batch decomposed into, in
+    /// deterministic (smallest-seed) order. Empty when the batch fell
+    /// back before decomposition (leaves, cascade blowout, total gate).
+    std::vector<ComponentStats> components;
+    std::size_t component_fallbacks = 0;  ///< components over the per-component cap
+    /// Certified minimum hop separation between distinct components'
+    /// seed sets over old ∪ new adjacency (component_merge_hops + 1);
+    /// 0 when no decomposition ran. verify::audit_patch_components
+    /// checks the region layout against it.
+    std::size_t separation_hops = 0;
     core::PipelineStats pipeline;
 };
 
@@ -184,11 +218,41 @@ class DynamicSpanner {
         std::unordered_map<NodeId, std::vector<NodeId>> icds_removed_adj;
 
         std::vector<NodeId> ldel_dirty;  ///< sorted; local triangle lists recomputed
-        std::vector<char> dirty_union;   ///< union of all per-stage dirty nodes
+        /// Alg3-survivor deltas, for the assembly stage's triangle-list
+        /// merge (avoids walking the whole kept set every patch).
+        std::vector<TriangleKey> kept_added;
+        std::vector<TriangleKey> kept_removed;
+        std::vector<char> dirty_union;  ///< union of all per-stage dirty nodes
         std::size_t dirty_count = 0;
 
         void reset(std::size_t n);
         void touch(NodeId v);  ///< adds v to the dirty union
+    };
+
+    /// One connected dirty component: its slice of the connector-stage
+    /// seed set c2 (sorted) and its 2-hop dirty region.
+    struct DirtyComponent {
+        std::vector<NodeId> seeds;
+        std::vector<NodeId> region;
+        bool over_cap = false;
+    };
+
+    /// The deferred effects of one component's connector re-election,
+    /// computed read-only against the frozen pre-commit state. Plans of
+    /// disjoint components touch disjoint ledger keys, refcounts, and
+    /// edges, so committing them serially in component order is
+    /// equivalent to any sequential per-component execution.
+    /// Re-elections whose outcome matches the retained ledger entry are
+    /// dropped at plan time (the delete + recommit would be a refcount
+    /// no-op), so deletions/commits carry only actual changes.
+    struct ConnectorPlan {
+        std::vector<NodeId> touched;  ///< s2 — nodes to mark dirty
+        /// Ledger entries to drop: (0 = pairs_a_, 1 = pairs_b_, key).
+        std::vector<std::pair<int, Pair>> deletions;
+        std::vector<std::pair<Pair, PairOutcome>> commits_a;
+        std::vector<std::pair<Pair, PairOutcome>> commits_b;
+        std::size_t pairs_reelected = 0;  ///< candidate pairs considered
+        std::size_t pairs_retained = 0;   ///< unchanged outcomes skipped
     };
 
     // Stage kernels. Each reads the dirty inputs from `ctx`, patches the
@@ -198,7 +262,34 @@ class DynamicSpanner {
     /// Role cascade + derived-list recompute; false → more than `cap`
     /// roles flipped, caller falls back to a full rebuild.
     bool run_cluster_cascade(PatchContext& ctx, std::size_t cap);
+    /// The connector-stage seed set: every node whose election-relevant
+    /// state changed this batch (adjacency, role, dominator lists, or a
+    /// fresh join). Sorted.
+    [[nodiscard]] std::vector<NodeId> build_c2(const PatchContext& ctx) const;
+    /// Partitions `c2` into connected dirty components: multi-source
+    /// label BFS over old ∪ new adjacency, depth merge_hops / 2 per
+    /// side, union-find merging labels whose frontiers meet. Distinct
+    /// components' seed sets end up >= merge_hops + 1 hops apart.
+    /// Components come back in deterministic smallest-seed order with
+    /// their 2-hop dirty regions attached.
+    [[nodiscard]] std::vector<DirtyComponent> decompose_components(
+        const PatchContext& ctx, const std::vector<NodeId>& c2,
+        std::size_t merge_hops) const;
+    /// Read-only election planning for one component's seed slice.
+    void plan_connectors(const PatchContext& ctx, const std::vector<NodeId>& c2,
+                         ConnectorPlan& plan) const;
+    /// Applies one plan's deletions and commits (serial, deterministic).
+    void commit_connector_plan(ConnectorPlan& plan, PatchContext& ctx,
+                               std::vector<NodeId>& conn_touched);
+    /// Settles is_connector flags from the final refcounts.
+    void settle_connector_flags(std::vector<NodeId>& conn_touched, PatchContext& ctx);
+    /// Monolithic path (full rebuild / single component): plan + commit
+    /// over the whole c2.
     void stage_connectors(PatchContext& ctx);
+    /// Decomposed path: plans all components concurrently on the engine
+    /// pool, then commits them serially in component order.
+    void stage_connectors_componentwise(PatchContext& ctx,
+                                        const std::vector<DirtyComponent>& comps);
     void stage_icds(PatchContext& ctx);
     void stage_ldel(PatchContext& ctx, PatchStats& stats);
     void stage_gabriel(PatchContext& ctx);
@@ -210,7 +301,8 @@ class DynamicSpanner {
 
     // Connector-election helpers. `conn_touched` accumulates nodes whose
     // election refcount hit or left zero, for the flag settle pass.
-    void delete_pair(PairLedger& ledger, Pair key, std::vector<NodeId>& conn_touched);
+    /// False when the key was already gone (idempotent).
+    bool delete_pair(PairLedger& ledger, Pair key, std::vector<NodeId>& conn_touched);
     void commit_pair(PairLedger& ledger, Pair key, PairOutcome outcome,
                      std::vector<NodeId>& conn_touched);
     [[nodiscard]] bool wins(NodeId w, const std::vector<NodeId>& candidates) const;

@@ -31,11 +31,28 @@ namespace geospanner::engine {
 
 /// Tunables of the incremental maintenance path (dynamic::DynamicSpanner).
 struct IncrementalOptions {
-    /// When the dirty region of an update batch (nodes whose stage state
-    /// is recomputed) exceeds this fraction of n, the patch falls back
-    /// to a full rebuild — beyond it the localized bookkeeping costs
-    /// more than recomputing from scratch.
+    /// Per-component rebuild gate: an update batch is decomposed into
+    /// connected dirty components, and only a *single component* whose
+    /// dirty region exceeds this fraction of n forces the full-rebuild
+    /// path. A batch of many small, far-apart updates therefore stays on
+    /// the localized path even when the union of its dirty regions is
+    /// large — the union was never the right cost proxy, since disjoint
+    /// components are patched independently.
     double rebuild_fraction = 0.25;
+    /// Whole-batch gate: when the union of all dirty regions (or the
+    /// cluster cascade's flip count) exceeds this fraction of n, the
+    /// batch takes the full-rebuild path regardless of how it splits
+    /// into components — past roughly half the graph, even perfectly
+    /// parallel localized patching loses to one parallel rebuild.
+    double total_rebuild_fraction = 0.5;
+    /// Dirty components whose seed sets lie within this many hops (over
+    /// the union of pre- and post-batch adjacency) are merged before
+    /// patching. The per-stage dirty expansions reach at most 7 hops
+    /// past a component's seeds, so any value >= 8 keeps the planned
+    /// write/read sets of distinct components disjoint; values below
+    /// that are clamped. Larger margins only trade parallelism for
+    /// safety slack.
+    std::size_t component_merge_hops = 12;
 };
 
 struct EngineOptions {

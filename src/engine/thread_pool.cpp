@@ -17,6 +17,13 @@ thread_local bool t_on_worker = false;
 struct ThreadPool::Impl {
     std::size_t lanes = 1;
 
+    /// Serializes external drivers: held for the whole span of one
+    /// parallel_for so two threads sharing a pool (e.g. the service
+    /// ingest worker and a snapshot reader) never clobber each other's
+    /// active job. Reentrant calls from worker lanes never take it —
+    /// they run inline.
+    std::mutex drive_mutex;
+
     std::mutex mutex;
     std::condition_variable job_cv;   ///< workers wait here for a generation bump
     std::condition_variable done_cv;  ///< the caller waits here for workers_done
@@ -102,6 +109,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         for (std::size_t i = begin; i < end; ++i) body(i);
         return;
     }
+
+    // One external driver at a time; released when this loop (and any
+    // rethrown body exception) leaves the function.
+    const std::lock_guard<std::mutex> drive(impl_->drive_mutex);
 
     {
         const std::lock_guard<std::mutex> lock(impl_->mutex);

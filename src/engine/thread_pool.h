@@ -39,7 +39,11 @@ class ThreadPool {
     ///
     /// Reentrant calls (from inside a body) run inline on the calling
     /// worker, so nested parallelism degrades gracefully instead of
-    /// deadlocking. Only one external thread may drive a pool at a time.
+    /// deadlocking. Concurrent external drivers are serialized on an
+    /// internal mutex: a second thread calling parallel_for blocks until
+    /// the first loop finished, so a long-running ingest worker
+    /// (service::SpannerService) and a snapshot reader rebuilding a
+    /// reference can share one engine without coordination.
     void parallel_for(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t)>& body);
 

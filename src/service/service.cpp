@@ -1,0 +1,121 @@
+#include "service/service.h"
+
+#include <utility>
+
+namespace geospanner::service {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(b - a)
+        .count();
+}
+
+}  // namespace
+
+SpannerService::SpannerService(engine::SpannerEngine& engine,
+                               std::vector<geom::Point> points, double radius)
+    : engine_(&engine), spanner_(engine, std::move(points), radius),
+      start_(std::chrono::steady_clock::now()) {
+    worker_ = std::thread([this] { worker_loop(); });
+}
+
+SpannerService::~SpannerService() { stop(); }
+
+bool SpannerService::enqueue(dynamic::UpdateBatch batch) {
+    // Count before the push so applied_ can never race past enqueued_;
+    // uncount on rejection.
+    {
+        const std::lock_guard<std::mutex> lock(drain_mutex_);
+        ++enqueued_;
+    }
+    if (queue_.push(std::move(batch))) return true;
+    {
+        const std::lock_guard<std::mutex> lock(drain_mutex_);
+        --enqueued_;
+    }
+    drained_.notify_all();
+    return false;
+}
+
+void SpannerService::worker_loop() {
+    dynamic::UpdateBatch batch;
+    while (queue_.pop(batch)) {
+        const std::size_t updates =
+            batch.moves.size() + batch.joins.size() + batch.leaves.size();
+        const auto t0 = std::chrono::steady_clock::now();
+        {
+            const std::lock_guard<std::mutex> lock(state_mutex_);
+            const dynamic::PatchStats stats = spanner_.apply(batch);
+            ++version_;
+            cached_.reset();  // Next reader copies the new topology.
+            updates_applied_ += updates;
+            if (stats.fell_back) ++fallbacks_;
+            components_patched_ += stats.components.size();
+            component_fallbacks_ += stats.component_fallbacks;
+            apply_ms_total_ += ms_between(t0, std::chrono::steady_clock::now());
+        }
+        {
+            const std::lock_guard<std::mutex> lock(drain_mutex_);
+            ++applied_;
+        }
+        drained_.notify_all();
+    }
+}
+
+SnapshotHandle SpannerService::snapshot() {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!cached_) {
+        auto snap = std::make_shared<Snapshot>();
+        snap->version = version_;
+        snap->points = spanner_.positions();
+        snap->radius = spanner_.radius();
+        snap->udg = spanner_.udg();
+        snap->backbone = spanner_.backbone();
+        cached_ = std::move(snap);
+        ++snapshots_published_;
+    }
+    return cached_;
+}
+
+void SpannerService::drain() {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    const std::uint64_t target = enqueued_;
+    drained_.wait(lock, [&] { return applied_ >= target; });
+}
+
+void SpannerService::stop() {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    queue_.close();  // Worker drains the backlog, then pop() returns false.
+    if (worker_.joinable()) worker_.join();
+}
+
+ServiceStats SpannerService::stats() const {
+    ServiceStats out;
+    {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        out.batches_applied = version_;
+        out.updates_applied = updates_applied_;
+        out.fallbacks = fallbacks_;
+        out.components_patched = components_patched_;
+        out.component_fallbacks = component_fallbacks_;
+        out.snapshots_published = snapshots_published_;
+        out.version = version_;
+        out.apply_ms_total = apply_ms_total_;
+        const double elapsed_ms =
+            ms_between(start_, std::chrono::steady_clock::now());
+        out.updates_per_sec = elapsed_ms <= 0.0
+                                  ? 0.0
+                                  : 1000.0 * static_cast<double>(updates_applied_) /
+                                        elapsed_ms;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(drain_mutex_);
+        out.batches_enqueued = enqueued_;
+    }
+    out.queue_depth = queue_.depth();
+    return out;
+}
+
+}  // namespace geospanner::service

@@ -1,0 +1,129 @@
+// High-throughput update service over DynamicSpanner: the "millions of
+// mobile users" serving story. Producers enqueue UpdateBatch mobility
+// churn from any thread; one ingest worker applies batches in arrival
+// order through the incremental patcher; readers take versioned
+// copy-on-write snapshots that stay immutable while patches land.
+//
+// Consistency contract: a SnapshotHandle is a deep copy of the
+// maintained (positions, UDG, backbone) triple taken between batch
+// applications under the state lock — a reader can never observe a
+// half-applied batch, and a held snapshot never changes underneath its
+// holder. Snapshots are created lazily (first read after a version
+// bump) and shared: back-to-back readers between two batches get the
+// same handle, so an idle service costs one copy per applied batch at
+// most, not one per read.
+//
+// Thread-safety: enqueue(), snapshot(), stats(), drain() are safe from
+// any thread. The ingest worker drives the engine ThreadPool for the
+// bulk kernels; concurrent external drivers (e.g. a reader rebuilding a
+// reference on the same engine) are serialized by the pool itself.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/backbone.h"
+#include "dynamic/spanner.h"
+#include "engine/engine.h"
+#include "geom/vec2.h"
+#include "graph/geometric_graph.h"
+#include "service/update_queue.h"
+
+namespace geospanner::service {
+
+/// One immutable published topology: the version counter (number of
+/// batches applied when it was taken) plus deep copies of the
+/// maintained state. Shared between all readers of that version.
+struct Snapshot {
+    std::uint64_t version = 0;
+    std::vector<geom::Point> points;
+    double radius = 0.0;
+    graph::GeometricGraph udg;
+    core::Backbone backbone;
+};
+
+/// Handle a reader holds while querying; keeps the snapshot alive after
+/// newer versions are published.
+using SnapshotHandle = std::shared_ptr<const Snapshot>;
+
+/// Cumulative service counters (since construction).
+struct ServiceStats {
+    std::uint64_t batches_enqueued = 0;
+    std::uint64_t batches_applied = 0;
+    std::uint64_t updates_applied = 0;  ///< moves + joins + leaves
+    std::uint64_t fallbacks = 0;        ///< batches on the full-rebuild path
+    std::uint64_t components_patched = 0;
+    std::uint64_t component_fallbacks = 0;  ///< components over the per-component cap
+    std::uint64_t snapshots_published = 0;
+    std::size_t queue_depth = 0;     ///< batches waiting right now
+    std::uint64_t version = 0;       ///< batches applied so far
+    double updates_per_sec = 0.0;    ///< applied updates over service lifetime
+    double apply_ms_total = 0.0;     ///< wall time inside DynamicSpanner::apply
+};
+
+/// Owns the maintained spanner and the ingest worker thread. The engine
+/// reference must outlive the service (same contract as DynamicSpanner).
+class SpannerService {
+  public:
+    SpannerService(engine::SpannerEngine& engine, std::vector<geom::Point> points,
+                   double radius);
+    ~SpannerService();  ///< stop() + join
+
+    SpannerService(const SpannerService&) = delete;
+    SpannerService& operator=(const SpannerService&) = delete;
+
+    /// Queues one batch for the ingest worker (any thread). False after
+    /// stop(): the batch is rejected.
+    bool enqueue(dynamic::UpdateBatch batch);
+
+    /// The current published topology. Blocks only for the copy (and
+    /// never while a batch is mid-application — the copy happens between
+    /// batches under the state lock).
+    [[nodiscard]] SnapshotHandle snapshot();
+
+    /// Blocks until every batch enqueued before this call was applied.
+    void drain();
+
+    /// Rejects further enqueues, drains the backlog, joins the worker.
+    /// Idempotent; the destructor calls it.
+    void stop();
+
+    [[nodiscard]] ServiceStats stats() const;
+
+  private:
+    void worker_loop();
+
+    engine::SpannerEngine* engine_;
+    dynamic::DynamicSpanner spanner_;  ///< guarded by state_mutex_
+    UpdateQueue<dynamic::UpdateBatch> queue_;
+    std::thread worker_;
+
+    /// Guards spanner_, cached_, and the stats counters below.
+    mutable std::mutex state_mutex_;
+    SnapshotHandle cached_;  ///< snapshot of `version_`; null when stale
+    std::uint64_t version_ = 0;
+    std::uint64_t updates_applied_ = 0;
+    std::uint64_t fallbacks_ = 0;
+    std::uint64_t components_patched_ = 0;
+    std::uint64_t component_fallbacks_ = 0;
+    std::uint64_t snapshots_published_ = 0;
+    double apply_ms_total_ = 0.0;
+
+    /// Drain accounting: enqueued_ is bumped by producers, applied_ by
+    /// the worker after the batch fully landed; drain() waits for
+    /// applied_ to catch up under drain_mutex_.
+    mutable std::mutex drain_mutex_;
+    std::condition_variable drained_;
+    std::uint64_t enqueued_ = 0;
+    std::uint64_t applied_ = 0;
+
+    std::mutex stop_mutex_;  ///< serializes stop() callers around the join
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace geospanner::service

@@ -1,0 +1,67 @@
+// Multi-producer single-consumer batch queue for the update service.
+//
+// Plain mutex + condvar: producers are mobile-node event sources pushing
+// a few thousand batches per second at most, so lock-free machinery
+// would buy nothing over the contention-free fast path here, and the
+// blocking pop gives the ingest worker an idle wait for free. close()
+// wakes the consumer for shutdown; pops drain remaining items first so
+// no accepted update is ever dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace geospanner::service {
+
+template <typename T>
+class UpdateQueue {
+  public:
+    /// Enqueues one item (any thread). Returns false when the queue is
+    /// closed — the item is rejected, not queued.
+    bool push(T item) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_) return false;
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /// Blocks until an item is available or the queue is closed and
+    /// empty; false means shutdown (out is untouched).
+    bool pop(T& out) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /// Rejects future pushes and wakes the consumer once the backlog is
+    /// drained. Idempotent.
+    void close() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t depth() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace geospanner::service

@@ -7,7 +7,10 @@
 //
 // The sweep is bounded by default (fuzz-smoke, a few seconds);
 // GS_FUZZ_SEEDS widens the seed set for the CI fuzz-smoke job or longer
-// local sessions.
+// local sessions. The update-schedule fuzz extends the harness to the
+// dynamic path: randomized batch splits of one logical move schedule
+// must all converge to the same topology, with diverging schedules
+// ddmin-shrunk to a minimal move list.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -16,6 +19,8 @@
 #include <vector>
 
 #include "core/workload.h"
+#include "dynamic/spanner.h"
+#include "dynamic_test_util.h"
 #include "engine/engine.h"
 #include "graph/planarity.h"
 #include "io/serialize.h"
@@ -222,6 +227,157 @@ TEST(FuzzSpanner, ShrunkReproReplaysToSameFailure) {
     const auto replay = inject_and_audit(loaded->points, loaded->radius);
     ASSERT_TRUE(replay.has_value());
     EXPECT_FALSE(replay->report.pass) << "repro did not replay to the failure";
+}
+
+// ---- Update-schedule convergence fuzz ---------------------------------
+
+/// One logical mobility step: node (always < the initial node count, so
+/// any schedule subset stays valid) and its absolute destination.
+/// Absolute destinations make the final position a pure last-write-wins
+/// function of the schedule order, independent of how it is batched.
+struct ScheduledMove {
+    NodeId node;
+    geom::Point to;
+};
+
+std::vector<ScheduledMove> make_schedule(const std::vector<geom::Point>& initial,
+                                         double radius, std::uint64_t seed,
+                                         std::size_t count) {
+    rnd::Xoshiro256 rng(seed);
+    std::vector<ScheduledMove> moves;
+    moves.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto v = static_cast<NodeId>(rng.below(initial.size()));
+        moves.push_back({v,
+                         {initial[v].x + rng.uniform(-radius, radius),
+                          initial[v].y + rng.uniform(-radius, radius)}});
+    }
+    return moves;
+}
+
+/// Random interleaving of a schedule that preserves each node's
+/// relative move order, so last-write-wins final positions are
+/// unchanged — any such reordering must converge to the same topology.
+std::vector<ScheduledMove> interleave_schedule(const std::vector<ScheduledMove>& schedule,
+                                               std::uint64_t seed) {
+    std::vector<std::vector<ScheduledMove>> queues;
+    std::vector<std::size_t> heads;
+    for (const auto& mv : schedule) {
+        std::size_t q = 0;
+        while (q < queues.size() && queues[q].front().node != mv.node) ++q;
+        if (q == queues.size()) {
+            queues.emplace_back();
+            heads.push_back(0);
+        }
+        queues[q].push_back(mv);
+    }
+    rnd::Xoshiro256 rng(seed);
+    std::vector<ScheduledMove> out;
+    out.reserve(schedule.size());
+    std::vector<std::size_t> live;
+    for (std::size_t q = 0; q < queues.size(); ++q) live.push_back(q);
+    while (!live.empty()) {
+        const std::size_t pick = rng.below(live.size());
+        const std::size_t q = live[pick];
+        out.push_back(queues[q][heads[q]++]);
+        if (heads[q] == queues[q].size()) {
+            live[pick] = live.back();
+            live.pop_back();
+        }
+    }
+    return out;
+}
+
+/// Contiguous batch splits of a `len`-move schedule (batch sizes summing
+/// to len): singletons, one monolithic batch, and two random batchings.
+/// Deterministic in (len, seed).
+std::vector<std::vector<std::size_t>> make_splits(std::size_t len, std::uint64_t seed) {
+    std::vector<std::vector<std::size_t>> splits;
+    splits.push_back(std::vector<std::size_t>(len, 1));
+    if (len > 1) splits.push_back({len});
+    rnd::Xoshiro256 rng(seed * 48271 + len);
+    for (int k = 0; k < 2; ++k) {
+        std::vector<std::size_t> sizes;
+        std::size_t placed = 0;
+        while (placed < len) {
+            const std::size_t s = std::min<std::size_t>(1 + rng.below(5), len - placed);
+            sizes.push_back(s);
+            placed += s;
+        }
+        splits.push_back(std::move(sizes));
+    }
+    return splits;
+}
+
+/// Replays `schedule` through the incremental patcher in batches of the
+/// given sizes; returns the first structure diverging from a
+/// from-scratch build on the final positions ("" = converged).
+std::string schedule_divergence(const std::vector<geom::Point>& initial, double radius,
+                                const std::vector<ScheduledMove>& schedule,
+                                const std::vector<std::size_t>& split) {
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(protocol::ClusterPolicy::kLowestId));
+    dynamic::DynamicSpanner dyn(engine, initial, radius);
+    std::size_t next = 0;
+    for (const std::size_t size : split) {
+        dynamic::UpdateBatch batch;
+        for (std::size_t i = 0; i < size && next < schedule.size(); ++i, ++next) {
+            batch.moves.push_back({schedule[next].node, schedule[next].to});
+        }
+        dyn.apply(batch);
+    }
+    return test::divergence(dyn, protocol::ClusterPolicy::kLowestId);
+}
+
+TEST(FuzzSpanner, UpdateScheduleBatchSplitsConverge) {
+    // The batching and interleaving of a move schedule are
+    // implementation details: every contiguous split, and every
+    // reordering preserving per-node move order, must land on the
+    // identical topology. A diverging schedule is ddmin-shrunk (over
+    // moves, schedule variants regenerated per candidate length) to a
+    // minimal repro.
+    const double radius = 55.0;
+    // Schedule variants replayed for one move list: (reordered
+    // schedule, batch sizes). Deterministic in (moves, seed).
+    const auto variants = [](const std::vector<ScheduledMove>& moves,
+                             std::uint64_t seed) {
+        std::vector<std::pair<std::vector<ScheduledMove>, std::vector<std::size_t>>>
+            out;
+        for (const auto& split : make_splits(moves.size(), seed)) {
+            out.emplace_back(moves, split);
+        }
+        for (const std::uint64_t shuffle : {1ULL, 2ULL}) {
+            out.emplace_back(interleave_schedule(moves, seed * 31 + shuffle),
+                             std::vector<std::size_t>(moves.size(), 1));
+        }
+        return out;
+    };
+    for (const std::uint64_t seed : {3ULL, 17ULL}) {
+        const auto udg = test::connected_udg(50, 200.0, radius, seed);
+        ASSERT_GT(udg.node_count(), 0u);
+        const auto schedule = make_schedule(udg.points(), radius, seed * 101, 20);
+        for (const auto& [moves, split] : variants(schedule, seed)) {
+            const std::string d = schedule_divergence(udg.points(), radius, moves, split);
+            if (d.empty()) continue;
+            const auto fails = [&](const std::vector<ScheduledMove>& candidate) {
+                for (const auto& [m, s] : variants(candidate, seed)) {
+                    if (!schedule_divergence(udg.points(), radius, m, s).empty()) {
+                        return true;
+                    }
+                }
+                return false;
+            };
+            const auto shrunk = test::shrink_list(schedule, fails);
+            std::string trace;
+            for (const auto& mv : shrunk) {
+                trace += "\n  move " + std::to_string(mv.node) + " -> (" +
+                         std::to_string(mv.to.x) + ", " + std::to_string(mv.to.y) + ")";
+            }
+            ADD_FAILURE() << "schedule variants diverged (seed=" << seed << "): " << d
+                          << "\nshrunk to " << shrunk.size() << " moves:" << trace;
+            break;
+        }
+    }
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "core/backbone.h"
 #include "dynamic/dynamic_cell_grid.h"
+#include "dynamic_test_util.h"
 #include "proximity/udg.h"
 #include "test_util.h"
 #include "verify/audit.h"
@@ -22,48 +23,10 @@ namespace {
 using graph::GeometricGraph;
 using graph::NodeId;
 using protocol::ClusterPolicy;
+using test::divergence;
 
 engine::EngineOptions engine_options(ClusterPolicy policy) {
-    engine::EngineOptions opts;
-    opts.threads = 2;
-    opts.cluster_policy = policy;
-    return opts;
-}
-
-core::Backbone reference_backbone(const GeometricGraph& udg, ClusterPolicy policy) {
-    core::BuildOptions opts;
-    opts.engine = core::Engine::kCentralized;
-    opts.cluster_policy = policy;
-    return core::build_backbone(udg, opts);
-}
-
-/// Component-wise comparison so a divergence names the structure.
-std::string backbone_diff(const core::Backbone& got, const core::Backbone& want) {
-    if (got.cluster.role != want.cluster.role) return "cluster.role";
-    if (got.cluster.dominators_of != want.cluster.dominators_of) {
-        return "cluster.dominators_of";
-    }
-    if (got.cluster.two_hop_dominators_of != want.cluster.two_hop_dominators_of) {
-        return "cluster.two_hop_dominators_of";
-    }
-    if (got.is_connector != want.is_connector) return "is_connector";
-    if (got.in_backbone != want.in_backbone) return "in_backbone";
-    if (!(got.cds == want.cds)) return "cds";
-    if (!(got.cds_prime == want.cds_prime)) return "cds_prime";
-    if (!(got.icds == want.icds)) return "icds";
-    if (!(got.icds_prime == want.icds_prime)) return "icds_prime";
-    if (!(got.ldel_icds == want.ldel_icds)) return "ldel_icds";
-    if (!(got.ldel_icds_prime == want.ldel_icds_prime)) return "ldel_icds_prime";
-    if (got.ldel_triangles != want.ldel_triangles) return "ldel_triangles";
-    return {};
-}
-
-/// "" when the patched state equals a from-scratch build on the same
-/// positions; otherwise the name of the first diverging structure.
-std::string divergence(const DynamicSpanner& dyn, ClusterPolicy policy) {
-    const GeometricGraph udg = proximity::build_udg(dyn.positions(), dyn.radius());
-    if (!(udg == dyn.udg())) return "udg";
-    return backbone_diff(dyn.backbone(), reference_backbone(udg, policy));
+    return test::dynamic_engine_options(policy);
 }
 
 /// Deterministic mixed trace (random-walk moves, periodic joins) over an

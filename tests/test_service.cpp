@@ -1,0 +1,251 @@
+// Update-service soak: N producer threads pour mobility batches into
+// the ingest queue while M reader threads take versioned snapshots.
+// Every snapshot must be an internally consistent topology — its UDG
+// and backbone exactly match a from-scratch build on its own positions
+// (a half-applied batch can never satisfy that) and pass the full
+// Lemma 1-8 audit trail; versions are monotone per reader; the drained
+// final state equals the reference. The single-threaded tests pin the
+// queue, drain, stats, and snapshot-sharing contracts.
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynamic_test_util.h"
+#include "proximity/udg.h"
+#include "service/update_queue.h"
+#include "test_util.h"
+#include "verify/audit.h"
+
+namespace geospanner::service {
+namespace {
+
+using graph::NodeId;
+using protocol::ClusterPolicy;
+
+constexpr double kRadius = 55.0;
+
+/// "" when the snapshot is a topology only whole-batch boundaries could
+/// produce: UDG and backbone equal the from-scratch build on the
+/// snapshot's own positions.
+std::string snapshot_divergence(const Snapshot& snap) {
+    return test::state_divergence(snap.points, snap.radius, snap.udg, snap.backbone,
+                                  ClusterPolicy::kLowestId);
+}
+
+/// Deterministic move-only batch over the first `n` node ids (producers
+/// never join/leave, so ids stay valid under concurrency).
+dynamic::UpdateBatch make_batch(rnd::Xoshiro256& rng, std::size_t n,
+                                const std::vector<geom::Point>& initial,
+                                std::size_t moves) {
+    dynamic::UpdateBatch batch;
+    for (std::size_t i = 0; i < moves; ++i) {
+        const auto v = static_cast<NodeId>(rng.below(n));
+        const geom::Point p = initial[v];
+        batch.moves.push_back(
+            {v, {p.x + rng.uniform(-20.0, 20.0), p.y + rng.uniform(-20.0, 20.0)}});
+    }
+    return batch;
+}
+
+TEST(UpdateQueue, PushPopOrderAndClose) {
+    UpdateQueue<int> queue;
+    EXPECT_EQ(queue.depth(), 0u);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+    EXPECT_TRUE(queue.push(3));
+    EXPECT_EQ(queue.depth(), 3u);
+
+    int out = 0;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 1);
+
+    queue.close();
+    EXPECT_FALSE(queue.push(4));  // Rejected, not queued.
+    // The backlog accepted before close() still drains in order.
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 2);
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 3);
+    EXPECT_FALSE(queue.pop(out));  // Shutdown.
+    queue.close();                 // Idempotent.
+}
+
+TEST(UpdateQueue, BlockedPopWakesOnClose) {
+    UpdateQueue<int> queue;
+    std::atomic<bool> woke{false};
+    std::thread consumer([&] {
+        int out = 0;
+        EXPECT_FALSE(queue.pop(out));
+        woke = true;
+    });
+    queue.close();
+    consumer.join();
+    EXPECT_TRUE(woke);
+}
+
+TEST(SpannerService, DrainedStateMatchesReference) {
+    const auto udg = test::connected_udg(60, 220.0, kRadius, 17);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(ClusterPolicy::kLowestId, 2));
+    SpannerService service(engine, udg.points(), kRadius);
+
+    rnd::Xoshiro256 rng(23);
+    std::size_t updates = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto batch = make_batch(rng, udg.node_count(), udg.points(), 4);
+        updates += batch.moves.size();
+        ASSERT_TRUE(service.enqueue(std::move(batch)));
+    }
+    service.drain();
+
+    const SnapshotHandle snap = service.snapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->version, 10u);
+    EXPECT_EQ(snapshot_divergence(*snap), "");
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.batches_enqueued, 10u);
+    EXPECT_EQ(stats.batches_applied, 10u);
+    EXPECT_EQ(stats.updates_applied, updates);
+    EXPECT_EQ(stats.version, 10u);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_GE(stats.snapshots_published, 1u);
+}
+
+TEST(SpannerService, SnapshotsAreSharedBetweenBatchesAndImmutableAcross) {
+    const auto udg = test::connected_udg(40, 180.0, kRadius, 5);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(ClusterPolicy::kLowestId, 2));
+    SpannerService service(engine, udg.points(), kRadius);
+    service.drain();
+
+    // Back-to-back readers between batches share one snapshot object.
+    const SnapshotHandle a = service.snapshot();
+    const SnapshotHandle b = service.snapshot();
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->version, 0u);
+
+    rnd::Xoshiro256 rng(7);
+    ASSERT_TRUE(service.enqueue(make_batch(rng, udg.node_count(), udg.points(), 3)));
+    service.drain();
+
+    // A new version means a new snapshot; the held one is untouched.
+    const SnapshotHandle c = service.snapshot();
+    EXPECT_NE(c.get(), a.get());
+    EXPECT_EQ(c->version, 1u);
+    EXPECT_EQ(a->version, 0u);
+    EXPECT_EQ(a->points, udg.points());
+    EXPECT_EQ(snapshot_divergence(*a), "");
+    EXPECT_EQ(snapshot_divergence(*c), "");
+}
+
+TEST(SpannerService, StopRejectsFurtherEnqueuesButDrainsBacklog) {
+    const auto udg = test::connected_udg(40, 180.0, kRadius, 29);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(ClusterPolicy::kLowestId, 2));
+    SpannerService service(engine, udg.points(), kRadius);
+
+    rnd::Xoshiro256 rng(11);
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(service.enqueue(make_batch(rng, udg.node_count(), udg.points(), 2)));
+    }
+    service.stop();
+    service.stop();  // Idempotent.
+    EXPECT_FALSE(service.enqueue(make_batch(rng, udg.node_count(), udg.points(), 2)));
+    service.drain();  // Trivially satisfied — everything accepted was applied.
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.batches_applied, 5u);   // Backlog drained before the join.
+    EXPECT_EQ(stats.batches_enqueued, 5u);  // The rejected batch was uncounted.
+    EXPECT_EQ(snapshot_divergence(*service.snapshot()), "");
+}
+
+TEST(SpannerService, ConcurrentProducersAndReadersSoak) {
+    const std::size_t kProducers = 3;
+    const std::size_t kBatchesPerProducer = 6;
+    const std::size_t kReaders = 2;
+
+    const auto udg = test::connected_udg(50, 200.0, kRadius, 43);
+    ASSERT_GT(udg.node_count(), 0u);
+    const std::size_t n = udg.node_count();
+    const std::vector<geom::Point> initial = udg.points();
+
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(ClusterPolicy::kLowestId, 2));
+    SpannerService service(engine, initial, kRadius);
+
+    std::atomic<bool> done{false};
+    std::atomic<std::size_t> accepted{0};
+
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            rnd::Xoshiro256 rng(1000 + p);
+            for (std::size_t i = 0; i < kBatchesPerProducer; ++i) {
+                if (service.enqueue(make_batch(rng, n, initial, 3))) ++accepted;
+            }
+        });
+    }
+
+    // Readers audit every snapshot they take: exact equality with a
+    // from-scratch build on the snapshot's positions (atomicity), full
+    // Lemma 1-8 trail (semantics), monotone versions (ordering).
+    std::vector<std::thread> readers;
+    std::vector<std::string> reader_errors(kReaders);
+    for (std::size_t r = 0; r < kReaders; ++r) {
+        readers.emplace_back([&, r] {
+            std::uint64_t last_version = 0;
+            while (!done.load()) {
+                const SnapshotHandle snap = service.snapshot();
+                if (snap->version < last_version) {
+                    reader_errors[r] = "version went backwards: " +
+                                       std::to_string(snap->version) + " after " +
+                                       std::to_string(last_version);
+                    return;
+                }
+                last_version = snap->version;
+                const std::string d = snapshot_divergence(*snap);
+                if (!d.empty()) {
+                    reader_errors[r] =
+                        "snapshot v" + std::to_string(snap->version) + " diverged: " + d;
+                    return;
+                }
+                verify::AuditOptions audit;
+                audit.radius = snap->radius;
+                const auto trail = verify::audit_backbone(snap->udg, snap->backbone, audit);
+                if (!trail.pass()) {
+                    reader_errors[r] = "snapshot v" + std::to_string(snap->version) +
+                                       " failed audit:\n" + trail.summary();
+                    return;
+                }
+                std::this_thread::yield();
+            }
+        });
+    }
+
+    for (auto& t : producers) t.join();
+    service.drain();
+    done = true;
+    for (auto& t : readers) t.join();
+    for (std::size_t r = 0; r < kReaders; ++r) {
+        EXPECT_EQ(reader_errors[r], "") << "reader " << r;
+    }
+
+    EXPECT_EQ(accepted.load(), kProducers * kBatchesPerProducer);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.batches_applied, accepted.load());
+    EXPECT_EQ(stats.updates_applied, accepted.load() * 3);
+    EXPECT_EQ(snapshot_divergence(*service.snapshot()), "");
+}
+
+}  // namespace
+}  // namespace geospanner::service

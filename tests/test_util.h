@@ -118,26 +118,27 @@ inline std::vector<geom::Point> fuzz_points(FuzzMode mode,
     return {};
 }
 
-/// Greedily shrinks `pts` to a minimal set still satisfying
-/// `fails(points)` (ddmin-style: drop halves, then smaller chunks, then
-/// single points, until nothing more can go). `fails(pts)` must hold on
-/// entry; the result still fails and removing any single point from it
-/// makes the failure disappear.
-template <typename Pred>
-std::vector<geom::Point> shrink_points(std::vector<geom::Point> pts, Pred&& fails) {
-    std::size_t chunk = std::max<std::size_t>(1, pts.size() / 2);
+/// Greedily shrinks `items` to a minimal list still satisfying
+/// `fails(items)` (ddmin-style: drop halves, then smaller chunks, then
+/// single items, until nothing more can go). `fails(items)` must hold on
+/// entry; the result still fails and removing any single item from it
+/// makes the failure disappear. Works on any element type — point sets,
+/// update schedules, batch traces.
+template <typename T, typename Pred>
+std::vector<T> shrink_list(std::vector<T> items, Pred&& fails) {
+    std::size_t chunk = std::max<std::size_t>(1, items.size() / 2);
     while (true) {
         bool removed = false;
-        for (std::size_t start = 0; start + chunk <= pts.size();) {
-            std::vector<geom::Point> candidate;
-            candidate.reserve(pts.size() - chunk);
-            candidate.insert(candidate.end(), pts.begin(),
-                             pts.begin() + static_cast<std::ptrdiff_t>(start));
+        for (std::size_t start = 0; start + chunk <= items.size();) {
+            std::vector<T> candidate;
+            candidate.reserve(items.size() - chunk);
+            candidate.insert(candidate.end(), items.begin(),
+                             items.begin() + static_cast<std::ptrdiff_t>(start));
             candidate.insert(candidate.end(),
-                             pts.begin() + static_cast<std::ptrdiff_t>(start + chunk),
-                             pts.end());
+                             items.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                             items.end());
             if (fails(candidate)) {
-                pts = std::move(candidate);
+                items = std::move(candidate);
                 removed = true;
             } else {
                 start += chunk;
@@ -147,7 +148,13 @@ std::vector<geom::Point> shrink_points(std::vector<geom::Point> pts, Pred&& fail
         if (chunk == 1) break;
         chunk = std::max<std::size_t>(1, chunk / 2);
     }
-    return pts;
+    return items;
+}
+
+/// shrink_list specialized to the point sets the generator modes emit.
+template <typename Pred>
+std::vector<geom::Point> shrink_points(std::vector<geom::Point> pts, Pred&& fails) {
+    return shrink_list(std::move(pts), std::forward<Pred>(fails));
 }
 
 /// Where repro artifacts land: $GS_FUZZ_ARTIFACT_DIR or ./fuzz_repros.

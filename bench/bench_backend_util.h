@@ -1,0 +1,123 @@
+// GS_BACKEND routing for the figure benches.
+//
+// By default the figure benches reproduce the paper's plots with the
+// paper pipeline. Setting GS_BACKEND=<registry name> reruns the same
+// instance sweep under any registered spanner backend instead, printing
+// one generic figure (degree, stretch, messages, build time per sweep
+// point) for the selected backend's spanner. The default output is
+// untouched: with GS_BACKEND unset (or "engine", whose figure-bench
+// semantics the paper tables already cover) each bench runs its
+// original paper reproduction byte-for-byte.
+//
+// Lives in its own header so only the figure benches pull in
+// gs_backends; bench_util.h stays backend-agnostic.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "backends/backend.h"
+#include "bench_util.h"
+#include "graph/metrics.h"
+#include "io/table.h"
+
+namespace geospanner::bench {
+
+/// Value of GS_BACKEND; "engine" (the paper pipeline) when unset.
+inline std::string backend_name() {
+    const char* env = std::getenv("GS_BACKEND");
+    return env == nullptr || *env == '\0' ? std::string{"engine"} : std::string{env};
+}
+
+/// True when GS_BACKEND selects an alternative construction; the figure
+/// benches then route through run_backend_figure.
+inline bool backend_override() { return backend_name() != "engine"; }
+
+/// One figure bench's instance sweep, replayed under a backend.
+struct FigureSweep {
+    std::string figure;                   ///< e.g. "fig8"
+    std::vector<std::size_t> node_counts; ///< outer sweep axis
+    std::vector<double> radii;            ///< inner sweep axis
+    double side = 250.0;
+    std::uint64_t base_seed = 0;
+    std::size_t trials = 3;
+};
+
+/// Replays `sweep` under the GS_BACKEND construction: same connected-UDG
+/// instances (same seeds) as the paper run, one row per sweep point with
+/// the backend spanner's degree, far-pair stretch, message count, and
+/// build time. Returns a process exit code.
+inline int run_backend_figure(const FigureSweep& sweep) {
+    const std::string name = backend_name();
+    auto probe = backends::make_backend(name);
+    if (!probe) {
+        std::cerr << "unknown GS_BACKEND '" << name << "'; registered:";
+        for (const auto& b : backends::registered_backends()) std::cerr << ' ' << b;
+        std::cerr << '\n';
+        return 1;
+    }
+
+    std::cout << "=== " << sweep.figure << " under backend '" << name << "' ("
+              << sweep.trials << " instances/point) ===\n"
+              << "stretch over pairs more than one radius apart\n\n";
+
+    io::Table table({"n", "R", "edges", "deg_max", "deg_avg", "len avg", "len max",
+                     "hop avg", "hop max", "msg_max", "build_ms"});
+    for (const std::size_t n : sweep.node_counts) {
+        for (const double radius : sweep.radii) {
+            MaxAvg edges, deg_max, deg_avg, len_avg, len_max, hop_avg, hop_max,
+                msg_max, build_ms;
+            for (std::size_t trial = 0; trial < sweep.trials; ++trial) {
+                core::WorkloadConfig config;
+                config.node_count = n;
+                config.side = sweep.side;
+                config.radius = radius;
+                config.seed = sweep.base_seed + trial;
+                const auto udg = core::random_connected_udg(config);
+                if (!udg) continue;
+
+                auto backend = backends::make_backend(name);
+                const auto start = std::chrono::steady_clock::now();
+                const auto result = backend->build(*udg, radius);
+                build_ms.add(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+
+                const auto degrees = graph::degree_stats(result.spanner);
+                const auto len = graph::length_stretch(*udg, result.spanner, radius);
+                const auto hop = graph::hop_stretch(*udg, result.spanner, radius);
+                edges.add(static_cast<double>(result.spanner.edge_count()));
+                deg_max.add(static_cast<double>(degrees.max));
+                deg_avg.add(degrees.avg);
+                len_avg.add(len.avg);
+                len_max.add(len.max);
+                hop_avg.add(hop.avg);
+                hop_max.add(hop.max);
+                msg_max.add(static_cast<double>(
+                    core::MessageStats::max_of(result.messages.after_ldel)));
+            }
+            table.begin_row()
+                .cell(n)
+                .cell(radius, 0)
+                .cell(edges.avg())
+                .cell(deg_max.max, 0)
+                .cell(deg_avg.avg())
+                .cell(len_avg.avg())
+                .cell(len_max.max)
+                .cell(hop_avg.avg())
+                .cell(hop_max.max)
+                .cell(msg_max.max, 0)
+                .cell(build_ms.avg(), 1);
+        }
+    }
+    io::maybe_write_csv(sweep.figure + "_backend_" + name, table);
+    std::cout << table.str()
+              << "\n(max columns: max over instances; avg columns: mean over "
+                 "instances)\n";
+    return 0;
+}
+
+}  // namespace geospanner::bench

@@ -1,0 +1,171 @@
+// Head-to-head backend harness: every registered spanner backend built
+// on the same UDG instances, swept over n x density x radius, with
+// per-backend degree / stretch / message / build-time rows appended to
+// $GS_BENCH_JSON (default BENCH_backends.json).
+//
+// Stretch is measured against the UDG from a bounded sample of BFS /
+// Dijkstra sources (kMaxSources), so the bench stays feasible at the
+// n=50k CI smoke rung where all-pairs sweeps are not. GS_BENCH_TRIALS
+// and GS_BENCH_NMAX shrink or extend the sweep as in the other scaling
+// benches.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "backends/backend.h"
+#include "bench_util.h"
+#include "core/workload.h"
+#include "graph/metrics.h"
+#include "graph/shortest_paths.h"
+#include "io/table.h"
+
+using namespace geospanner;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kMaxSources = 32;
+
+/// Stretch vs the UDG from a deterministic stride-spread source sample,
+/// over pairs more than one radius apart (the paper's far-pair
+/// convention, matching the audited claims; nearby pairs trivially
+/// inflate the ratios).
+struct SampledStretch {
+    double hop_avg = 0.0, hop_max = 0.0;
+    double len_avg = 0.0, len_max = 0.0;
+    std::size_t disconnected = 0;
+};
+
+SampledStretch sampled_stretch(const graph::GeometricGraph& udg,
+                               const graph::GeometricGraph& spanner,
+                               double radius) {
+    SampledStretch out;
+    const auto n = static_cast<graph::NodeId>(udg.node_count());
+    if (n == 0) return out;
+    const std::size_t stride = std::max<std::size_t>(1, n / kMaxSources);
+    bench::MaxAvg hop, len;
+    for (graph::NodeId src = 0; src < n; src += stride) {
+        const auto udg_hops = graph::bfs_hops(udg, src);
+        const auto top_hops = graph::bfs_hops(spanner, src);
+        const auto udg_len = graph::dijkstra_lengths(udg, src);
+        const auto top_len = graph::dijkstra_lengths(spanner, src);
+        for (graph::NodeId v = 0; v < n; ++v) {
+            if (v == src || udg_hops[v] == graph::kUnreachableHops) continue;
+            if (geom::distance(udg.point(v), udg.point(src)) <= radius) continue;
+            if (top_hops[v] == graph::kUnreachableHops) {
+                ++out.disconnected;
+                continue;
+            }
+            hop.add(static_cast<double>(top_hops[v]) /
+                    static_cast<double>(udg_hops[v]));
+            if (udg_len[v] > 0.0) len.add(top_len[v] / udg_len[v]);
+        }
+    }
+    out.hop_avg = hop.avg();
+    out.hop_max = hop.max;
+    out.len_avg = len.avg();
+    out.len_max = len.max;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    const std::size_t trials = bench::trials_or(3);
+    const std::size_t nmax = bench::nmax_or(2'000);
+    const bench::JsonSink sink("backends", "BENCH_backends.json");
+
+    const std::vector<std::size_t> node_counts = bench::node_ladder({500, 1'000}, nmax);
+    const std::vector<double> radii{40.0, 60.0};
+    const std::vector<double> target_degrees{12.0, 20.0};  // density axis
+    const auto backends = backends::registered_backends();
+
+    std::cout << "backend head-to-head (" << backends.size()
+              << " backends, nmax: " << nmax << ", " << trials
+              << " trials/config, " << kMaxSources << "-source stretch sample)\n\n";
+
+    io::Table table({"n", "radius", "deg_target", "backend", "build_ms", "edges",
+                     "deg_max", "hop_avg", "hop_max", "len_avg", "len_max", "msg_max"});
+    for (const std::size_t n : node_counts) {
+        for (const double radius : radii) {
+            for (const double target_degree : target_degrees) {
+                // Region side chosen so the expected UDG degree is
+                // ~target_degree: n * pi * r^2 / side^2 = target.
+                const double side = std::sqrt(static_cast<double>(n) *
+                                              3.14159265358979 * radius * radius /
+                                              target_degree);
+                for (std::size_t trial = 0; trial < trials; ++trial) {
+                    core::WorkloadConfig config;
+                    config.node_count = n;
+                    config.side = side;
+                    config.radius = radius;
+                    config.seed = 13'000 + 17 * n + trial;
+                    config.max_attempts = 50;  // bound retry cost at large n
+                    const auto udg = core::random_connected_udg(config);
+                    if (!udg) continue;
+
+                    for (const auto& name : backends) {
+                        auto backend = backends::make_backend(name);
+                        const auto start = Clock::now();
+                        const auto result = backend->build(*udg, radius);
+                        const double build_ms =
+                            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                                      start)
+                                .count();
+                        const auto degrees = graph::degree_stats(result.spanner);
+                        const auto stretch = sampled_stretch(*udg, result.spanner, radius);
+                        const std::size_t msg_max =
+                            core::MessageStats::max_of(result.messages.after_ldel);
+                        const double msg_avg =
+                            core::MessageStats::avg_of(result.messages.after_ldel);
+
+                        if (trial == 0) {
+                            table.begin_row()
+                                .cell(n)
+                                .cell(radius, 0)
+                                .cell(target_degree, 0)
+                                .cell(name)
+                                .cell(build_ms, 1)
+                                .cell(result.spanner.edge_count())
+                                .cell(degrees.max)
+                                .cell(stretch.hop_avg)
+                                .cell(stretch.hop_max)
+                                .cell(stretch.len_avg)
+                                .cell(stretch.len_max)
+                                .cell(msg_max);
+                        }
+                        auto obj = sink.row();
+                        obj.add("backend", name)
+                            .add("n", n)
+                            .add("radius", radius)
+                            .add("target_degree", target_degree)
+                            .add("side", side)
+                            .add("trial", trial)
+                            .add("udg_edges", udg->edge_count())
+                            .add("build_ms", build_ms)
+                            .add("edges", result.spanner.edge_count())
+                            .add("degree_max", degrees.max)
+                            .add("degree_avg", degrees.avg)
+                            .add("hop_stretch_avg", stretch.hop_avg)
+                            .add("hop_stretch_max", stretch.hop_max)
+                            .add("length_stretch_avg", stretch.len_avg)
+                            .add("length_stretch_max", stretch.len_max)
+                            .add("disconnected_sampled_pairs", stretch.disconnected)
+                            .add("messages_max", msg_max)
+                            .add("messages_avg", msg_avg)
+                            .raw("stages", result.stats.json());
+                        sink.emit(obj);
+                    }
+                }
+            }
+        }
+    }
+    std::cout << table.str();
+    io::maybe_write_csv("backends", table);
+    std::cout << "\nJSON rows appended to " << sink.path() << '\n';
+    return 0;
+}

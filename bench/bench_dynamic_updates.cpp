@@ -31,6 +31,8 @@ double now_ms() {
 }  // namespace
 
 int main() {
+    // Opt-in JSON: emits only when GS_BENCH_JSON is set.
+    const bench::JsonSink sink("dynamic_updates");
     const double radius = 60.0;
     const std::size_t patches = bench::trials_or(30);
 
@@ -120,11 +122,9 @@ int main() {
                     .cell(updates_per_sec, 1)
                     .cell(full_ms, 1)
                     .cell(speedup, 1);
-                const auto json_path = bench::json_output_path();
-                if (!json_path.empty()) {
-                    bench::JsonObject obj;
-                    obj.add("bench", "dynamic_updates")
-                        .add("n", n)
+                if (sink.enabled()) {
+                    auto obj = sink.row();
+                    obj.add("n", n)
                         .add("batch", batch_size)
                         .add("step", step)
                         .add("patch_ms_avg", patch_ms.avg())
@@ -142,7 +142,7 @@ int main() {
                         .add("updates_per_sec", updates_per_sec)
                         .add("full_build_ms", full_ms)
                         .add("speedup", speedup);
-                    bench::append_json_line(json_path, obj.str());
+                    sink.emit(obj);
                 }
             }
         }

@@ -50,9 +50,7 @@ std::vector<geom::Point> deployment(std::size_t n, std::uint64_t seed) {
 
 int main() {
     const bool smoke = bench::trials_or(3) <= 2;
-    const std::string json_path =
-        bench::json_output_path().empty() ? "BENCH_engine.json"
-                                          : bench::json_output_path();
+    const bench::JsonSink sink("engine_scaling", "BENCH_engine.json");
     const std::size_t hw = std::thread::hardware_concurrency();
     const std::size_t nmax = bench::nmax_or(smoke ? 50'000 : 200'000);
     const std::vector<std::size_t> node_counts =
@@ -88,9 +86,8 @@ int main() {
                 .cell(speedup, 2)
                 .cell(result.udg.edge_count())
                 .cell(result.backbone.backbone_size());
-            bench::JsonObject obj;
-            obj.add("bench", "engine_scaling")
-                .add("mode", "single")
+            auto obj = sink.row();
+            obj.add("mode", "single")
                 .add("n", n)
                 .add("threads", threads)
                 .add("hardware_threads", hw)
@@ -99,7 +96,7 @@ int main() {
                 .add("udg_edges", result.udg.edge_count())
                 .add("backbone_nodes", result.backbone.backbone_size())
                 .raw("stages", result.stats.json());
-            bench::append_json_line(json_path, obj.str());
+            sink.emit(obj);
         }
     }
     std::cout << single.str() << '\n';
@@ -139,19 +136,18 @@ int main() {
             .cell(threads)
             .cell(ms, 1)
             .cell(per_s, 2);
-        bench::JsonObject obj;
-        obj.add("bench", "engine_scaling")
-            .add("mode", "batch")
+        auto obj = sink.row();
+        obj.add("mode", "batch")
             .add("instances", built)
             .add("n", batch_n)
             .add("threads", threads)
             .add("hardware_threads", hw)
             .add("wall_ms", ms)
             .add("instances_per_s", per_s);
-        bench::append_json_line(json_path, obj.str());
+        sink.emit(obj);
     }
     std::cout << batch.str();
     io::maybe_write_csv("engine_scaling_batch", batch);
-    std::cout << "\nJSON trajectory appended to " << json_path << '\n';
+    std::cout << "\nJSON trajectory appended to " << sink.path() << '\n';
     return 0;
 }

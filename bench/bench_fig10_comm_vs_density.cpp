@@ -8,11 +8,20 @@
 // negotiation cost depends on the bounded ICDS degree, not on n).
 #include <iostream>
 
+#include "bench_backend_util.h"
 #include "bench_util.h"
 
 using namespace geospanner;
 
 int main() {
+    // GS_BACKEND reruns the sweep under an alternative spanner
+    // backend; unset (or "engine") keeps the paper reproduction.
+    if (bench::backend_override()) {
+        return bench::run_backend_figure({"fig10",
+                                          {20, 30, 40, 50, 60, 70, 80, 90, 100},
+                                          {60.0},
+                                          250.0, 10000, bench::trials_or(20)});
+    }
     const double side = 250.0;
     const double radius = 60.0;
     const std::size_t trials = bench::trials_or(20);

@@ -5,6 +5,7 @@
 // are independent of the radius too.
 #include <iostream>
 
+#include "bench_backend_util.h"
 #include "bench_util.h"
 #include "engine/thread_pool.h"
 #include "graph/metrics.h"
@@ -12,6 +13,14 @@
 using namespace geospanner;
 
 int main() {
+    // GS_BACKEND reruns the sweep under an alternative spanner
+    // backend; unset (or "engine") keeps the paper reproduction.
+    if (bench::backend_override()) {
+        return bench::run_backend_figure({"fig11",
+                                          {500},
+                                          {20.0, 30.0, 40.0, 50.0, 60.0},
+                                          250.0, 11000, bench::trials_or(3)});
+    }
     engine::ThreadPool pool;
     const double side = 250.0;
     const std::size_t n = 500;

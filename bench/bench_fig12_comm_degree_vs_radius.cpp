@@ -7,12 +7,21 @@
 // stays bounded; backbone degrees stay flat.
 #include <iostream>
 
+#include "bench_backend_util.h"
 #include "bench_util.h"
 #include "graph/metrics.h"
 
 using namespace geospanner;
 
 int main() {
+    // GS_BACKEND reruns the sweep under an alternative spanner
+    // backend; unset (or "engine") keeps the paper reproduction.
+    if (bench::backend_override()) {
+        return bench::run_backend_figure({"fig12",
+                                          {500},
+                                          {20.0, 30.0, 40.0, 50.0, 60.0},
+                                          250.0, 12000, bench::trials_or(3)});
+    }
     const double side = 250.0;
     const std::size_t n = 500;
     const std::size_t trials = bench::trials_or(3);

@@ -6,12 +6,21 @@
 // (which include dominatee links) track the UDG's max degree.
 #include <iostream>
 
+#include "bench_backend_util.h"
 #include "bench_util.h"
 #include "graph/metrics.h"
 
 using namespace geospanner;
 
 int main() {
+    // GS_BACKEND reruns the sweep under an alternative spanner
+    // backend; unset (or "engine") keeps the paper reproduction.
+    if (bench::backend_override()) {
+        return bench::run_backend_figure({"fig8",
+                                          {20, 30, 40, 50, 60, 70, 80, 90, 100},
+                                          {60.0},
+                                          250.0, 8000, bench::trials_or(20)});
+    }
     const double side = 250.0;
     const double radius = 60.0;
     const std::size_t trials = bench::trials_or(20);

@@ -6,6 +6,7 @@
 // grow with density (that is the spanner property).
 #include <iostream>
 
+#include "bench_backend_util.h"
 #include "bench_util.h"
 #include "engine/thread_pool.h"
 #include "graph/metrics.h"
@@ -13,6 +14,14 @@
 using namespace geospanner;
 
 int main() {
+    // GS_BACKEND reruns the sweep under an alternative spanner
+    // backend; unset (or "engine") keeps the paper reproduction.
+    if (bench::backend_override()) {
+        return bench::run_backend_figure({"fig9",
+                                          {20, 30, 40, 50, 60, 70, 80, 90, 100},
+                                          {60.0},
+                                          250.0, 9000, bench::trials_or(20)});
+    }
     engine::ThreadPool pool;
     const double side = 250.0;
     const double radius = 60.0;

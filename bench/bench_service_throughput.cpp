@@ -34,6 +34,8 @@ double now_ms() {
 }  // namespace
 
 int main() {
+    // Opt-in JSON: emits only when GS_BENCH_JSON is set.
+    const bench::JsonSink sink("service_throughput");
     const double radius = 60.0;
     const std::size_t total_batches = bench::trials_or(48);
     const std::size_t batch_size = 32;
@@ -127,11 +129,9 @@ int main() {
                 .cell(stats.component_fallbacks)
                 .cell(snapshots_taken)
                 .cell(snap_ms.avg(), 3);
-            const auto json_path = bench::json_output_path();
-            if (!json_path.empty()) {
-                bench::JsonObject obj;
-                obj.add("bench", "service_throughput")
-                    .add("n", n)
+            if (sink.enabled()) {
+                auto obj = sink.row();
+                obj.add("n", n)
                     .add("producers", producers)
                     .add("batches", stats.batches_applied)
                     .add("batch_size", batch_size)
@@ -144,7 +144,7 @@ int main() {
                     .add("snapshots", snapshots_taken)
                     .add("snapshot_ms_avg", snap_ms.avg())
                     .add("snapshot_ms_max", snap_ms.max);
-                bench::append_json_line(json_path, obj.str());
+                sink.emit(obj);
             }
         }
     }

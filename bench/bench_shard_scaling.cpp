@@ -56,9 +56,7 @@ std::vector<geom::Point> deployment(std::size_t n, std::uint64_t seed) {
 
 int main() {
     const bool smoke = bench::trials_or(3) <= 2;
-    const std::string json_path =
-        bench::json_output_path().empty() ? "BENCH_shard.json"
-                                          : bench::json_output_path();
+    const bench::JsonSink sink("shard_scaling", "BENCH_shard.json");
     const std::size_t hw = std::thread::hardware_concurrency();
     const std::size_t nmax = bench::nmax_or(1'000'000);
     const std::vector<std::size_t> node_counts =
@@ -96,9 +94,8 @@ int main() {
                 .cell(1.0, 2)
                 .cell(mono_edges)
                 .cell(mono_backbone);
-            bench::JsonObject obj;
-            obj.add("bench", "shard_scaling")
-                .add("engine", "monolithic")
+            auto obj = sink.row();
+            obj.add("engine", "monolithic")
                 .add("n", n)
                 .add("threads", threads)
                 .add("hardware_threads", hw)
@@ -106,7 +103,7 @@ int main() {
                 .add("udg_edges", mono_edges)
                 .add("backbone_nodes", mono_backbone)
                 .raw("stages", result.stats.json());
-            bench::append_json_line(json_path, obj.str());
+            sink.emit(obj);
         }
 
         // Sharded sweeps against those baselines.
@@ -151,9 +148,8 @@ int main() {
                     .cell(same_t, 2)
                     .cell(result.udg.edge_count())
                     .cell(result.backbone.backbone_size());
-                bench::JsonObject obj;
-                obj.add("bench", "shard_scaling")
-                    .add("engine", "sharded")
+                auto obj = sink.row();
+                obj.add("engine", "sharded")
                     .add("n", n)
                     .add("tiles", tiles)
                     .add("threads", threads)
@@ -168,12 +164,12 @@ int main() {
                     .add("shard_wall_ms_max", shard_wall.max)
                     .add("shard_wall_ms_avg", shard_wall.avg())
                     .raw("stages", result.stats.json());
-                bench::append_json_line(json_path, obj.str());
+                sink.emit(obj);
             }
         }
     }
     std::cout << table.str();
     io::maybe_write_csv("shard_scaling", table);
-    std::cout << "\nJSON trajectory appended to " << json_path << '\n';
+    std::cout << "\nJSON trajectory appended to " << sink.path() << '\n';
     return 0;
 }

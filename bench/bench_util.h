@@ -118,6 +118,41 @@ inline std::string json_output_path() {
     return env == nullptr ? std::string{} : std::string{env};
 }
 
+/// Shared JSON-lines emitter: one sink per bench binary, stamping every
+/// row with the bench name and resolving the output path once.
+/// GS_BENCH_JSON overrides `default_path`; a bench constructed with an
+/// empty default emits only when the env var is set (opt-in benches keep
+/// their old semantics). Replaces the per-bench copies of the
+/// path-resolution + "bench" key + append_json_line boilerplate.
+class JsonSink {
+  public:
+    JsonSink(std::string bench_name, std::string default_path = {})
+        : bench_(std::move(bench_name)) {
+        const std::string env = json_output_path();
+        path_ = env.empty() ? std::move(default_path) : env;
+    }
+
+    [[nodiscard]] bool enabled() const { return !path_.empty(); }
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+    /// A fresh row pre-stamped with {"bench": <name>}.
+    [[nodiscard]] JsonObject row() const {
+        JsonObject obj;
+        obj.add("bench", bench_);
+        return obj;
+    }
+
+    /// Appends `obj` as one JSON line; no-op (returns false) when the
+    /// sink is disabled.
+    bool emit(const JsonObject& obj) const {
+        return enabled() && append_json_line(path_, obj.str());
+    }
+
+  private:
+    std::string bench_;
+    std::string path_;
+};
+
 /// Running max / mean accumulator for per-instance statistics.
 struct MaxAvg {
     double max = 0.0;

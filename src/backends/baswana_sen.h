@@ -1,0 +1,38 @@
+// Baswana–Sen randomized (2k−1)-spanner — the non-geometric baseline.
+//
+// The classic expected-O(km)-time clustering spanner: k−1 rounds of
+// sampled cluster promotion, each vertex joining its lightest sampled
+// neighbor cluster (adding the connecting edge) or, if none is sampled,
+// adding its lightest edge toward every neighboring cluster and retiring
+// from the residual graph; a final vertex–cluster joining phase adds the
+// lightest remaining edge per adjacent cluster. Edge weights are
+// Euclidean lengths with a (length, id, id) total order, so the lightest
+// choices are unique and the build is deterministic per seed.
+//
+// Unlike the geometric constructions, nothing here uses planarity or
+// bounded degree — the guarantee is purely metric: every UDG edge (u, v)
+// is spanned by a path of weight at most (2k−1)·|uv|, which bounds the
+// length stretch of every pair by 2k−1 and preserves connectivity. Those
+// two claims (plus the subgraph property) are exactly what the backend
+// advertises; planarity and degree are deliberately unclaimed.
+#pragma once
+
+#include "backends/backend.h"
+
+namespace geospanner::backends {
+
+class BaswanaSenBackend final : public SpannerBackend {
+  public:
+    explicit BaswanaSenBackend(const BackendOptions& options);
+
+    [[nodiscard]] std::string name() const override { return "baswana_sen"; }
+    [[nodiscard]] verify::BackendClaims claims() const override;
+    [[nodiscard]] BackendResult build(const graph::GeometricGraph& udg,
+                                      double radius) override;
+
+  private:
+    std::size_t k_;
+    std::uint64_t seed_;
+};
+
+}  // namespace geospanner::backends

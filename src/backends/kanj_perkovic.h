@@ -1,0 +1,51 @@
+// Bounded-degree plane spanner of the UDG, after Kanj–Perković
+// (arXiv:0802.2864).
+//
+// Kanj and Perković construct a plane, bounded-degree (1+ε)-spanner of
+// the UDG locally: compute the localized Delaunay graph, then bound the
+// degree with a cone-based (Yao-style) edge selection whose dropped
+// edges are covered by canonical paths along the triangulation. This
+// implementation follows that shape with the repo's machinery:
+//
+//   1. PLDel(UDG): Gabriel edges plus the edges of the Algorithm-3
+//      planarized 1-localized Delaunay triangles over the full node set
+//      (the same assembly the paper pipeline applies to the ICDS) —
+//      plane, connected, a UDG subgraph;
+//   2. mutual Yao step with `cones` sectors per node: an edge survives
+//      iff BOTH endpoints keep it as the shortest edge in one of their
+//      cones (mutuality caps the surviving degree at `cones`);
+//   3. connectivity repair standing in for the paper's canonical paths:
+//      dropped PLDel edges are rescanned shortest-first and re-added
+//      whenever they join two components. Repair edges come from PLDel,
+//      so planarity is preserved; they can push a node past `cones`,
+//      which the claimed degree cap absorbs with a small slack.
+//
+// The claimed stretch constant is an empirical pin over the test
+// workloads (the canonical-path bookkeeping that gives the paper its
+// tight 1+ε is not reproduced here); planarity, connectivity, the
+// subgraph property, and the degree cap hold by construction up to the
+// documented repair slack.
+#pragma once
+
+#include "backends/backend.h"
+
+namespace geospanner::backends {
+
+class KanjPerkovicBackend final : public SpannerBackend {
+  public:
+    explicit KanjPerkovicBackend(const BackendOptions& options);
+
+    [[nodiscard]] std::string name() const override { return "kanj_perkovic"; }
+    [[nodiscard]] verify::BackendClaims claims() const override;
+    [[nodiscard]] BackendResult build(const graph::GeometricGraph& udg,
+                                      double radius) override;
+
+    /// Degree headroom the claim grants the connectivity-repair edges on
+    /// top of the `cones` cap of the mutual Yao step.
+    static constexpr std::size_t kRepairDegreeSlack = 6;
+
+  private:
+    int cones_;
+};
+
+}  // namespace geospanner::backends

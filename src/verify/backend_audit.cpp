@@ -1,0 +1,236 @@
+#include "verify/backend_audit.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/planarity.h"
+#include "graph/shortest_paths.h"
+#include "graph/union_find.h"
+
+namespace geospanner::verify {
+
+using graph::GeometricGraph;
+using graph::NodeId;
+
+namespace {
+
+void add_witness(AuditReport& report, const AuditOptions& options, Witness w) {
+    report.pass = false;
+    if (report.witnesses.size() < options.max_witnesses) {
+        report.witnesses.push_back(std::move(w));
+    }
+}
+
+Witness pair_witness(NodeId u, NodeId v, double measured, double bound,
+                     std::string detail) {
+    Witness w;
+    w.nodes.push_back(u);
+    w.nodes.push_back(v);
+    w.measured = measured;
+    w.bound = bound;
+    w.detail = std::move(detail);
+    return w;
+}
+
+double effective_radius(const GeometricGraph& udg, const AuditOptions& options) {
+    if (options.radius > 0.0) return options.radius;
+    double rmax = 0.0;
+    for (const auto& [u, v] : udg.edges()) {
+        rmax = std::max(rmax, udg.edge_length(u, v));
+    }
+    return rmax;
+}
+
+AuditReport make_report(std::string check, std::string claim) {
+    AuditReport report;
+    report.check = std::move(check);
+    report.lemma = std::move(claim);
+    return report;
+}
+
+AuditReport check_subgraph(const GeometricGraph& udg, const GeometricGraph& spanner,
+                           const AuditOptions& options) {
+    AuditReport report = make_report("backend_subgraph", "claim: spanner subset of UDG");
+    if (spanner.node_count() != udg.node_count()) {
+        Witness w;
+        w.measured = static_cast<double>(spanner.node_count());
+        w.bound = static_cast<double>(udg.node_count());
+        w.detail = "spanner has " + std::to_string(spanner.node_count()) +
+                   " nodes, UDG has " + std::to_string(udg.node_count());
+        add_witness(report, options, std::move(w));
+        return report;
+    }
+    for (NodeId v = 0; v < spanner.node_count(); ++v) {
+        if (spanner.point(v) != udg.point(v)) {
+            Witness w;
+            w.nodes.push_back(v);
+            w.detail = "node " + std::to_string(v) + " sits at a different point "
+                       "in the spanner than in the UDG";
+            add_witness(report, options, std::move(w));
+        }
+    }
+    for (const auto& [u, v] : spanner.edges()) {
+        if (!udg.has_edge(u, v)) {
+            add_witness(report, options,
+                        pair_witness(u, v, spanner.edge_length(u, v), 0.0,
+                                     "spanner edge " + std::to_string(u) + "-" +
+                                         std::to_string(v) + " is not a UDG edge"));
+        }
+    }
+    return report;
+}
+
+AuditReport check_connectivity(const GeometricGraph& udg, const GeometricGraph& spanner,
+                               const AuditOptions& options) {
+    AuditReport report =
+        make_report("backend_connectivity", "claim: UDG connectivity preserved");
+    graph::UnionFind udg_uf(udg.node_count());
+    for (const auto& [u, v] : udg.edges()) udg_uf.unite(u, v);
+    graph::UnionFind sp_uf(spanner.node_count());
+    for (const auto& [u, v] : spanner.edges()) sp_uf.unite(u, v);
+    // Representative node per UDG component; every other member must
+    // share its spanner component.
+    std::vector<NodeId> rep(udg.node_count(), graph::kInvalidNode);
+    for (NodeId v = 0; v < udg.node_count(); ++v) {
+        NodeId& r = rep[udg_uf.find(v)];
+        if (r == graph::kInvalidNode) {
+            r = v;
+            continue;
+        }
+        if (sp_uf.find(v) != sp_uf.find(r)) {
+            add_witness(report, options,
+                        pair_witness(r, v, 0.0, 0.0,
+                                     "spanner disconnects nodes " + std::to_string(r) +
+                                         " and " + std::to_string(v) +
+                                         ", connected in the UDG"));
+        }
+    }
+    return report;
+}
+
+AuditReport check_planarity(const GeometricGraph& spanner, const AuditOptions& options) {
+    AuditReport report = make_report("backend_planarity", "claim: plane embedding");
+    const auto crossings =
+        graph::crossing_edge_pairs(spanner, options.max_witnesses);
+    for (const auto& [e1, e2] : crossings) {
+        Witness w;
+        w.edges.push_back(e1);
+        w.edges.push_back(e2);
+        w.detail = "edges " + std::to_string(e1.first) + "-" + std::to_string(e1.second) +
+                   " and " + std::to_string(e2.first) + "-" + std::to_string(e2.second) +
+                   " properly cross";
+        add_witness(report, options, std::move(w));
+    }
+    return report;
+}
+
+AuditReport check_degree(const GeometricGraph& spanner, std::size_t cap,
+                         const AuditOptions& options) {
+    AuditReport report = make_report(
+        "backend_degree", "claim: max degree <= " + std::to_string(cap));
+    for (NodeId v = 0; v < spanner.node_count(); ++v) {
+        if (spanner.degree(v) > cap) {
+            Witness w;
+            w.nodes.push_back(v);
+            w.measured = static_cast<double>(spanner.degree(v));
+            w.bound = static_cast<double>(cap);
+            w.detail = "degree of node " + std::to_string(v) + " is " +
+                       std::to_string(spanner.degree(v)) + " > " + std::to_string(cap);
+            add_witness(report, options, std::move(w));
+        }
+    }
+    return report;
+}
+
+AuditReport check_hop_stretch(const GeometricGraph& udg, const GeometricGraph& spanner,
+                              const BackendClaims& claims, const AuditOptions& options) {
+    AuditReport report = make_report("backend_hop_stretch",
+                                     "claim: hops <= " +
+                                         std::to_string(claims.hop_stretch_factor) +
+                                         "h + " +
+                                         std::to_string(claims.hop_stretch_offset));
+    const auto n = static_cast<NodeId>(udg.node_count());
+    for (NodeId s = 0; s < n; ++s) {
+        const auto base = graph::bfs_hops(udg, s);
+        const auto topo = graph::bfs_hops(spanner, s);
+        for (NodeId t = s + 1; t < n; ++t) {
+            if (base[t] == graph::kUnreachableHops) continue;
+            const double bound =
+                claims.hop_stretch_factor * base[t] + claims.hop_stretch_offset;
+            if (topo[t] == graph::kUnreachableHops ||
+                static_cast<double>(topo[t]) > bound) {
+                const double measured = topo[t] == graph::kUnreachableHops
+                                            ? std::numeric_limits<double>::infinity()
+                                            : static_cast<double>(topo[t]);
+                add_witness(report, options,
+                            pair_witness(s, t, measured, bound,
+                                         "hop distance " + std::to_string(s) + "->" +
+                                             std::to_string(t) +
+                                             " exceeds the claimed bound"));
+            }
+        }
+    }
+    return report;
+}
+
+AuditReport check_length_stretch(const GeometricGraph& udg, const GeometricGraph& spanner,
+                                 const BackendClaims& claims,
+                                 const AuditOptions& options) {
+    AuditReport report = make_report(
+        "backend_length_stretch",
+        "claim: far-pair length stretch <= " + std::to_string(claims.max_length_stretch));
+    const auto n = static_cast<NodeId>(udg.node_count());
+    const double radius = effective_radius(udg, options);
+    for (NodeId s = 0; s < n; ++s) {
+        const auto base = graph::dijkstra_lengths(udg, s);
+        const auto topo = graph::dijkstra_lengths(spanner, s);
+        for (NodeId t = s + 1; t < n; ++t) {
+            if (base[t] == graph::kUnreachableLength || base[t] <= 0.0) continue;
+            if (geom::distance(udg.point(s), udg.point(t)) <= radius) continue;
+            if (topo[t] > claims.max_length_stretch * base[t]) {
+                const double measured = topo[t] == graph::kUnreachableLength
+                                            ? std::numeric_limits<double>::infinity()
+                                            : topo[t] / base[t];
+                add_witness(report, options,
+                            pair_witness(s, t, measured, claims.max_length_stretch,
+                                         "length stretch of pair " + std::to_string(s) +
+                                             "," + std::to_string(t) +
+                                             " exceeds the claimed bound"));
+            }
+        }
+    }
+    return report;
+}
+
+}  // namespace
+
+StageAudit audit_backend(const GeometricGraph& udg, const GeometricGraph& spanner,
+                         const BackendClaims& claims, const AuditOptions& options) {
+    StageAudit stage;
+    stage.stage = "backend";
+    if (claims.subgraph_of_udg) {
+        stage.reports.push_back(check_subgraph(udg, spanner, options));
+        // The remaining checks index both graphs with shared node ids;
+        // a node-count mismatch would make them UB, so stop here.
+        if (spanner.node_count() != udg.node_count()) return stage;
+    }
+    if (claims.connected) {
+        stage.reports.push_back(check_connectivity(udg, spanner, options));
+    }
+    if (claims.plane) {
+        stage.reports.push_back(check_planarity(spanner, options));
+    }
+    if (claims.max_degree > 0) {
+        stage.reports.push_back(check_degree(spanner, claims.max_degree, options));
+    }
+    if (claims.hop_stretch_factor > 0.0) {
+        stage.reports.push_back(check_hop_stretch(udg, spanner, claims, options));
+    }
+    if (claims.max_length_stretch > 0.0) {
+        stage.reports.push_back(check_length_stretch(udg, spanner, claims, options));
+    }
+    return stage;
+}
+
+}  // namespace geospanner::verify

@@ -5,6 +5,7 @@
 // pruned (inclusion-minimal) counterpart, we knock out every single
 // backbone node in turn and count how often the surviving backbone
 // still spans the surviving dominators.
+#include <array>
 #include <iostream>
 
 #include "bench_util.h"
@@ -54,11 +55,18 @@ int main() {
     std::cout << "=== Ablation: connector redundancy vs fault tolerance (n=" << n
               << ", R=" << radius << ", " << trials << " instances) ===\n\n";
 
+    // Opt-in JSON: emits only when GS_BENCH_JSON is set.
+    const bench::JsonSink sink("ablation_robustness");
+
     io::Table table({"backbone", "size avg", "edges avg", "1-failure survival %",
                      "cut vertices avg"});
-    bench::MaxAvg full_size, full_edges, full_survival, full_cuts;
-    bench::MaxAvg alz_size, alz_edges, alz_survival, alz_cuts;
-    bench::MaxAvg pruned_size, pruned_edges, pruned_survival, pruned_cuts;
+    struct SchemeStats {
+        const char* name;
+        bench::MaxAvg size, edges, survival, cuts;
+    };
+    std::array<SchemeStats, 3> schemes{{{"elected (Algorithm 1)"},
+                                        {"Alzoubi single-path"},
+                                        {"pruned minimal"}}};
 
     for (std::size_t trial = 0; trial < trials; ++trial) {
         const auto instance = bench::make_instance(n, side, radius, 3000 + trial,
@@ -86,39 +94,36 @@ int main() {
             }
             return static_cast<double>(graph::articulation_count_within(cds, members));
         };
-        full_size.add(size_of(full));
-        full_edges.add(static_cast<double>(full.cds_edges.size()));
-        full_survival.add(100.0 * single_failure_survival(udg, cluster, full));
-        full_cuts.add(cuts_of(full));
-        alz_size.add(size_of(alzoubi));
-        alz_edges.add(static_cast<double>(alzoubi.cds_edges.size()));
-        alz_survival.add(100.0 * single_failure_survival(udg, cluster, alzoubi));
-        alz_cuts.add(cuts_of(alzoubi));
-        pruned_size.add(size_of(pruned));
-        pruned_edges.add(static_cast<double>(pruned.cds_edges.size()));
-        pruned_survival.add(100.0 * single_failure_survival(udg, cluster, pruned));
-        pruned_cuts.add(cuts_of(pruned));
+        const std::array<const protocol::ConnectorState*, 3> states{&full, &alzoubi,
+                                                                     &pruned};
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            schemes[i].size.add(size_of(*states[i]));
+            schemes[i].edges.add(static_cast<double>(states[i]->cds_edges.size()));
+            schemes[i].survival.add(
+                100.0 * single_failure_survival(udg, cluster, *states[i]));
+            schemes[i].cuts.add(cuts_of(*states[i]));
+        }
     }
 
-    table.begin_row()
-        .cell(std::string("elected (Algorithm 1)"))
-        .cell(full_size.avg())
-        .cell(full_edges.avg())
-        .cell(full_survival.avg(), 1)
-        .cell(full_cuts.avg(), 1);
-    table.begin_row()
-        .cell(std::string("Alzoubi single-path"))
-        .cell(alz_size.avg())
-        .cell(alz_edges.avg())
-        .cell(alz_survival.avg(), 1)
-        .cell(alz_cuts.avg(), 1);
-    table.begin_row()
-        .cell(std::string("pruned minimal"))
-        .cell(pruned_size.avg())
-        .cell(pruned_edges.avg())
-        .cell(pruned_survival.avg(), 1)
-        .cell(pruned_cuts.avg(), 1);
-    io::maybe_write_csv("ablation_robustness", table);
+    for (const SchemeStats& s : schemes) {
+        table.begin_row()
+            .cell(std::string(s.name))
+            .cell(s.size.avg())
+            .cell(s.edges.avg())
+            .cell(s.survival.avg(), 1)
+            .cell(s.cuts.avg(), 1);
+        auto obj = sink.row();
+        obj.add("backbone", s.name)
+            .add("nodes", n)
+            .add("radius", radius)
+            .add("trials", trials)
+            .add("size_avg", s.size.avg())
+            .add("edges_avg", s.edges.avg())
+            .add("survival_pct_avg", s.survival.avg())
+            .add("cut_vertices_avg", s.cuts.avg())
+            .add("cut_vertices_max", s.cuts.max);
+        sink.emit(obj);
+    }
     std::cout << table.str()
               << "\nboth connector schemes cover every nearby dominator pair and so\n"
                  "retain path diversity (one path per ordered pair still overlaps\n"

@@ -1,0 +1,202 @@
+// Chaos resilience: what fault injection costs the maintained spanner.
+//
+// Seeded fault::ChaosSchedule streams (crashes, regional outages,
+// join/leave churn, mobility) replay through fault::SelfHealer into the
+// incremental patcher; per-batch apply times separate the crash-repair
+// batches (SelfHealer keeps them pure, so their apply time IS the
+// repair latency of re-electing dominators/connectors around the
+// failure) from ordinary churn. After each run the surviving topology
+// is exercised with netsim store-and-forward traffic over the routing
+// substrate (LDel(ICDS) + dominatee links) with the crashed radios
+// flagged dead, measuring two delivery rates:
+//   * all traffic — packets to/from corpses drop at injection, the
+//     gross service level a real deployment observes;
+//   * survivor traffic only — how well the healed backbone serves the
+//     nodes that are still alive (partition of the survivor set is the
+//     only legitimate loss).
+// Swept over crash rate (fixed churn) and churn rate (fixed crashes).
+// Every row appends to $GS_BENCH_JSON (default BENCH_chaos.json).
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/workload.h"
+#include "dynamic/spanner.h"
+#include "engine/engine.h"
+#include "fault/chaos.h"
+#include "fault/healer.h"
+#include "graph/shortest_paths.h"
+#include "io/table.h"
+#include "netsim/simulator.h"
+
+using namespace geospanner;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+    bench::MaxAvg repair_ms;     ///< per crash-repair batch
+    bench::MaxAvg churn_ms;      ///< per churn/leave batch
+    std::size_t crashes = 0;     ///< nodes lost (crashes + outage victims)
+    std::size_t batches = 0;
+    std::size_t live = 0;
+    std::size_t delivered_all = 0;
+    std::size_t injected_all = 0;
+    std::size_t delivered_live = 0;
+    std::size_t injected_live = 0;
+};
+
+RunResult run_chaos(const fault::ChaosSchedule& schedule, std::uint64_t traffic_seed) {
+    engine::EngineOptions eopts;
+    eopts.threads = 2;
+    engine::SpannerEngine engine(eopts);
+    dynamic::DynamicSpanner dyn(engine, schedule.initial, schedule.radius);
+    fault::SelfHealer healer(schedule);
+
+    RunResult result;
+    for (const auto& translated : healer.translate(schedule.events)) {
+        const auto t0 = Clock::now();
+        dyn.apply(translated.batch);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+        (translated.repair() ? result.repair_ms : result.churn_ms).add(ms);
+        result.crashes += translated.crash_count;
+        ++result.batches;
+    }
+    result.live = healer.world().live_count();
+
+    // Traffic over the healed routing substrate, corpses flagged dead.
+    const auto& world = healer.world();
+    const graph::GeometricGraph& substrate = dyn.backbone().ldel_icds_prime;
+    const netsim::RouteFn route = [&substrate](graph::NodeId s, graph::NodeId t) {
+        return graph::shortest_hop_path(substrate, s, t);
+    };
+    netsim::Config config;
+    config.dead = world.dead;
+    const std::size_t n = dyn.node_count();
+    const auto traffic = netsim::uniform_traffic(n, 400, 4, traffic_seed);
+    const netsim::Stats all = netsim::run_simulation(n, route, traffic, config);
+    result.injected_all = all.injected;
+    result.delivered_all = all.delivered;
+
+    std::vector<netsim::Injection> survivors;
+    for (const auto& inj : traffic) {
+        if (!world.dead[inj.src] && !world.dead[inj.dst]) survivors.push_back(inj);
+    }
+    const netsim::Stats live = netsim::run_simulation(n, route, survivors, config);
+    result.injected_live = live.injected;
+    result.delivered_live = live.delivered;
+    return result;
+}
+
+double pct(std::size_t num, std::size_t den) {
+    return den == 0 ? 100.0 : 100.0 * static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+int main() {
+    const std::size_t n = 150;
+    const double side = 320.0;
+    const double radius = 60.0;
+    const std::size_t trials = bench::trials_or(3);
+    const std::size_t steps = 30;
+
+    const bench::JsonSink sink("chaos_resilience", "BENCH_chaos.json");
+
+    std::cout << "=== Chaos resilience: delivery + repair latency vs fault rate (n="
+              << n << ", R=" << radius << ", " << steps << " steps, " << trials
+              << " trials) ===\n\n";
+    io::Table table({"sweep", "rate", "crashed avg", "repair ms avg", "repair ms max",
+                     "delivery % all", "delivery % live"});
+
+    struct SweepPoint {
+        const char* sweep;
+        double crash_rate;
+        double move_rate;
+        double rate;  ///< the swept value, for the row
+    };
+    std::vector<SweepPoint> points;
+    for (const double crash : {0.0, 0.5, 1.0, 2.0}) {
+        points.push_back({"crash", crash, 2.0, crash});
+    }
+    for (const double churn : {0.5, 4.0, 8.0}) {
+        points.push_back({"churn", 0.5, churn, churn});
+    }
+
+    for (const SweepPoint& point : points) {
+        bench::MaxAvg crashed, repair_avg, repair_max, churn_avg;
+        bench::MaxAvg delivery_all, delivery_live, live_nodes, batches;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            core::WorkloadConfig config;
+            config.node_count = n;
+            config.side = side;
+            config.radius = radius;
+            config.seed = 4000 + trial;
+            const auto udg = core::random_connected_udg(config);
+            if (!udg) continue;
+
+            fault::ChaosConfig chaos;
+            chaos.steps = steps;
+            chaos.move_rate = point.move_rate;
+            chaos.crash_rate = point.crash_rate;
+            chaos.join_rate = 0.3;
+            chaos.leave_rate = 0.15;
+            chaos.outage_rate = point.crash_rate > 0.0 ? 0.05 : 0.0;
+            chaos.side = side;
+            const fault::ChaosSchedule schedule = fault::generate_chaos(
+                udg->points(), radius, chaos, 9000 + trial * 7);
+
+            const RunResult run = run_chaos(schedule, 500 + trial);
+            crashed.add(static_cast<double>(run.crashes));
+            if (run.repair_ms.count > 0) {
+                repair_avg.add(run.repair_ms.avg());
+                repair_max.add(run.repair_ms.max);
+            }
+            if (run.churn_ms.count > 0) churn_avg.add(run.churn_ms.avg());
+            delivery_all.add(pct(run.delivered_all, run.injected_all));
+            delivery_live.add(pct(run.delivered_live, run.injected_live));
+            live_nodes.add(static_cast<double>(run.live));
+            batches.add(static_cast<double>(run.batches));
+        }
+
+        table.begin_row()
+            .cell(std::string(point.sweep))
+            .cell(point.rate, 1)
+            .cell(crashed.avg(), 1)
+            .cell(repair_avg.avg(), 2)
+            .cell(repair_max.max, 2)
+            .cell(delivery_all.avg(), 1)
+            .cell(delivery_live.avg(), 1);
+
+        auto obj = sink.row();
+        obj.add("sweep", point.sweep)
+            .add("rate", point.rate)
+            .add("crash_rate", point.crash_rate)
+            .add("move_rate", point.move_rate)
+            .add("nodes", n)
+            .add("steps", steps)
+            .add("trials", trials)
+            .add("crashed_avg", crashed.avg())
+            .add("live_avg", live_nodes.avg())
+            .add("batches_avg", batches.avg())
+            .add("repair_ms_avg", repair_avg.avg())
+            .add("repair_ms_max", repair_max.max)
+            .add("churn_ms_avg", churn_avg.avg())
+            .add("delivery_pct_all_avg", delivery_all.avg())
+            .add("delivery_pct_live_avg", delivery_live.avg());
+        sink.emit(obj);
+    }
+
+    std::cout << table.str()
+              << "\nsurvivor delivery stays near 100% across crash rates — the healed\n"
+                 "backbone keeps serving whoever is left; gross delivery falls with\n"
+                 "the corpse count (packets addressed to the dead) and, at high crash\n"
+                 "rates, with genuine partition of the survivor set. repair latency is\n"
+                 "the apply time of the pure crash-repair batches (dominator and\n"
+                 "connector re-election in the dirty region).\n";
+    if (sink.enabled()) std::cout << "\nJSON rows appended to " << sink.path() << "\n";
+    return 0;
+}

@@ -1,0 +1,380 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "random/rng.h"
+
+namespace geospanner::fault {
+
+using graph::NodeId;
+
+WorldMirror::WorldMirror(std::vector<geom::Point> initial, double r, double s)
+    : points(std::move(initial)), dead(points.size(), 0), radius(r), side(s) {}
+
+geom::Point WorldMirror::graveyard_slot(std::size_t k) const {
+    return {side + 10.0 * radius + 3.0 * radius * static_cast<double>(k), 0.0};
+}
+
+std::vector<NodeId> WorldMirror::outage_victims(geom::Point center, double range) const {
+    std::vector<NodeId> victims;
+    for (NodeId v = 0; v < points.size(); ++v) {
+        if (dead[v]) continue;
+        if (geom::distance(points[v], center) <= range) victims.push_back(v);
+    }
+    return victims;
+}
+
+bool WorldMirror::applicable(const ChaosEvent& e) const {
+    switch (e.kind) {
+        case ChaosKind::kMove:
+        case ChaosKind::kCrash:
+        case ChaosKind::kLeave:
+            return e.node < points.size() && !dead[e.node];
+        case ChaosKind::kJoin:
+        case ChaosKind::kOutage:
+            return true;
+    }
+    return false;
+}
+
+void WorldMirror::apply(const ChaosEvent& e) {
+    switch (e.kind) {
+        case ChaosKind::kMove:
+            points[e.node] = e.pos;
+            break;
+        case ChaosKind::kCrash:
+            dead[e.node] = 1;
+            points[e.node] = graveyard_slot(crashed_total++);
+            break;
+        case ChaosKind::kJoin:
+            points.push_back(e.pos);
+            dead.push_back(0);
+            break;
+        case ChaosKind::kLeave:
+            // Swap-remove, matching UpdateBatch leave semantics: the
+            // last node (dead or alive) takes the leaver's id.
+            points[e.node] = points.back();
+            dead[e.node] = dead.back();
+            points.pop_back();
+            dead.pop_back();
+            break;
+        case ChaosKind::kOutage:
+            for (const NodeId v : outage_victims(e.pos, e.range)) {
+                dead[v] = 1;
+                points[v] = graveyard_slot(crashed_total++);
+            }
+            break;
+    }
+}
+
+std::size_t WorldMirror::live_count() const {
+    std::size_t live = 0;
+    for (const char d : dead) {
+        if (!d) ++live;
+    }
+    return live;
+}
+
+std::vector<ChaosEvent> ChaosSchedule::step_events(std::size_t step) const {
+    const auto lo = std::lower_bound(
+        events.begin(), events.end(), step,
+        [](const ChaosEvent& e, std::size_t s) { return e.step < s; });
+    const auto hi = std::upper_bound(
+        events.begin(), events.end(), step,
+        [](std::size_t s, const ChaosEvent& e) { return s < e.step; });
+    return {lo, hi};
+}
+
+namespace {
+
+/// floor(rate) events plus one more with probability frac(rate).
+std::size_t sample_count(rnd::Xoshiro256& rng, double rate) {
+    if (rate <= 0.0) return 0;
+    const double whole = std::floor(rate);
+    auto count = static_cast<std::size_t>(whole);
+    if (rng.uniform01() < rate - whole) ++count;
+    return count;
+}
+
+/// Uniform pick among live ids; kInvalidNode when everything is dead.
+NodeId pick_live(rnd::Xoshiro256& rng, const WorldMirror& world) {
+    std::vector<NodeId> live;
+    live.reserve(world.points.size());
+    for (NodeId v = 0; v < world.points.size(); ++v) {
+        if (!world.dead[v]) live.push_back(v);
+    }
+    if (live.empty()) return graph::kInvalidNode;
+    return live[rng.below(live.size())];
+}
+
+}  // namespace
+
+ChaosSchedule generate_chaos(std::vector<geom::Point> initial, double radius,
+                             const ChaosConfig& config, std::uint64_t seed) {
+    ChaosSchedule schedule;
+    schedule.config = config;
+    schedule.seed = seed;
+    schedule.radius = radius;
+    schedule.initial = initial;
+
+    rnd::Xoshiro256 rng(seed);
+    WorldMirror world(std::move(initial), radius, config.side);
+    const double step_len =
+        config.step_length > 0.0 ? config.step_length : radius / 4.0;
+
+    for (std::size_t step = 0; step < config.steps; ++step) {
+        // Draw this step's kind multiset, then shuffle it so every
+        // intra-step ordering (join-then-crash, move-after-leave, ...)
+        // occurs across seeds.
+        std::vector<ChaosKind> kinds;
+        for (std::size_t i = sample_count(rng, config.move_rate); i > 0; --i)
+            kinds.push_back(ChaosKind::kMove);
+        for (std::size_t i = sample_count(rng, config.crash_rate); i > 0; --i)
+            kinds.push_back(ChaosKind::kCrash);
+        for (std::size_t i = sample_count(rng, config.join_rate); i > 0; --i)
+            kinds.push_back(ChaosKind::kJoin);
+        for (std::size_t i = sample_count(rng, config.leave_rate); i > 0; --i)
+            kinds.push_back(ChaosKind::kLeave);
+        for (std::size_t i = sample_count(rng, config.outage_rate); i > 0; --i)
+            kinds.push_back(ChaosKind::kOutage);
+        for (std::size_t i = kinds.size(); i > 1; --i) {
+            std::swap(kinds[i - 1], kinds[rng.below(i)]);
+        }
+
+        for (const ChaosKind kind : kinds) {
+            ChaosEvent e;
+            e.step = step;
+            e.kind = kind;
+            switch (kind) {
+                case ChaosKind::kMove: {
+                    const NodeId v = pick_live(rng, world);
+                    if (v == graph::kInvalidNode) continue;
+                    const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+                    const double dist = rng.uniform(0.0, step_len);
+                    geom::Point to = world.points[v] +
+                                     geom::Point{dist * std::cos(angle),
+                                                 dist * std::sin(angle)};
+                    to.x = std::clamp(to.x, 0.0, config.side);
+                    to.y = std::clamp(to.y, 0.0, config.side);
+                    e.node = v;
+                    e.pos = to;
+                    break;
+                }
+                case ChaosKind::kCrash:
+                case ChaosKind::kLeave: {
+                    const NodeId v = pick_live(rng, world);
+                    if (v == graph::kInvalidNode) continue;
+                    e.node = v;
+                    break;
+                }
+                case ChaosKind::kJoin:
+                    e.pos = {rng.uniform(0.0, config.side),
+                             rng.uniform(0.0, config.side)};
+                    break;
+                case ChaosKind::kOutage:
+                    e.pos = {rng.uniform(0.0, config.side),
+                             rng.uniform(0.0, config.side)};
+                    e.range = config.outage_radius_factor * radius;
+                    break;
+            }
+            world.apply(e);
+            schedule.events.push_back(e);
+        }
+    }
+    return schedule;
+}
+
+// ---- JSON round-trip --------------------------------------------------
+
+namespace {
+
+void append_double(std::string& out, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+/// Advances `pos` past whitespace/commas/brackets to the next number and
+/// parses it; false at `]` nesting end or on malformed input.
+bool parse_double(const std::string& s, std::size_t& pos, double& out) {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == ',' || s[pos] == '[' || s[pos] == '\n')) {
+        ++pos;
+    }
+    if (pos >= s.size() || s[pos] == ']') return false;
+    const char* begin = s.c_str() + pos;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos += static_cast<std::size_t>(end - begin);
+    return true;
+}
+
+/// Finds `"key":` and returns the index just past the colon.
+std::optional<std::size_t> find_key(const std::string& s, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = s.find(needle);
+    if (at == std::string::npos) return std::nullopt;
+    return at + needle.size();
+}
+
+/// Parses a flat `[a,b,...]` of doubles starting at `pos` (which must
+/// point at or before the opening bracket), including nested pairs.
+bool parse_number_array(const std::string& s, std::size_t pos,
+                        std::size_t expected_stride, std::vector<double>& out) {
+    const std::size_t open = s.find('[', pos);
+    if (open == std::string::npos) return false;
+    std::size_t p = open + 1;
+    int depth = 1;
+    while (p < s.size() && depth > 0) {
+        const char c = s[p];
+        if (c == '[') {
+            ++depth;
+            ++p;
+        } else if (c == ']') {
+            --depth;
+            ++p;
+        } else if (c == ',' || c == ' ' || c == '\n') {
+            ++p;
+        } else {
+            double v = 0.0;
+            const char* begin = s.c_str() + p;
+            char* end = nullptr;
+            v = std::strtod(begin, &end);
+            if (end == begin) return false;
+            p += static_cast<std::size_t>(end - begin);
+            out.push_back(v);
+        }
+    }
+    if (depth != 0) return false;
+    return expected_stride == 0 || out.size() % expected_stride == 0;
+}
+
+}  // namespace
+
+std::string to_json(const ChaosSchedule& schedule) {
+    std::string out = "{\"seed\":" + std::to_string(schedule.seed);
+    out += ",\"radius\":";
+    append_double(out, schedule.radius);
+    out += ",\"config\":[";
+    append_double(out, static_cast<double>(schedule.config.steps));
+    const double knobs[] = {schedule.config.move_rate,  schedule.config.crash_rate,
+                            schedule.config.join_rate,  schedule.config.leave_rate,
+                            schedule.config.outage_rate,
+                            schedule.config.outage_radius_factor,
+                            schedule.config.step_length, schedule.config.side};
+    for (const double k : knobs) {
+        out += ",";
+        append_double(out, k);
+    }
+    out += "],\"initial\":[";
+    for (std::size_t i = 0; i < schedule.initial.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "[";
+        append_double(out, schedule.initial[i].x);
+        out += ",";
+        append_double(out, schedule.initial[i].y);
+        out += "]";
+    }
+    // Events as [step, kind, node, x, y, range] sextuples.
+    out += "],\"events\":[";
+    for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+        const ChaosEvent& e = schedule.events[i];
+        if (i > 0) out += ",";
+        out += "[" + std::to_string(e.step) + "," +
+               std::to_string(static_cast<int>(e.kind)) + "," +
+               std::to_string(e.node) + ",";
+        append_double(out, e.pos.x);
+        out += ",";
+        append_double(out, e.pos.y);
+        out += ",";
+        append_double(out, e.range);
+        out += "]";
+    }
+    out += "]}";
+    return out;
+}
+
+std::optional<ChaosSchedule> schedule_from_json(const std::string& json) {
+    ChaosSchedule schedule;
+
+    const auto seed_at = find_key(json, "seed");
+    const auto radius_at = find_key(json, "radius");
+    const auto config_at = find_key(json, "config");
+    const auto initial_at = find_key(json, "initial");
+    const auto events_at = find_key(json, "events");
+    if (!seed_at || !radius_at || !config_at || !initial_at || !events_at) {
+        return std::nullopt;
+    }
+
+    {
+        const char* begin = json.c_str() + *seed_at;
+        char* end = nullptr;
+        schedule.seed = std::strtoull(begin, &end, 10);
+        if (end == begin) return std::nullopt;
+    }
+    {
+        std::size_t pos = *radius_at;
+        if (!parse_double(json, pos, schedule.radius)) return std::nullopt;
+    }
+
+    std::vector<double> cfg;
+    if (!parse_number_array(json, *config_at, 0, cfg) || cfg.size() != 9) {
+        return std::nullopt;
+    }
+    schedule.config.steps = static_cast<std::size_t>(cfg[0]);
+    schedule.config.move_rate = cfg[1];
+    schedule.config.crash_rate = cfg[2];
+    schedule.config.join_rate = cfg[3];
+    schedule.config.leave_rate = cfg[4];
+    schedule.config.outage_rate = cfg[5];
+    schedule.config.outage_radius_factor = cfg[6];
+    schedule.config.step_length = cfg[7];
+    schedule.config.side = cfg[8];
+
+    std::vector<double> coords;
+    if (!parse_number_array(json, *initial_at, 2, coords)) return std::nullopt;
+    schedule.initial.reserve(coords.size() / 2);
+    for (std::size_t i = 0; i + 1 < coords.size(); i += 2) {
+        schedule.initial.push_back({coords[i], coords[i + 1]});
+    }
+
+    std::vector<double> ev;
+    if (!parse_number_array(json, *events_at, 6, ev)) return std::nullopt;
+    schedule.events.reserve(ev.size() / 6);
+    for (std::size_t i = 0; i + 5 < ev.size(); i += 6) {
+        ChaosEvent e;
+        e.step = static_cast<std::size_t>(ev[i]);
+        const int kind = static_cast<int>(ev[i + 1]);
+        if (kind < 0 || kind > 4) return std::nullopt;
+        e.kind = static_cast<ChaosKind>(kind);
+        e.node = static_cast<NodeId>(ev[i + 2]);
+        e.pos = {ev[i + 3], ev[i + 4]};
+        e.range = ev[i + 5];
+        schedule.events.push_back(e);
+    }
+    return schedule;
+}
+
+bool save_schedule(const std::string& path, const ChaosSchedule& schedule) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json(schedule) << "\n";
+    return static_cast<bool>(out);
+}
+
+std::optional<ChaosSchedule> load_schedule(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return schedule_from_json(buf.str());
+}
+
+}  // namespace geospanner::fault

@@ -1,0 +1,136 @@
+// Deterministic, seeded fault-injection schedules.
+//
+// A ChaosSchedule is a replayable stream of failure and churn events —
+// node crashes, regional outages, joins, planned leaves, mobility
+// drift — generated from one 64-bit seed against an evolving world
+// mirror, so every event's concrete node id is valid at the step it
+// fires. Replaying the same schedule (same seed, same initial points)
+// through fault::SelfHealer against DynamicSpanner or SpannerService
+// produces a bit-identical final topology; schedules serialize to JSON
+// so a failing soak run ships as a standalone repro artifact.
+//
+// The crash model: a crashed radio goes silent but its id is not
+// recycled — real deployments cannot renumber survivors when a node
+// dies. SelfHealer (healer.h) realizes a crash as a "graveyard move"
+// (the node is relocated far outside the world, beyond any transmission
+// range), which drives the incremental patcher's genuine repair path:
+// dominators and connectors are re-elected inside the dirty region the
+// silence created. Planned leaves, by contrast, retire the id through
+// the batch leave path (swap-remove compaction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/geometric_graph.h"
+
+namespace geospanner::fault {
+
+enum class ChaosKind : std::uint8_t {
+    kMove = 0,    ///< mobility churn: a live node drifts to `pos`
+    kCrash = 1,   ///< unplanned failure: the radio at `node` goes silent
+    kJoin = 2,    ///< a new node powers on at `pos` (appended as largest id)
+    kLeave = 3,   ///< planned departure: `node` retires (swap-remove)
+    kOutage = 4,  ///< regional outage: every live node within `range` of `pos` crashes
+};
+
+struct ChaosEvent {
+    std::size_t step = 0;
+    ChaosKind kind = ChaosKind::kMove;
+    graph::NodeId node = 0;  ///< target id (kMove/kCrash/kLeave); unused otherwise
+    geom::Point pos{};       ///< destination (kMove/kJoin) or outage center (kOutage)
+    double range = 0.0;      ///< outage disk radius (kOutage only)
+
+    friend bool operator==(const ChaosEvent&, const ChaosEvent&) = default;
+};
+
+/// Expected events per step, Poisson-ish: floor(rate) events plus one
+/// more with probability frac(rate). Kinds are interleaved in seeded
+/// random order within a step, so join-then-crash-same-step and
+/// move-after-leave orderings all get exercised.
+struct ChaosConfig {
+    std::size_t steps = 50;
+    double move_rate = 2.0;
+    double crash_rate = 0.5;
+    double join_rate = 0.5;
+    double leave_rate = 0.25;
+    double outage_rate = 0.0;
+    double outage_radius_factor = 1.5;  ///< outage disk radius, in units of the radius
+    double step_length = 0.0;           ///< max drift per move; 0 = radius / 4
+    double side = 250.0;                ///< world square for joins and move clamping
+};
+
+/// The world-evolution mirror shared by the schedule generator and
+/// SelfHealer: both advance one of these with identical semantics
+/// (including the leave swap-remove id compaction), so the concrete ids
+/// the generator emits are exactly the ids the healer's batches target.
+struct WorldMirror {
+    std::vector<geom::Point> points;
+    std::vector<char> dead;           ///< crashed (graveyard) flags, id-indexed
+    std::size_t crashed_total = 0;    ///< monotone graveyard slot counter
+    double radius = 0.0;
+    double side = 0.0;
+
+    WorldMirror() = default;
+    WorldMirror(std::vector<geom::Point> initial, double radius, double side);
+
+    /// Where the k-th crash parks: x = side + 10·radius + 3·radius·k,
+    /// y = 0. Slots are ≥ 3 radii apart and ≥ 10 radii outside the
+    /// world, so graveyard nodes are UDG-isolated from everything —
+    /// including each other and any Lemma-2 k·radius ball of a live
+    /// node — forever.
+    [[nodiscard]] geom::Point graveyard_slot(std::size_t k) const;
+
+    /// Live nodes within `range` of `center`, ascending. Dead nodes are
+    /// excluded by flag (their graveyard position is also out of range
+    /// of any in-world center).
+    [[nodiscard]] std::vector<graph::NodeId> outage_victims(geom::Point center,
+                                                            double range) const;
+
+    /// True when the event can fire against the current state: targeted
+    /// events need a live in-range id. Stale events (the target died or
+    /// left earlier) are skippable no-ops, which is what keeps every
+    /// subsequence of a schedule applicable during ddmin shrinking.
+    [[nodiscard]] bool applicable(const ChaosEvent& e) const;
+
+    /// Advances the mirror by one applicable event (kOutage expands to
+    /// crashing each victim; kLeave swap-removes).
+    void apply(const ChaosEvent& e);
+
+    [[nodiscard]] std::size_t live_count() const;
+};
+
+/// One replayable chaos run: the configuration, the seed, and the full
+/// event stream, plus the initial world so the schedule replays
+/// standalone from its JSON artifact.
+struct ChaosSchedule {
+    ChaosConfig config;
+    std::uint64_t seed = 0;
+    double radius = 0.0;
+    std::vector<geom::Point> initial;
+    std::vector<ChaosEvent> events;  ///< nondecreasing step order
+
+    /// The events of one step (events are stored sorted by step).
+    [[nodiscard]] std::vector<ChaosEvent> step_events(std::size_t step) const;
+};
+
+/// Generates a seeded schedule against `initial`. Deterministic: same
+/// (initial, radius, config, seed) → identical event stream.
+[[nodiscard]] ChaosSchedule generate_chaos(std::vector<geom::Point> initial,
+                                           double radius, const ChaosConfig& config,
+                                           std::uint64_t seed);
+
+/// JSON round-trip for repro artifacts (max-precision coordinates; a
+/// reload rebuilds the byte-identical schedule).
+[[nodiscard]] std::string to_json(const ChaosSchedule& schedule);
+[[nodiscard]] std::optional<ChaosSchedule> schedule_from_json(const std::string& json);
+
+/// File wrappers; false / nullopt on I/O or parse failure.
+bool save_schedule(const std::string& path, const ChaosSchedule& schedule);
+[[nodiscard]] std::optional<ChaosSchedule> load_schedule(const std::string& path);
+
+}  // namespace geospanner::fault

@@ -1,0 +1,121 @@
+#include "fault/healer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace geospanner::fault {
+
+using graph::NodeId;
+
+namespace {
+
+/// Batch classes that can share one UpdateBatch without reordering
+/// effects: churn (moves + joins), crash repairs, planned leaves.
+enum class BatchClass { kNone, kChurn, kCrash, kLeave };
+
+BatchClass class_of(ChaosKind kind) {
+    switch (kind) {
+        case ChaosKind::kMove:
+        case ChaosKind::kJoin:
+            return BatchClass::kChurn;
+        case ChaosKind::kCrash:
+        case ChaosKind::kOutage:
+            return BatchClass::kCrash;
+        case ChaosKind::kLeave:
+            return BatchClass::kLeave;
+    }
+    return BatchClass::kNone;
+}
+
+}  // namespace
+
+SelfHealer::SelfHealer(const ChaosSchedule& schedule)
+    : world_(schedule.initial, schedule.radius, schedule.config.side) {}
+
+SelfHealer::SelfHealer(std::vector<geom::Point> initial, double radius, double side)
+    : world_(std::move(initial), radius, side) {}
+
+std::vector<SelfHealer::Translated> SelfHealer::translate(
+    const std::vector<ChaosEvent>& events) {
+    std::vector<Translated> out;
+    Translated current;
+    BatchClass current_class = BatchClass::kNone;
+    std::size_t base_count = world_.points.size();
+
+    const auto flush = [&] {
+        if (!current.batch.empty()) out.push_back(std::move(current));
+        current = Translated{};
+        current_class = BatchClass::kNone;
+        base_count = world_.points.size();
+    };
+
+    for (const ChaosEvent& e : events) {
+        if (!world_.applicable(e)) {
+            ++stale_skipped_;
+            continue;
+        }
+        const BatchClass cls = class_of(e.kind);
+        // A class switch flushes; so does a churn move targeting a node
+        // joined in this very batch (batch moves apply before joins, so
+        // the target would not exist yet).
+        if (current_class != BatchClass::kNone &&
+            (cls != current_class ||
+             (e.kind == ChaosKind::kMove && e.node >= base_count))) {
+            flush();
+        }
+        current_class = cls;
+
+        switch (e.kind) {
+            case ChaosKind::kMove:
+                current.batch.moves.push_back({e.node, e.pos});
+                ++current.churn_moves;
+                break;
+            case ChaosKind::kJoin:
+                current.batch.joins.push_back(e.pos);
+                ++current.joins;
+                break;
+            case ChaosKind::kCrash:
+                current.batch.moves.push_back(
+                    {e.node, world_.graveyard_slot(world_.crashed_total)});
+                ++current.crash_count;
+                break;
+            case ChaosKind::kOutage: {
+                // Victims and their graveyard slots exactly as
+                // world_.apply(e) will assign them (ascending ids).
+                const auto victims = world_.outage_victims(e.pos, e.range);
+                for (std::size_t i = 0; i < victims.size(); ++i) {
+                    current.batch.moves.push_back(
+                        {victims[i], world_.graveyard_slot(world_.crashed_total + i)});
+                }
+                current.crash_count += victims.size();
+                break;
+            }
+            case ChaosKind::kLeave:
+                current.batch.leaves.push_back(e.node);
+                ++current.leaves;
+                break;
+        }
+        world_.apply(e);
+    }
+    flush();
+    return out;
+}
+
+dynamic::UpdateBatch SelfHealer::compaction_batch() {
+    dynamic::UpdateBatch batch;
+    for (NodeId v = static_cast<NodeId>(world_.points.size()); v-- > 0;) {
+        if (world_.dead[v]) batch.leaves.push_back(v);
+    }
+    // Largest-first: each swap-remove only relocates ids above every
+    // leave still pending, so the listed ids keep meaning the dead
+    // nodes. Mirror the retirements so later translate() calls agree.
+    for (const NodeId v : batch.leaves) {
+        ChaosEvent e;
+        e.kind = ChaosKind::kLeave;
+        e.node = v;
+        world_.apply(e);
+    }
+    return batch;
+}
+
+}  // namespace geospanner::fault

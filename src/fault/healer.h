@@ -1,0 +1,78 @@
+// Self-healing translation of chaos events into spanner repairs.
+//
+// SelfHealer turns a ChaosSchedule's event stream into apply-ready
+// dynamic::UpdateBatch sequences. Mobility and joins pass through as
+// ordinary churn. A crash becomes a *graveyard move*: the silent radio
+// is relocated far outside the world (WorldMirror::graveyard_slot), so
+// every link it carried disappears and the incremental patcher runs its
+// genuine repair path — dominators and connectors are re-elected inside
+// the dirty region around the failure while ids stay stable (real
+// networks cannot renumber survivors when a node dies). Planned leaves
+// retire ids through the batch leave path.
+//
+// Batch packing preserves event order exactly: consecutive events of
+// the same class (churn = moves + joins, crash repairs, leaves) pack
+// into one batch; a class switch — or a churn move targeting a node
+// joined in the same batch — flushes. Crash repairs therefore always
+// land in crash-only batches, which is what lets callers measure repair
+// latency per failure, and leaves are applied with exactly the
+// swap-remove ordering the generator's mirror assumed.
+//
+// Stale events (target died or left earlier in the run) are skipped,
+// so any subsequence of a schedule's events remains applicable — the
+// property ddmin shrinking of failing schedules rests on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dynamic/spanner.h"
+#include "fault/chaos.h"
+
+namespace geospanner::fault {
+
+class SelfHealer {
+  public:
+    /// One apply-ready batch plus what it carries; `repair()` marks the
+    /// crash-recovery batches whose apply time is the repair latency.
+    struct Translated {
+        dynamic::UpdateBatch batch;
+        std::size_t crash_count = 0;  ///< graveyard moves in this batch
+        std::size_t churn_moves = 0;
+        std::size_t joins = 0;
+        std::size_t leaves = 0;
+
+        [[nodiscard]] bool repair() const { return crash_count > 0; }
+    };
+
+    /// Starts mirroring the schedule's initial world. The healer must
+    /// see every event of the run (in order, possibly chunked) that the
+    /// maintained spanner sees, and nothing else.
+    explicit SelfHealer(const ChaosSchedule& schedule);
+    SelfHealer(std::vector<geom::Point> initial, double radius, double side);
+
+    /// Translates the next slice of the event stream (any contiguous or
+    /// subsequence slice, in order) into batches. Stale events are
+    /// skipped and counted.
+    [[nodiscard]] std::vector<Translated> translate(
+        const std::vector<ChaosEvent>& events);
+
+    /// A planned-leave batch retiring every dead id (largest first, so
+    /// each swap-remove only touches ids the batch still means). Run it
+    /// when the dead fraction is worth compacting — after it the healer
+    /// mirror holds live nodes only. Do not interleave with untranslated
+    /// schedule events: the generator's mirror never saw the compaction.
+    [[nodiscard]] dynamic::UpdateBatch compaction_batch();
+
+    [[nodiscard]] const WorldMirror& world() const { return world_; }
+    [[nodiscard]] std::size_t dead_count() const {
+        return world_.points.size() - world_.live_count();
+    }
+    [[nodiscard]] std::size_t stale_skipped() const { return stale_skipped_; }
+
+  private:
+    WorldMirror world_;
+    std::size_t stale_skipped_ = 0;
+};
+
+}  // namespace geospanner::fault

@@ -1,0 +1,45 @@
+#include "fault/quasi_udg.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "proximity/udg.h"
+#include "random/rng.h"
+
+namespace geospanner::fault {
+
+using graph::NodeId;
+
+double QuasiUdgModel::link_radius(NodeId u, NodeId v, double radius) const {
+    if (alpha >= 1.0) return radius;
+    const NodeId lo = std::min(u, v);
+    const NodeId hi = std::max(u, v);
+    // One splitmix64 finalizer round over the packed link id; the seed
+    // offsets the state so different worlds draw independent bands.
+    std::uint64_t state =
+        seed ^ ((static_cast<std::uint64_t>(lo) << 32) | static_cast<std::uint64_t>(hi));
+    const std::uint64_t h = rnd::splitmix64(state);
+    const double u01 = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return alpha * radius + u01 * (1.0 - alpha) * radius;
+}
+
+bool QuasiUdgModel::link_up(NodeId u, NodeId v, double dist, double radius) const {
+    return dist <= link_radius(u, v, radius);
+}
+
+graph::GeometricGraph degrade_udg(const graph::GeometricGraph& udg, double radius,
+                                  const QuasiUdgModel& model) {
+    if (model.alpha >= 1.0) return udg;
+    std::vector<std::pair<NodeId, NodeId>> kept;
+    for (const auto& [u, v] : udg.edges()) {
+        if (model.link_up(u, v, udg.edge_length(u, v), radius)) kept.push_back({u, v});
+    }
+    return graph::GeometricGraph::from_edges(udg.points(), kept);
+}
+
+graph::GeometricGraph build_quasi_udg(const std::vector<geom::Point>& points,
+                                      double radius, const QuasiUdgModel& model) {
+    return degrade_udg(proximity::build_udg(points, radius), radius, model);
+}
+
+}  // namespace geospanner::fault

@@ -1,0 +1,54 @@
+// Quasi-unit-disk radio model: per-link irregular radii in [α·r, r].
+//
+// Real radios do not cut off at a crisp disk boundary — obstacles,
+// antenna orientation, and fading make the effective range direction-
+// and link-dependent. The quasi-UDG model (Damian & Pemmaraju,
+// PAPERS.md) captures this with one parameter α ∈ (0, 1]: every link
+// (u, v) gets its own effective radius drawn from [α·r, r], and the
+// link exists iff |uv| is under it. Links shorter than α·r always
+// exist, links longer than r never do, and the band in between is
+// where the guarantees degrade (verify::check_degraded_guarantees
+// states which lemmas survive, with what relaxed constants).
+//
+// Determinism: the per-link radius is a pure hash of (min(u,v),
+// max(u,v), seed) — no RNG stream to keep in sync — so the degraded
+// graph is a function of (points, radius, model), symmetric in the
+// endpoints, and reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/geometric_graph.h"
+
+namespace geospanner::fault {
+
+struct QuasiUdgModel {
+    double alpha = 1.0;  ///< link-radius floor factor; 1.0 = exact UDG
+    std::uint64_t seed = 0;
+
+    /// The effective radius of link (u, v): α·r + h(u,v,seed)·(1−α)·r,
+    /// symmetric in the endpoints.
+    [[nodiscard]] double link_radius(graph::NodeId u, graph::NodeId v,
+                                     double radius) const;
+
+    /// True when a link of length `dist` exists under the model.
+    [[nodiscard]] bool link_up(graph::NodeId u, graph::NodeId v, double dist,
+                               double radius) const;
+};
+
+/// The quasi-UDG over `points`: edge (u, v) iff |uv| ≤ link_radius(u, v).
+/// Always a subgraph of the exact UDG at the same radius.
+[[nodiscard]] graph::GeometricGraph build_quasi_udg(
+    const std::vector<geom::Point>& points, double radius,
+    const QuasiUdgModel& model);
+
+/// Degrades an already-built exact UDG in place of a rebuild: drops
+/// every edge whose length exceeds its per-link radius. Equivalent to
+/// build_quasi_udg on the same points.
+[[nodiscard]] graph::GeometricGraph degrade_udg(const graph::GeometricGraph& udg,
+                                                double radius,
+                                                const QuasiUdgModel& model);
+
+}  // namespace geospanner::fault

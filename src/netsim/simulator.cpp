@@ -28,6 +28,19 @@ struct InFlight {
     std::size_t injected_at = 0;
 };
 
+/// Failed-node predicate for one run: the per-node flags from
+/// Config::dead, with ids at/past node_count (a removed node a stale
+/// route still mentions) also counting as dead.
+struct DeadSet {
+    const std::vector<char>& dead;
+    std::size_t node_count;
+
+    bool operator()(NodeId v) const {
+        if (v >= node_count) return true;
+        return v < dead.size() && dead[v] != 0;
+    }
+};
+
 }  // namespace
 
 Stats run_simulation(std::size_t node_count, const RouteFn& route,
@@ -38,6 +51,9 @@ Stats run_simulation(std::size_t node_count, const RouteFn& route,
                           }));
     Stats stats;
     stats.transmissions.assign(node_count, 0);
+    const DeadSet is_dead{config.dead, node_count};
+    const bool lossy = config.loss_rate > 0.0;
+    rnd::Xoshiro256 loss_rng(config.loss_seed);
 
     std::vector<InFlight> packets;
     // Per-node FIFO of packet ids (indices into `packets`).
@@ -51,6 +67,10 @@ Stats run_simulation(std::size_t node_count, const RouteFn& route,
             const Injection& inj = traffic[next_injection];
             ++next_injection;
             ++stats.injected;
+            if (is_dead(inj.src) || is_dead(inj.dst)) {
+                ++stats.dropped_dead_hop;
+                continue;
+            }
             if (inj.src == inj.dst) {
                 ++stats.delivered;  // Zero-latency self-delivery.
                 continue;
@@ -84,6 +104,18 @@ Stats run_simulation(std::size_t node_count, const RouteFn& route,
             InFlight& p = packets[pid];
             ++stats.transmissions[v];
             const NodeId next = p.route[p.position + 1];
+            if (is_dead(next)) {
+                // Transmitted into silence: the route still names a
+                // failed node.
+                ++stats.dropped_dead_hop;
+                --live;
+                continue;
+            }
+            if (lossy && loss_rng.uniform01() < config.loss_rate) {
+                ++stats.dropped_link_loss;
+                --live;
+                continue;
+            }
             ++p.position;
             if (p.position + 1 == p.route.size()) {
                 // Arrived at the destination.
@@ -114,6 +146,9 @@ Stats run_hop_by_hop(std::size_t node_count, const StepperFactory& factory,
                      const std::vector<Injection>& traffic, const Config& config) {
     Stats stats;
     stats.transmissions.assign(node_count, 0);
+    const DeadSet is_dead{config.dead, node_count};
+    const bool lossy = config.loss_rate > 0.0;
+    rnd::Xoshiro256 loss_rng(config.loss_seed);
 
     struct Live {
         std::function<NodeId(NodeId)> stepper;
@@ -131,6 +166,10 @@ Stats run_hop_by_hop(std::size_t node_count, const StepperFactory& factory,
             const Injection& inj = traffic[next_injection];
             ++next_injection;
             ++stats.injected;
+            if (is_dead(inj.src) || is_dead(inj.dst)) {
+                ++stats.dropped_dead_hop;
+                continue;
+            }
             if (inj.src == inj.dst) {
                 ++stats.delivered;
                 continue;
@@ -162,6 +201,16 @@ Stats run_hop_by_hop(std::size_t node_count, const StepperFactory& factory,
                 continue;
             }
             ++stats.transmissions[v];
+            if (is_dead(next)) {
+                ++stats.dropped_dead_hop;
+                --live;
+                continue;
+            }
+            if (lossy && loss_rng.uniform01() < config.loss_rate) {
+                ++stats.dropped_link_loss;
+                --live;
+                continue;
+            }
             p.at = next;
             if (next == p.dst) {
                 const std::size_t latency = slot + 1 - p.injected_at;

@@ -27,6 +27,15 @@ namespace geospanner::netsim {
 struct Config {
     std::size_t queue_capacity = 16;   ///< packets a node can hold
     std::size_t max_slots = 100000;    ///< hard stop for the run
+    /// Per-transmission Bernoulli loss probability (lossy radios). The
+    /// loss RNG is only consumed when > 0, so default runs stay
+    /// bit-identical to the loss-free simulator.
+    double loss_rate = 0.0;
+    std::uint64_t loss_seed = 0;
+    /// Per-node failed flags (empty = nobody failed). A dead node never
+    /// sources, sinks, or forwards: packets injected at/to a dead node
+    /// and packets whose next hop is dead drop as dropped_dead_hop.
+    std::vector<char> dead;
 };
 
 /// A packet injection request: at time slot `slot`, node `src` wants to
@@ -44,6 +53,8 @@ struct Stats {
     std::size_t delivered = 0;
     std::size_t dropped_no_route = 0;   ///< route function returned empty
     std::size_t dropped_queue_full = 0; ///< next hop's queue overflowed
+    std::size_t dropped_dead_hop = 0;   ///< next hop (or src/dst) is a failed node
+    std::size_t dropped_link_loss = 0;  ///< lost to the radio (Config::loss_rate)
     std::size_t stuck_in_queues = 0;    ///< still queued when the run ended
     std::size_t total_latency = 0;      ///< slots, summed over delivered
     std::size_t max_latency = 0;

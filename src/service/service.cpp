@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <cmath>
 #include <utility>
 
 namespace geospanner::service {
@@ -12,12 +13,73 @@ double ms_between(std::chrono::steady_clock::time_point a,
         .count();
 }
 
+/// Structural validation, cheap enough to run on every batch: a batch
+/// that names nonexistent nodes or carries non-finite coordinates is
+/// poisoned — applying it would corrupt the patcher's invariants (or
+/// crash), so it is quarantined before apply. `n` is the pre-batch
+/// node count.
+std::string validate_batch(const dynamic::UpdateBatch& batch, std::size_t n) {
+    for (const auto& mv : batch.moves) {
+        if (mv.node >= n) {
+            return "move targets nonexistent node " + std::to_string(mv.node);
+        }
+        if (!std::isfinite(mv.to.x) || !std::isfinite(mv.to.y)) {
+            return "non-finite move coordinate for node " + std::to_string(mv.node);
+        }
+    }
+    for (const geom::Point p : batch.joins) {
+        if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+            return "non-finite join coordinate";
+        }
+    }
+    // Leaves apply sequentially with swap-remove, so each one must be
+    // in range of the count it sees.
+    std::size_t count = n + batch.joins.size();
+    for (const graph::NodeId leaver : batch.leaves) {
+        if (count == 0 || leaver >= count) {
+            return "leave targets nonexistent node " + std::to_string(leaver);
+        }
+        --count;
+    }
+    return {};
+}
+
 }  // namespace
 
 SpannerService::SpannerService(engine::SpannerEngine& engine,
-                               std::vector<geom::Point> points, double radius)
-    : engine_(&engine), spanner_(engine, std::move(points), radius),
+                               std::vector<geom::Point> points, double radius,
+                               ServiceOptions options)
+    : engine_(&engine), options_(std::move(options)), radius_(radius),
       start_(std::chrono::steady_clock::now()) {
+    gate_configured_ =
+        options_.audit_every > 0 || static_cast<bool>(options_.post_apply_check);
+    track_last_good_ = gate_configured_ || options_.watchdog_ms > 0.0;
+    if (track_last_good_) last_good_points_ = points;
+    spanner_ = std::make_unique<dynamic::DynamicSpanner>(engine, std::move(points),
+                                                         radius);
+    if (options_.queue_capacity > 0) {
+        UpdateQueue<Ingest>::CoalesceFn coalesce;
+        if (options_.backpressure == BackpressurePolicy::kCoalesce) {
+            // Only move-only batches merge: concatenated moves apply in
+            // order (last write wins), which is exactly the semantics of
+            // applying the two batches back to back. Joins and leaves
+            // renumber ids, so batches carrying them never coalesce.
+            coalesce = [](Ingest& newest, Ingest& incoming) {
+                if (!newest.batch.joins.empty() || !newest.batch.leaves.empty() ||
+                    !incoming.batch.joins.empty() || !incoming.batch.leaves.empty()) {
+                    return false;
+                }
+                newest.batch.moves.insert(newest.batch.moves.end(),
+                                          incoming.batch.moves.begin(),
+                                          incoming.batch.moves.end());
+                newest.merged += incoming.merged;
+                return true;
+            };
+        }
+        queue_.set_bound(options_.queue_capacity,
+                         options_.backpressure == BackpressurePolicy::kReject,
+                         std::move(coalesce));
+    }
     worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -30,7 +92,20 @@ bool SpannerService::enqueue(dynamic::UpdateBatch batch) {
         const std::lock_guard<std::mutex> lock(drain_mutex_);
         ++enqueued_;
     }
-    if (queue_.push(std::move(batch))) return true;
+    switch (queue_.push(Ingest{std::move(batch), 1})) {
+        case PushResult::kQueued:
+            return true;
+        case PushResult::kCoalesced:
+            // The carrier batch's `merged` count now covers this
+            // enqueue, so drain accounting balances when it lands.
+            batches_coalesced_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        case PushResult::kRejected:
+            batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        case PushResult::kClosed:
+            break;  // Post-stop rejection: not a backpressure event.
+    }
     {
         const std::lock_guard<std::mutex> lock(drain_mutex_);
         --enqueued_;
@@ -40,28 +115,148 @@ bool SpannerService::enqueue(dynamic::UpdateBatch batch) {
 }
 
 void SpannerService::worker_loop() {
-    dynamic::UpdateBatch batch;
-    while (queue_.pop(batch)) {
-        const std::size_t updates =
-            batch.moves.size() + batch.joins.size() + batch.leaves.size();
-        const auto t0 = std::chrono::steady_clock::now();
-        {
-            const std::lock_guard<std::mutex> lock(state_mutex_);
-            const dynamic::PatchStats stats = spanner_.apply(batch);
-            ++version_;
-            cached_.reset();  // Next reader copies the new topology.
-            updates_applied_ += updates;
-            if (stats.fell_back) ++fallbacks_;
-            components_patched_ += stats.components.size();
-            component_fallbacks_ += stats.component_fallbacks;
-            apply_ms_total_ += ms_between(t0, std::chrono::steady_clock::now());
-        }
+    Ingest ingest;
+    while (queue_.pop(ingest)) {
+        process(ingest);
         {
             const std::lock_guard<std::mutex> lock(drain_mutex_);
-            ++applied_;
+            applied_ += ingest.merged;
         }
         drained_.notify_all();
     }
+}
+
+void SpannerService::process(Ingest& ingest) {
+    const dynamic::UpdateBatch& batch = ingest.batch;
+    const std::size_t updates =
+        batch.moves.size() + batch.joins.size() + batch.leaves.size();
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+
+    const std::string invalid = validate_batch(batch, spanner_->node_count());
+    if (!invalid.empty()) {
+        // Caught before apply: state untouched, nothing to roll back.
+        record_quarantine(invalid, batch, /*rolled_back=*/false);
+        return;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    dynamic::PatchStats pstats;
+    if (options_.watchdog_ms > 0.0) {
+        if (!apply_with_watchdog(batch, pstats)) {
+            ++watchdog_timeouts_;
+            rebuild_from_last_good();
+            record_quarantine("watchdog: apply exceeded " +
+                                  std::to_string(options_.watchdog_ms) + " ms",
+                              batch, /*rolled_back=*/true);
+            ++version_;
+            cached_.reset();
+            return;
+        }
+    } else {
+        if (options_.apply_hook) options_.apply_hook(batch);
+        pstats = spanner_->apply(batch);
+    }
+    apply_ms_total_ += ms_between(t0, std::chrono::steady_clock::now());
+
+    bool gate_ran = false;
+    if (gate_configured_) {
+        const std::size_t cadence =
+            options_.audit_every > 0 ? options_.audit_every : 1;
+        if (++gate_counter_ % cadence == 0) {
+            gate_ran = true;
+            std::string reason = run_gate();
+            if (!reason.empty()) {
+                rebuild_from_last_good();
+                record_quarantine(std::move(reason), batch, /*rolled_back=*/true);
+                ++version_;
+                cached_.reset();
+                return;
+            }
+        }
+    }
+
+    ++version_;
+    ++batches_applied_;
+    cached_.reset();  // Next reader copies the new topology.
+    updates_applied_ += updates;
+    if (pstats.fell_back) ++fallbacks_;
+    components_patched_ += pstats.components.size();
+    component_fallbacks_ += pstats.component_fallbacks;
+    // The rollback target only advances past states the gate actually
+    // certified (or every applied state when no gate is configured).
+    if (track_last_good_ && (!gate_configured_ || gate_ran)) {
+        last_good_points_ = spanner_->positions();
+    }
+}
+
+bool SpannerService::apply_with_watchdog(const dynamic::UpdateBatch& batch,
+                                         dynamic::PatchStats& out) {
+    auto shared = std::make_shared<ApplyShared>();
+    shared->batch = batch;  // Owned copy: survives abandonment.
+    dynamic::DynamicSpanner* target = spanner_.get();
+    const auto hook = options_.apply_hook;
+    std::thread applier([shared, target, hook] {
+        if (hook) hook(shared->batch);
+        dynamic::PatchStats stats = target->apply(shared->batch);
+        {
+            const std::lock_guard<std::mutex> lock(shared->mutex);
+            shared->stats = std::move(stats);
+            shared->done = true;
+        }
+        shared->done_cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    const bool finished = shared->done_cv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(options_.watchdog_ms),
+        [&] { return shared->done; });
+    lock.unlock();
+    if (finished) {
+        applier.join();
+        out = std::move(shared->stats);
+        return true;
+    }
+    // Walk away: the thread keeps running against the orphaned spanner
+    // until it finishes on its own; stop() reaps both.
+    orphans_.push_back(
+        Orphan{std::move(applier), std::move(spanner_), std::move(shared)});
+    return false;
+}
+
+std::string SpannerService::run_gate() {
+    if (options_.post_apply_check) {
+        Snapshot snap;
+        snap.version = version_ + 1;
+        snap.points = spanner_->positions();
+        snap.radius = spanner_->radius();
+        snap.udg = spanner_->udg();
+        snap.backbone = spanner_->backbone();
+        return options_.post_apply_check(snap);
+    }
+    const verify::AuditTrail trail = verify::audit_backbone(
+        spanner_->udg(), spanner_->backbone(), options_.audit_options);
+    if (trail.pass()) return {};
+    const verify::AuditReport* failure = trail.first_failure();
+    return failure ? "audit gate: " + failure->summary() : "audit gate failed";
+}
+
+void SpannerService::rebuild_from_last_good() {
+    spanner_ = std::make_unique<dynamic::DynamicSpanner>(
+        *engine_, std::vector<geom::Point>(last_good_points_), radius_);
+}
+
+void SpannerService::record_quarantine(std::string reason,
+                                       const dynamic::UpdateBatch& batch,
+                                       bool rolled_back) {
+    QuarantineReport report;
+    report.version = version_;
+    report.reason = std::move(reason);
+    report.moves = batch.moves.size();
+    report.joins = batch.joins.size();
+    report.leaves = batch.leaves.size();
+    report.rolled_back = rolled_back;
+    quarantine_reports_.push_back(std::move(report));
+    ++batches_quarantined_;
 }
 
 SnapshotHandle SpannerService::snapshot() {
@@ -69,10 +264,10 @@ SnapshotHandle SpannerService::snapshot() {
     if (!cached_) {
         auto snap = std::make_shared<Snapshot>();
         snap->version = version_;
-        snap->points = spanner_.positions();
-        snap->radius = spanner_.radius();
-        snap->udg = spanner_.udg();
-        snap->backbone = spanner_.backbone();
+        snap->points = spanner_->positions();
+        snap->radius = spanner_->radius();
+        snap->udg = spanner_->udg();
+        snap->backbone = spanner_->backbone();
         cached_ = std::move(snap);
         ++snapshots_published_;
     }
@@ -89,18 +284,26 @@ void SpannerService::stop() {
     const std::lock_guard<std::mutex> lock(stop_mutex_);
     queue_.close();  // Worker drains the backlog, then pop() returns false.
     if (worker_.joinable()) worker_.join();
+    // Reap abandoned appliers: safe now — the worker is gone, so
+    // orphans_ has no concurrent writer.
+    for (Orphan& orphan : orphans_) {
+        if (orphan.thread.joinable()) orphan.thread.join();
+    }
+    orphans_.clear();
 }
 
 ServiceStats SpannerService::stats() const {
     ServiceStats out;
     {
         const std::lock_guard<std::mutex> lock(state_mutex_);
-        out.batches_applied = version_;
+        out.batches_applied = batches_applied_;
         out.updates_applied = updates_applied_;
         out.fallbacks = fallbacks_;
         out.components_patched = components_patched_;
         out.component_fallbacks = component_fallbacks_;
         out.snapshots_published = snapshots_published_;
+        out.batches_quarantined = batches_quarantined_;
+        out.watchdog_timeouts = watchdog_timeouts_;
         out.version = version_;
         out.apply_ms_total = apply_ms_total_;
         const double elapsed_ms =
@@ -114,8 +317,16 @@ ServiceStats SpannerService::stats() const {
         const std::lock_guard<std::mutex> lock(drain_mutex_);
         out.batches_enqueued = enqueued_;
     }
+    out.batches_rejected = batches_rejected_.load(std::memory_order_relaxed);
+    out.batches_coalesced = batches_coalesced_.load(std::memory_order_relaxed);
     out.queue_depth = queue_.depth();
+    out.queue_capacity = options_.queue_capacity;
     return out;
+}
+
+std::vector<QuarantineReport> SpannerService::quarantine_reports() const {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    return quarantine_reports_;
 }
 
 }  // namespace geospanner::service

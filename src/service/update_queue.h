@@ -6,29 +6,68 @@
 // blocking pop gives the ingest worker an idle wait for free. close()
 // wakes the consumer for shutdown; pops drain remaining items first so
 // no accepted update is ever dropped.
+//
+// Backpressure: unbounded by default. set_bound() caps the depth and
+// picks what a full queue does to a push — coalesce into the newest
+// queued item (when the caller's CoalesceFn accepts the pair), reject,
+// or block until the consumer makes room. close() wakes blocked
+// producers too; their items are rejected as kClosed.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <utility>
 
 namespace geospanner::service {
 
+/// What push() did with the item.
+enum class PushResult {
+    kQueued,     ///< appended to the queue
+    kCoalesced,  ///< merged into the newest queued item (not appended)
+    kRejected,   ///< full queue + reject policy; item dropped
+    kClosed,     ///< queue closed; item dropped
+};
+
 template <typename T>
 class UpdateQueue {
   public:
-    /// Enqueues one item (any thread). Returns false when the queue is
-    /// closed — the item is rejected, not queued.
-    bool push(T item) {
-        {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            if (closed_) return false;
-            items_.push_back(std::move(item));
+    /// Merges `incoming` into the newest queued item `newest`; returns
+    /// false when the pair is not mergeable (push falls through to the
+    /// reject/block policy).
+    using CoalesceFn = std::function<bool(T& newest, T& incoming)>;
+
+    /// Caps the queue at `capacity` items (0 = unbounded). On a full
+    /// queue, push first tries `coalesce` (when given), then rejects
+    /// (`reject_when_full`) or blocks until space. Call before the
+    /// producers start; not thread-safe against concurrent push.
+    void set_bound(std::size_t capacity, bool reject_when_full,
+                   CoalesceFn coalesce = {}) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = capacity;
+        reject_when_full_ = reject_when_full;
+        coalesce_ = std::move(coalesce);
+    }
+
+    /// Enqueues one item (any thread) under the configured policy.
+    [[nodiscard]] PushResult push(T item) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_) return PushResult::kClosed;
+        if (capacity_ > 0 && items_.size() >= capacity_) {
+            if (coalesce_ && !items_.empty() && coalesce_(items_.back(), item)) {
+                return PushResult::kCoalesced;  // Consumer already awake.
+            }
+            if (reject_when_full_) return PushResult::kRejected;
+            space_.wait(lock,
+                        [&] { return closed_ || items_.size() < capacity_; });
+            if (closed_) return PushResult::kClosed;
         }
+        items_.push_back(std::move(item));
+        lock.unlock();
         ready_.notify_one();
-        return true;
+        return PushResult::kQueued;
     }
 
     /// Blocks until an item is available or the queue is closed and
@@ -39,17 +78,20 @@ class UpdateQueue {
         if (items_.empty()) return false;
         out = std::move(items_.front());
         items_.pop_front();
+        lock.unlock();
+        space_.notify_one();
         return true;
     }
 
-    /// Rejects future pushes and wakes the consumer once the backlog is
-    /// drained. Idempotent.
+    /// Rejects future pushes, wakes blocked producers, and wakes the
+    /// consumer once the backlog is drained. Idempotent.
     void close() {
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             closed_ = true;
         }
         ready_.notify_all();
+        space_.notify_all();
     }
 
     [[nodiscard]] std::size_t depth() const {
@@ -60,8 +102,12 @@ class UpdateQueue {
   private:
     mutable std::mutex mutex_;
     std::condition_variable ready_;
+    std::condition_variable space_;
     std::deque<T> items_;
     bool closed_ = false;
+    std::size_t capacity_ = 0;  ///< 0 = unbounded
+    bool reject_when_full_ = false;
+    CoalesceFn coalesce_;
 };
 
 }  // namespace geospanner::service

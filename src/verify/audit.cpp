@@ -141,7 +141,16 @@ AuditReport check_dominator_packing(const GeometricGraph& udg,
         }
     }
 
-    // Domination + Lemma 1: every dominatee lists 1..5 adjacent dominators.
+    // Domination + Lemma 1: every dominatee lists 1..5 adjacent
+    // dominators. Under a quasi-UDG (independence_alpha < 1) the
+    // angular argument behind 5 is unavailable — non-adjacent
+    // dominators are only α·radius apart — so the cap relaxes to the
+    // area-packing bound: disjoint α/2-radius disks inside a
+    // (1 + α/2)-radius disk give (2/α + 1)².
+    const double alpha = std::clamp(options.independence_alpha, 1e-9, 1.0);
+    const std::size_t dom_cap =
+        alpha < 1.0 ? static_cast<std::size_t>((2.0 / alpha + 1.0) * (2.0 / alpha + 1.0))
+                    : options.max_dominators;
     for (NodeId v = 0; v < n; ++v) {
         if (cluster.is_dominator(v)) continue;
         const auto doms = cluster.dominators(v);
@@ -152,12 +161,12 @@ AuditReport check_dominator_packing(const GeometricGraph& udg,
             add_witness(report, options, std::move(w));
             continue;
         }
-        if (doms.size() > options.max_dominators) {
+        if (doms.size() > dom_cap) {
             Witness w;
             w.nodes.push_back(v);
             for (const NodeId d : doms) w.nodes.push_back(d);
             w.measured = static_cast<double>(doms.size());
-            w.bound = static_cast<double>(options.max_dominators);
+            w.bound = static_cast<double>(dom_cap);
             w.detail = "dominatee " + std::to_string(v) + " has " +
                        std::to_string(doms.size()) + " dominators";
             add_witness(report, options, std::move(w));
@@ -176,7 +185,8 @@ AuditReport check_dominator_packing(const GeometricGraph& udg,
         }
     }
 
-    // Lemma 2: at most (2k+1)^2 dominators within k radii of any node.
+    // Lemma 2: at most (2k/α+1)^2 dominators within k radii of any node
+    // (α = 1 recovers the paper's (2k+1)^2 exactly).
     const double radius = effective_radius(udg, options);
     if (radius > 0.0) {
         std::vector<NodeId> dominators;
@@ -185,7 +195,8 @@ AuditReport check_dominator_packing(const GeometricGraph& udg,
         }
         for (NodeId v = 0; v < n; ++v) {
             for (const int k : {1, 2}) {
-                const auto bound = static_cast<std::size_t>((2 * k + 1) * (2 * k + 1));
+                const double b = 2.0 * static_cast<double>(k) / alpha + 1.0;
+                const auto bound = static_cast<std::size_t>(b * b);
                 std::size_t count = 0;
                 for (const NodeId d : dominators) {
                     if (geom::distance(udg.point(v), udg.point(d)) <= k * radius) {

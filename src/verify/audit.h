@@ -68,6 +68,13 @@ struct AuditOptions {
     std::size_t max_messages_per_node = 250;  ///< Lemma 3 empirical cap
     double max_hop_stretch_slack = 2.0;       ///< Lemma 5: hops ≤ 3h + slack
     double max_length_stretch = 16.0;         ///< Lemma 6 constant (far pairs)
+    /// Quasi-UDG link-radius floor factor (fault::QuasiUdgModel::alpha).
+    /// Under a quasi-UDG, MIS independence only separates dominators by
+    /// α·radius, so the disk-packing constants of Lemmas 1–2 relax:
+    /// < 1 switches the Lemma 1 cap to the area-packing bound
+    /// (2/α + 1)² and the Lemma 2 cap to (2k/α + 1)². 1.0 = exact UDG
+    /// (the paper's constants).
+    double independence_alpha = 1.0;
 };
 
 // ---- Per-lemma checkers ----------------------------------------------

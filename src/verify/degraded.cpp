@@ -1,0 +1,137 @@
+#include "verify/degraded.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace geospanner::verify {
+
+bool DegradedAudit::pass() const {
+    for (const DegradedClaim& c : claims) {
+        if (c.claimed && !c.report.pass) return false;
+    }
+    return true;
+}
+
+std::string DegradedAudit::summary() const {
+    std::ostringstream out;
+    out << "degraded guarantees (alpha=" << conditions.alpha
+        << ", crashed=" << conditions.crashed << "): "
+        << (pass() ? "PASS" : "FAIL") << "\n";
+    for (const DegradedClaim& c : claims) {
+        out << "  " << (c.claimed ? "CLAIMED " : "ADVISORY") << " " << c.lemma << " — "
+            << c.statement << ": " << (c.report.pass ? "PASS" : "FAIL");
+        if (!c.report.pass && !c.report.witnesses.empty()) {
+            out << " (" << c.report.witnesses.front().detail << ")";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+DegradedAudit check_degraded_guarantees(const graph::GeometricGraph& udg,
+                                        const core::Backbone& backbone,
+                                        const DegradedConditions& conditions,
+                                        const AuditOptions& base) {
+    DegradedAudit audit;
+    audit.conditions = conditions;
+    const double alpha =
+        conditions.alpha > 0.0 && conditions.alpha < 1.0 ? conditions.alpha : 1.0;
+    const bool quasi = alpha < 1.0;
+    const auto degree_scale =
+        static_cast<std::size_t>(std::ceil(1.0 / (alpha * alpha)));
+    const std::string survivors =
+        conditions.crashed > 0
+            ? " over the surviving topology (" + std::to_string(conditions.crashed) +
+                  " crashed)"
+            : "";
+
+    // Lemmas 1+2: packing survives with area-packing constants —
+    // independence still separates dominators, just only by α·radius.
+    {
+        AuditOptions opts = base;
+        opts.independence_alpha = alpha;
+        DegradedClaim c;
+        c.lemma = "Lemma 1+2";
+        c.claimed = true;
+        c.statement =
+            quasi ? "≤ (2/α+1)² dominators per dominatee, ≤ (2k/α+1)² per k-ball" +
+                        survivors
+                  : "≤ 5 dominators per dominatee, ≤ (2k+1)² per k-ball" + survivors;
+        c.report = check_dominator_packing(udg, backbone.cluster, opts);
+        audit.claims.push_back(std::move(c));
+    }
+
+    // Lemma 3: the O(1) message argument counts protocol rounds, not
+    // disk geometry — unchanged under any radio model.
+    {
+        DegradedClaim c;
+        c.lemma = "Lemma 3";
+        c.claimed = true;
+        c.statement = "O(1) messages per node (model-free)" + survivors;
+        c.report = check_message_bounds(backbone.messages, base);
+        audit.claims.push_back(std::move(c));
+    }
+
+    // Lemma 4: backbone degrees are bounded by the dominator packing
+    // around each node, so the caps scale with the packing relaxation.
+    {
+        AuditOptions opts = base;
+        opts.max_cds_degree = base.max_cds_degree * degree_scale;
+        opts.max_icds_degree = base.max_icds_degree * degree_scale;
+        DegradedClaim c;
+        c.lemma = "Lemma 4";
+        c.claimed = true;
+        c.statement = quasi ? "backbone degree caps × ⌈1/α²⌉" + survivors
+                            : "bounded CDS/ICDS/LDel degree" + survivors;
+        c.report = check_backbone_degree(backbone, opts);
+        audit.claims.push_back(std::move(c));
+    }
+
+    // Lemmas 5+6: the 3h+2 hop bound is graph-theoretic w.r.t. the
+    // communication graph the backbone was built over, so it survives
+    // untouched; the length-stretch constant divides by α (each hop
+    // still spans ≤ r but a "necessary" hop may only cover α·r).
+    {
+        AuditOptions opts = base;
+        opts.max_length_stretch = base.max_length_stretch / alpha;
+        DegradedClaim c;
+        c.lemma = "Lemma 5+6";
+        c.claimed = true;
+        c.statement = quasi ? "hop stretch ≤ 3h+2 unchanged; length stretch ≤ C/α" +
+                                  survivors
+                            : "hop stretch ≤ 3h+2; length stretch ≤ C" + survivors;
+        c.report = check_stretch_bounds(udg, backbone, opts);
+        audit.claims.push_back(std::move(c));
+    }
+
+    // Lemma 7: LDel planarity rests on crossing links being locally
+    // detectable, which needs a common disk radius. Only claimed at
+    // α = 1; below that the certificate is advisory (it often still
+    // passes — crossings need the degraded band to cut asymmetrically).
+    {
+        DegradedClaim c;
+        c.lemma = "Lemma 7";
+        c.claimed = !quasi;
+        c.statement = quasi ? "planar embedding NOT guaranteed under quasi-UDG "
+                              "(advisory check)"
+                            : "LDel(ICDS) planar embedding" + survivors;
+        c.report = check_planarity_certificate(backbone.ldel_icds, base);
+        audit.claims.push_back(std::move(c));
+    }
+
+    // Lemma 8: connectivity preservation is checked component-wise
+    // against whatever graph exists, so crashes (which only remove
+    // nodes/links) never invalidate the claim itself.
+    {
+        DegradedClaim c;
+        c.lemma = "Lemma 8";
+        c.claimed = true;
+        c.statement = "backbone preserves UDG reachability" + survivors;
+        c.report = check_connectivity_preserved(udg, backbone, base);
+        audit.claims.push_back(std::move(c));
+    }
+
+    return audit;
+}
+
+}  // namespace geospanner::verify

@@ -1,0 +1,73 @@
+// Degraded-mode guarantee certificates: which Lemma 1–8 claims survive
+// when the radio model or the node population degrades, and with what
+// relaxed constants.
+//
+// The paper proves Lemmas 1–8 for a fault-free unit disk graph. Under a
+// quasi-UDG with per-link radii in [α·r, r] (fault::QuasiUdgModel) and
+// after crashes remove nodes, the claims split three ways:
+//   * structural/graph-theoretic claims (domination, messages, hop
+//     stretch, connectivity preservation) still hold w.r.t. whatever
+//     communication graph actually exists — the proofs never used the
+//     disk geometry;
+//   * geometric packing claims (Lemmas 1, 2, 4, 6) survive with
+//     constants relaxed by powers of 1/α — MIS independence still
+//     separates dominators, just only by α·r;
+//   * the planarity claim (Lemma 7) is only guaranteed at α = 1: with
+//     heterogeneous link radii, the local Delaunay argument that
+//     crossing edges are locally detectable breaks down.
+// check_degraded_guarantees runs every checker against the degraded
+// graph with the relaxed constants and returns one claim per lemma
+// group, marked `claimed` when the theory still promises it (so a
+// failed unclaimed check is advisory, not a defect).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "verify/audit.h"
+
+namespace geospanner::verify {
+
+/// The active fault conditions a certificate is stated under.
+struct DegradedConditions {
+    double alpha = 1.0;       ///< quasi-UDG link-radius floor factor (1 = exact UDG)
+    std::size_t crashed = 0;  ///< nodes currently failed (isolated / removed)
+};
+
+/// One lemma-group claim under the conditions: whether the theory still
+/// claims it, the (possibly relaxed) bound in words, and the checked
+/// certificate. An unclaimed claim's report is advisory.
+struct DegradedClaim {
+    std::string lemma;
+    bool claimed = false;
+    std::string statement;
+    AuditReport report;
+};
+
+/// The full degraded-mode certificate. pass() ignores advisory
+/// (unclaimed) reports: the service is healthy when everything the
+/// theory still promises actually holds.
+struct DegradedAudit {
+    DegradedConditions conditions;
+    std::vector<DegradedClaim> claims;
+
+    [[nodiscard]] bool pass() const;
+    /// One line per claim: CLAIMED/ADVISORY, the statement, PASS/FAIL.
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Audits `backbone` (built over the degraded `udg`) against the
+/// Lemma 1–8 claims that survive under `conditions`. `base` supplies
+/// the fault-free caps; the relaxations are derived from it:
+///   Lemma 1+2  claimed, caps (2/α+1)² and (2k/α+1)²  (area packing)
+///   Lemma 3    claimed, unchanged (protocol locality is model-free)
+///   Lemma 4    claimed, degree caps × ⌈1/α²⌉
+///   Lemma 5+6  claimed; hop bound unchanged, length stretch / α
+///   Lemma 7    claimed only at α = 1 (advisory below)
+///   Lemma 8    claimed, unchanged (component-wise, crash-safe)
+[[nodiscard]] DegradedAudit check_degraded_guarantees(
+    const graph::GeometricGraph& udg, const core::Backbone& backbone,
+    const DegradedConditions& conditions, const AuditOptions& base = {});
+
+}  // namespace geospanner::verify

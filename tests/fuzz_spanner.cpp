@@ -10,7 +10,12 @@
 // local sessions. The update-schedule fuzz extends the harness to the
 // dynamic path: randomized batch splits of one logical move schedule
 // must all converge to the same topology, with diverging schedules
-// ddmin-shrunk to a minimal move list.
+// ddmin-shrunk to a minimal move list. The chaos fuzz does the same for
+// full fault schedules (crashes, outages, joins, leaves, churn): every
+// seeded schedule must replay through fault::SelfHealer to the
+// from-scratch topology, and a diverging schedule is ddmin-shrunk over
+// its event list (stale-event skipping keeps every subsequence
+// applicable) and dumped as a replayable JSON schedule artifact.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -22,6 +27,8 @@
 #include "dynamic/spanner.h"
 #include "dynamic_test_util.h"
 #include "engine/engine.h"
+#include "fault/chaos.h"
+#include "fault/healer.h"
 #include "graph/planarity.h"
 #include "io/serialize.h"
 #include "proximity/udg.h"
@@ -378,6 +385,105 @@ TEST(FuzzSpanner, UpdateScheduleBatchSplitsConverge) {
             break;
         }
     }
+}
+
+// ---- Chaos-schedule fuzz ----------------------------------------------
+
+/// Replays a slice of a chaos schedule's events through SelfHealer +
+/// DynamicSpanner; "" when the healer mirror, the maintained positions,
+/// and the from-scratch build all agree, otherwise the first diverging
+/// structure. Works on any subsequence of the schedule's events — the
+/// healer skips events staled by the omissions.
+std::string chaos_divergence(const fault::ChaosSchedule& schedule,
+                             const std::vector<fault::ChaosEvent>& events) {
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(protocol::ClusterPolicy::kLowestId));
+    dynamic::DynamicSpanner dyn(engine, schedule.initial, schedule.radius);
+    fault::SelfHealer healer(schedule);
+    for (const auto& translated : healer.translate(events)) {
+        dyn.apply(translated.batch);
+    }
+    if (dyn.positions() != healer.world().points) return "healer-mirror";
+    return test::divergence(dyn, protocol::ClusterPolicy::kLowestId);
+}
+
+TEST(FuzzSpanner, ChaosSchedulesConvergeWithShrinkableRepros) {
+    // Every seeded fault schedule — crashes (graveyard moves through
+    // the repair path), regional outages, join/leave churn, mobility —
+    // must leave the incremental patcher on the exact topology a
+    // from-scratch build produces. A divergence is ddmin-shrunk over
+    // the event list to a minimal failing schedule and saved as a
+    // standalone JSON repro.
+    const double radius = 55.0;
+    fault::ChaosConfig config;
+    config.steps = 15;
+    config.move_rate = 2.0;
+    config.crash_rate = 0.5;
+    config.join_rate = 0.5;
+    config.leave_rate = 0.3;
+    config.outage_rate = 0.1;
+    config.side = 200.0;
+    for (const std::uint64_t seed : sweep_seeds()) {
+        const auto udg = test::connected_udg(50, 200.0, radius, seed);
+        ASSERT_GT(udg.node_count(), 0u);
+        const fault::ChaosSchedule schedule =
+            fault::generate_chaos(udg.points(), radius, config, seed * 977 + 1);
+
+        const std::string d = chaos_divergence(schedule, schedule.events);
+        if (d.empty()) continue;
+
+        const auto fails = [&](const std::vector<fault::ChaosEvent>& events) {
+            return !chaos_divergence(schedule, events).empty();
+        };
+        fault::ChaosSchedule repro = schedule;
+        repro.events = test::shrink_list(schedule.events, fails);
+        const auto path = (test::fuzz_artifact_dir() /
+                           ("chaos_fuzz_seed" + std::to_string(repro.seed) + ".json"))
+                              .string();
+        fault::save_schedule(path, repro);
+        ADD_FAILURE() << "chaos schedule diverged (seed=" << repro.seed << "): " << d
+                      << "\n  shrunk to " << repro.events.size() << " of "
+                      << schedule.events.size() << " events; repro: " << path;
+    }
+}
+
+TEST(FuzzSpanner, ChaosShrinkingPreservesTheFailure) {
+    // The shrink machinery itself: plant a synthetic "failure" (any
+    // subsequence still containing the first crash event) and check
+    // ddmin reduces a whole schedule to exactly that event while every
+    // intermediate candidate stayed applicable (no translate() throw /
+    // mirror desync).
+    const double radius = 55.0;
+    const auto udg = test::connected_udg(40, 200.0, radius, 7);
+    ASSERT_GT(udg.node_count(), 0u);
+    fault::ChaosConfig config;
+    config.steps = 10;
+    config.crash_rate = 0.6;
+    config.side = 200.0;
+    const fault::ChaosSchedule schedule =
+        fault::generate_chaos(udg.points(), radius, config, 91);
+
+    const fault::ChaosEvent* first_crash = nullptr;
+    for (const auto& e : schedule.events) {
+        if (e.kind == fault::ChaosKind::kCrash) {
+            first_crash = &e;
+            break;
+        }
+    }
+    ASSERT_NE(first_crash, nullptr);
+
+    const auto fails = [&](const std::vector<fault::ChaosEvent>& events) {
+        // Replay for the side effect of exercising translate() on the
+        // subsequence; the mirror must stay in lockstep throughout.
+        EXPECT_EQ(chaos_divergence(schedule, events), "");
+        for (const auto& e : events) {
+            if (e == *first_crash) return true;
+        }
+        return false;
+    };
+    const auto shrunk = test::shrink_list(schedule.events, fails);
+    ASSERT_EQ(shrunk.size(), 1u);
+    EXPECT_EQ(shrunk[0], *first_crash);
 }
 
 }  // namespace

@@ -102,6 +102,67 @@ TEST(Netsim, MaxSlotsStopsRunawayRuns) {
     EXPECT_EQ(stats.stuck_in_queues, 1u);
 }
 
+TEST(Netsim, DeadForwardingHopDropsPacket) {
+    // Node 2 crashed mid-path: the packet leaves 0, node 1 transmits
+    // toward the corpse, and the hop is charged to dropped_dead_hop.
+    const auto g = path5();
+    Config config;
+    config.dead.assign(5, 0);
+    config.dead[2] = 1;
+    const Stats stats = run_simulation(5, hop_routes(g), {{0, 0, 4}}, config);
+    EXPECT_EQ(stats.injected, 1u);
+    EXPECT_EQ(stats.delivered, 0u);
+    EXPECT_EQ(stats.dropped_dead_hop, 1u);
+    // Node 1 spent the transmission before discovering the dead hop.
+    EXPECT_EQ(stats.transmissions, (std::vector<std::size_t>{1, 1, 0, 0, 0}));
+}
+
+TEST(Netsim, DeadEndpointsDropAtInjection) {
+    const auto g = path5();
+    Config config;
+    config.dead.assign(5, 0);
+    config.dead[0] = 1;  // Dead source.
+    config.dead[4] = 1;  // Dead destination.
+    const Stats stats = run_simulation(
+        5, hop_routes(g), {{0, 0, 3}, {0, 1, 4}, {0, 1, 3}}, config);
+    EXPECT_EQ(stats.injected, 3u);
+    EXPECT_EQ(stats.dropped_dead_hop, 2u);  // No transmissions charged.
+    EXPECT_EQ(stats.delivered, 1u);         // 1 -> 3 still flows.
+}
+
+TEST(Netsim, CertainLinkLossDropsEveryTransmission) {
+    const auto g = path5();
+    Config config;
+    config.loss_rate = 1.0;
+    config.loss_seed = 17;
+    const Stats stats = run_simulation(5, hop_routes(g), {{0, 0, 4}}, config);
+    EXPECT_EQ(stats.delivered, 0u);
+    EXPECT_EQ(stats.dropped_link_loss, 1u);  // Lost on the first hop.
+    EXPECT_EQ(stats.transmissions[0], 1u);   // The sender still paid for it.
+}
+
+TEST(Netsim, HopByHopHonorsDeadAndLossConfig) {
+    const auto g = path5();
+    const StepperFactory factory = [&g](NodeId /*src*/, NodeId dst) {
+        return [&g, dst](NodeId at) {
+            const auto path = graph::shortest_hop_path(g, at, dst);
+            return path.size() >= 2 ? path[1] : graph::kInvalidNode;
+        };
+    };
+    Config config;
+    config.dead.assign(5, 0);
+    config.dead[2] = 1;
+    Stats stats = run_hop_by_hop(5, factory, {{0, 0, 4}}, config);
+    EXPECT_EQ(stats.delivered, 0u);
+    EXPECT_EQ(stats.dropped_dead_hop, 1u);
+
+    config.dead.clear();
+    config.loss_rate = 1.0;
+    stats = run_hop_by_hop(5, factory, {{0, 0, 4}}, config);
+    EXPECT_EQ(stats.delivered, 0u);
+    EXPECT_EQ(stats.dropped_link_loss, 1u);
+}
+
 TEST(Netsim, TrafficGeneratorsAreDeterministicAndValid) {
     const auto a = uniform_traffic(50, 200, 4, 9);
     EXPECT_EQ(a, [] {

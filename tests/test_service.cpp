@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,9 +57,9 @@ dynamic::UpdateBatch make_batch(rnd::Xoshiro256& rng, std::size_t n,
 TEST(UpdateQueue, PushPopOrderAndClose) {
     UpdateQueue<int> queue;
     EXPECT_EQ(queue.depth(), 0u);
-    EXPECT_TRUE(queue.push(1));
-    EXPECT_TRUE(queue.push(2));
-    EXPECT_TRUE(queue.push(3));
+    EXPECT_EQ(queue.push(1), PushResult::kQueued);
+    EXPECT_EQ(queue.push(2), PushResult::kQueued);
+    EXPECT_EQ(queue.push(3), PushResult::kQueued);
     EXPECT_EQ(queue.depth(), 3u);
 
     int out = 0;
@@ -66,7 +67,7 @@ TEST(UpdateQueue, PushPopOrderAndClose) {
     EXPECT_EQ(out, 1);
 
     queue.close();
-    EXPECT_FALSE(queue.push(4));  // Rejected, not queued.
+    EXPECT_EQ(queue.push(4), PushResult::kClosed);  // Rejected, not queued.
     // The backlog accepted before close() still drains in order.
     EXPECT_TRUE(queue.pop(out));
     EXPECT_EQ(out, 2);
@@ -74,6 +75,51 @@ TEST(UpdateQueue, PushPopOrderAndClose) {
     EXPECT_EQ(out, 3);
     EXPECT_FALSE(queue.pop(out));  // Shutdown.
     queue.close();                 // Idempotent.
+}
+
+TEST(UpdateQueue, BoundedRejectAndCoalescePolicies) {
+    UpdateQueue<int> queue;
+    queue.set_bound(2, /*reject_when_full=*/true);
+    EXPECT_EQ(queue.push(1), PushResult::kQueued);
+    EXPECT_EQ(queue.push(2), PushResult::kQueued);
+    EXPECT_EQ(queue.push(3), PushResult::kRejected);
+    EXPECT_EQ(queue.depth(), 2u);
+
+    // Coalescing merges into the newest queued item; a refused merge
+    // falls through to the reject policy.
+    queue.set_bound(2, /*reject_when_full=*/true, [](int& newest, int& incoming) {
+        if (incoming < 0) return false;
+        newest += incoming;
+        return true;
+    });
+    EXPECT_EQ(queue.push(10), PushResult::kCoalesced);
+    EXPECT_EQ(queue.push(-1), PushResult::kRejected);
+    EXPECT_EQ(queue.depth(), 2u);
+
+    int out = 0;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 12);  // 2 absorbed the coalesced 10.
+}
+
+TEST(UpdateQueue, BoundedBlockWakesOnPopAndClose) {
+    UpdateQueue<int> queue;
+    queue.set_bound(1, /*reject_when_full=*/false);
+    EXPECT_EQ(queue.push(1), PushResult::kQueued);
+
+    // A blocked producer completes once the consumer makes room.
+    std::thread producer([&] { EXPECT_EQ(queue.push(2), PushResult::kQueued); });
+    int out = 0;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 1);
+    producer.join();
+    EXPECT_EQ(queue.depth(), 1u);
+
+    // A producer blocked at close() time is rejected, not deadlocked.
+    std::thread blocked([&] { EXPECT_EQ(queue.push(3), PushResult::kClosed); });
+    queue.close();
+    blocked.join();
 }
 
 TEST(UpdateQueue, BlockedPopWakesOnClose) {
@@ -244,6 +290,162 @@ TEST(SpannerService, ConcurrentProducersAndReadersSoak) {
     const ServiceStats stats = service.stats();
     EXPECT_EQ(stats.batches_applied, accepted.load());
     EXPECT_EQ(stats.updates_applied, accepted.load() * 3);
+    EXPECT_EQ(snapshot_divergence(*service.snapshot()), "");
+}
+
+// Shutdown races, exercised under the TSan job: stop() racing drain()
+// and enqueue() from many threads must neither deadlock nor corrupt the
+// accounting, and the documented contract holds — every enqueue that
+// returned true before/through the race was applied, everything after
+// stop() returns false.
+TEST(SpannerService, StopRacesDrainAndEnqueue) {
+    const auto udg = test::connected_udg(40, 180.0, kRadius, 61);
+    ASSERT_GT(udg.node_count(), 0u);
+    const std::size_t n = udg.node_count();
+    const std::vector<geom::Point> initial = udg.points();
+
+    for (int round = 0; round < 3; ++round) {
+        engine::SpannerEngine engine(
+            test::dynamic_engine_options(ClusterPolicy::kLowestId, 2));
+        SpannerService service(engine, initial, kRadius);
+
+        std::atomic<std::size_t> accepted{0};
+        std::atomic<std::size_t> rejected{0};
+        std::vector<std::thread> threads;
+        for (std::size_t p = 0; p < 3; ++p) {
+            threads.emplace_back([&, p] {
+                rnd::Xoshiro256 rng(7000 + 10 * round + p);
+                for (int i = 0; i < 8; ++i) {
+                    if (service.enqueue(make_batch(rng, n, initial, 2))) {
+                        ++accepted;
+                    } else {
+                        ++rejected;
+                    }
+                }
+            });
+        }
+        threads.emplace_back([&] { service.drain(); });
+        threads.emplace_back([&] { service.stop(); });
+        for (auto& t : threads) t.join();
+
+        // False-after-stop: once stop() returned, enqueue must refuse.
+        rnd::Xoshiro256 rng(99);
+        EXPECT_FALSE(service.enqueue(make_batch(rng, n, initial, 2)));
+        service.drain();  // Trivially satisfied after the join.
+
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.batches_applied, accepted.load());
+        EXPECT_EQ(stats.batches_enqueued, accepted.load());
+        EXPECT_EQ(stats.queue_depth, 0u);
+        EXPECT_EQ(snapshot_divergence(*service.snapshot()), "");
+    }
+}
+
+TEST(SpannerService, RejectBackpressureCountsDropsAndKeepsServing) {
+    const auto udg = test::connected_udg(40, 180.0, kRadius, 33);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(ClusterPolicy::kLowestId, 2));
+    ServiceOptions options;
+    options.queue_capacity = 2;
+    options.backpressure = BackpressurePolicy::kReject;
+    // Park the worker so pushes pile up deterministically.
+    std::atomic<bool> hold{true};
+    options.apply_hook = [&](const dynamic::UpdateBatch&) {
+        while (hold.load()) std::this_thread::yield();
+    };
+    SpannerService service(engine, udg.points(), kRadius, options);
+
+    rnd::Xoshiro256 rng(3);
+    std::size_t accepted = 0;
+    std::size_t refused = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (service.enqueue(make_batch(rng, udg.node_count(), udg.points(), 2))) {
+            ++accepted;
+        } else {
+            ++refused;
+        }
+    }
+    EXPECT_GE(refused, 8u - 3u);  // 1 in flight + 2 queued at most.
+    hold = false;
+    service.drain();
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.batches_rejected, refused);
+    EXPECT_EQ(stats.batches_applied, accepted);
+    EXPECT_EQ(stats.batches_enqueued, accepted);
+    EXPECT_EQ(stats.queue_capacity, 2u);
+    EXPECT_EQ(snapshot_divergence(*service.snapshot()), "");
+}
+
+TEST(SpannerService, CoalesceBackpressureMergesMoveOnlyBatches) {
+    const auto udg = test::connected_udg(40, 180.0, kRadius, 37);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(ClusterPolicy::kLowestId, 2));
+    ServiceOptions options;
+    options.queue_capacity = 1;
+    options.backpressure = BackpressurePolicy::kCoalesce;
+    std::atomic<bool> hold{true};
+    options.apply_hook = [&](const dynamic::UpdateBatch&) {
+        while (hold.load()) std::this_thread::yield();
+    };
+    SpannerService service(engine, udg.points(), kRadius, options);
+
+    rnd::Xoshiro256 rng(5);
+    // First batch occupies the worker; the next fills the queue; the
+    // rest coalesce into it. All count as enqueued and all drain.
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(service.enqueue(make_batch(rng, udg.node_count(), udg.points(), 2)));
+    }
+    const ServiceStats mid = service.stats();
+    EXPECT_GE(mid.batches_coalesced, 3u);
+    hold = false;
+    service.drain();
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.batches_enqueued, 6u);
+    EXPECT_EQ(stats.updates_applied, 12u);  // Every move landed exactly once.
+    EXPECT_EQ(stats.batches_applied + stats.batches_coalesced, 6u);
+    EXPECT_EQ(snapshot_divergence(*service.snapshot()), "");
+}
+
+TEST(SpannerService, PoisonedBatchIsQuarantinedBeforeApply) {
+    const auto udg = test::connected_udg(40, 180.0, kRadius, 41);
+    ASSERT_GT(udg.node_count(), 0u);
+    engine::SpannerEngine engine(
+        test::dynamic_engine_options(ClusterPolicy::kLowestId, 2));
+    SpannerService service(engine, udg.points(), kRadius);
+
+    rnd::Xoshiro256 rng(9);
+    ASSERT_TRUE(service.enqueue(make_batch(rng, udg.node_count(), udg.points(), 2)));
+
+    dynamic::UpdateBatch poisoned;
+    poisoned.moves.push_back(
+        {0, {std::numeric_limits<double>::quiet_NaN(), 0.0}});
+    ASSERT_TRUE(service.enqueue(std::move(poisoned)));  // Accepted, then caught.
+
+    dynamic::UpdateBatch out_of_range;
+    out_of_range.leaves.push_back(static_cast<NodeId>(udg.node_count() + 7));
+    ASSERT_TRUE(service.enqueue(std::move(out_of_range)));
+
+    ASSERT_TRUE(service.enqueue(make_batch(rng, udg.node_count(), udg.points(), 2)));
+    service.drain();
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.batches_enqueued, 4u);
+    EXPECT_EQ(stats.batches_applied, 2u);      // The healthy ones.
+    EXPECT_EQ(stats.batches_quarantined, 2u);  // The poisoned ones.
+    EXPECT_EQ(stats.version, 2u);  // Pre-apply catches publish nothing.
+
+    const auto reports = service.quarantine_reports();
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_NE(reports[0].reason.find("non-finite"), std::string::npos);
+    EXPECT_FALSE(reports[0].rolled_back);
+    EXPECT_NE(reports[1].reason.find("nonexistent"), std::string::npos);
+
+    // The service kept serving: the final state is exactly the two
+    // healthy batches applied to the initial topology.
     EXPECT_EQ(snapshot_divergence(*service.snapshot()), "");
 }
 

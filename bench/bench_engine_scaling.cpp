@@ -8,8 +8,12 @@
 // measurement is appended as one JSON object to $GS_BENCH_JSON (default
 // BENCH_engine.json) for the perf trajectory; the single-instance
 // section also prints the 4-thread speedup on the 50k-node uniform
-// workload (the scaling acceptance metric) and the per-stage wall-time
-// breakdown at the largest n, where the stage mix actually matters.
+// workload (the scaling acceptance metric) and the per-stage breakdown
+// — wall time plus share of total, with the Morton/grid reorder cost as
+// its own "grid" row — at the largest n on one thread, where the stage
+// mix actually matters. Each single-instance row also carries the
+// exact-predicate fallback share of that build (pred_exact_share),
+// tying the float filter's hit rate to the trajectory.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -23,6 +27,7 @@
 #include "core/workload.h"
 #include "engine/batch.h"
 #include "engine/engine.h"
+#include "geom/predicates.h"
 #include "io/table.h"
 
 using namespace geospanner;
@@ -71,11 +76,17 @@ int main() {
         for (const std::size_t threads : thread_counts) {
             engine::SpannerEngine eng({.threads = threads});
             engine::BuildResult result;
+            geom::reset_predicate_counters();
             const double ms = run_ms([&] { result = eng.build(points, 1.0); });
+            const geom::PredicateCounters preds = geom::predicate_counters();
+            const double exact_share =
+                preds.total() > 0 ? static_cast<double>(preds.exact_total()) /
+                                        static_cast<double>(preds.total())
+                                  : 0.0;
             if (threads == 1) base_ms = ms;
             const double speedup = ms > 0.0 ? base_ms / ms : 0.0;
             if (n == 50'000 && threads == 4) speedup_50k_4t = speedup;
-            if (n == node_counts.back() && threads == thread_counts.back()) {
+            if (n == node_counts.back() && threads == 1) {
                 largest_n_stage_table = result.stats.table();
             }
 
@@ -95,6 +106,7 @@ int main() {
                 .add("speedup_vs_1t", speedup)
                 .add("udg_edges", result.udg.edge_count())
                 .add("backbone_nodes", result.backbone.backbone_size())
+                .add("pred_exact_share", exact_share)
                 .raw("stages", result.stats.json());
             sink.emit(obj);
         }
@@ -106,8 +118,8 @@ int main() {
                   << "x (hardware threads: " << hw << ")\n\n";
     }
     if (!largest_n_stage_table.empty()) {
-        std::cout << "per-stage breakdown at n=" << node_counts.back() << ", threads="
-                  << thread_counts.back() << ":\n"
+        std::cout << "per-stage breakdown at n=" << node_counts.back()
+                  << ", threads=1:\n"
                   << largest_n_stage_table << '\n';
     }
 

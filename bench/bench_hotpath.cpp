@@ -1,0 +1,164 @@
+// Construction hot-path microbenches: the three kernels a build spends
+// its time in, measured in isolation so regressions are attributable
+// before they blur into full-pipeline wall time.
+//
+//  * cell grid — CSR build cost and batched 3x3 neighbor enumeration
+//    over the gathered coordinate columns (candidate visits/s);
+//  * incircle — filtered in-circumcircle throughput on a uniform
+//    workload, with the float filter's hit rate from the predicate
+//    counters (the exact-fallback share is the robustness tax);
+//  * Bowyer–Watson — workspace-reusing Delaunay insertion rate on
+//    Morton-ordered inserts (points/s).
+//
+// One JSON object per kernel is appended to $GS_BENCH_JSON (default
+// BENCH_hotpath.json). GS_BENCH_TRIALS controls repetitions (best-of);
+// GS_BENCH_NMAX caps the point-set size.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/workload.h"
+#include "delaunay/delaunay.h"
+#include "geom/predicates.h"
+#include "proximity/cell_grid.h"
+#include "random/rng.h"
+
+using namespace geospanner;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_ms(const std::function<void()>& fn) {
+    const auto start = Clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+double best_of(std::size_t trials, const std::function<void()>& fn) {
+    double best = run_ms(fn);
+    for (std::size_t t = 1; t < trials; ++t) best = std::min(best, run_ms(fn));
+    return best;
+}
+
+/// Uniform deployment with expected UDG degree ~12 at unit radius.
+std::vector<geom::Point> deployment(std::size_t n, std::uint64_t seed) {
+    core::WorkloadConfig config;
+    config.node_count = n;
+    config.side = std::sqrt(static_cast<double>(n) * 3.14159265358979 / 12.0);
+    config.seed = seed;
+    return core::uniform_points(config);
+}
+
+}  // namespace
+
+int main() {
+    const std::size_t trials = bench::trials_or(3);
+    const std::size_t n = bench::nmax_or(50'000);
+    const bench::JsonSink sink("hotpath", "BENCH_hotpath.json");
+    const auto points = deployment(n, 4242);
+    std::cout << "hot-path kernels (n=" << n << ", trials=" << trials << ")\n\n";
+
+    // ---- Cell grid: CSR build + batched neighbor enumeration. ----
+    {
+        const double build_ms =
+            best_of(trials, [&] { proximity::CompactCellGrid rebuilt(points, 1.0); });
+        const proximity::CompactCellGrid grid(points, 1.0);
+        std::size_t neighbor_pairs = 0;
+        const double scan_ms = best_of(trials, [&] {
+            std::size_t found = 0;
+            for (graph::NodeId v = 0; v < points.size(); ++v) {
+                grid.for_neighbors_above(points[v], v, 1.0,
+                                         [&](graph::NodeId) { ++found; });
+            }
+            neighbor_pairs = found;
+        });
+        const double scans_per_s =
+            scan_ms > 0.0 ? 1000.0 * static_cast<double>(points.size()) / scan_ms : 0.0;
+        std::cout << "cell grid      build " << build_ms << " ms, full scan " << scan_ms
+                  << " ms (" << scans_per_s << " node scans/s, " << neighbor_pairs
+                  << " pairs)\n";
+        auto obj = sink.row();
+        obj.add("kernel", "cell_grid")
+            .add("n", n)
+            .add("build_ms", build_ms)
+            .add("scan_ms", scan_ms)
+            .add("node_scans_per_s", scans_per_s)
+            .add("neighbor_pairs", neighbor_pairs);
+        sink.emit(obj);
+    }
+
+    // ---- Incircle: filtered throughput + filter hit rate. ----
+    {
+        // Random CCW triples and query points drawn from the deployment:
+        // the distribution the Delaunay stage actually evaluates.
+        rnd::Xoshiro256 rng(99);
+        struct Query {
+            geom::Point a, b, c, d;
+        };
+        std::vector<Query> queries;
+        queries.reserve(200'000);
+        while (queries.size() < 200'000) {
+            Query q{points[rng.below(points.size())], points[rng.below(points.size())],
+                    points[rng.below(points.size())], points[rng.below(points.size())]};
+            const int o = geom::orient_sign(q.a, q.b, q.c);
+            if (o == 0) continue;
+            if (o < 0) std::swap(q.b, q.c);
+            queries.push_back(q);
+        }
+        geom::reset_predicate_counters();
+        long long acc = 0;
+        const double ms = best_of(trials, [&] {
+            long long sum = 0;
+            for (const Query& q : queries) sum += geom::incircle_ccw(q.a, q.b, q.c, q.d);
+            acc = sum;
+        });
+        const geom::PredicateCounters preds = geom::predicate_counters();
+        const std::uint64_t calls = preds.incircle_fast + preds.incircle_exact;
+        const double hit_rate =
+            calls > 0 ? static_cast<double>(preds.incircle_fast) /
+                            static_cast<double>(calls)
+                      : 1.0;
+        const double per_s =
+            ms > 0.0 ? 1000.0 * static_cast<double>(queries.size()) / ms : 0.0;
+        std::cout << "incircle       " << per_s << " calls/s, filter hit rate "
+                  << hit_rate << " (sign sum " << acc << ")\n";
+        auto obj = sink.row();
+        obj.add("kernel", "incircle")
+            .add("calls", queries.size())
+            .add("wall_ms", ms)
+            .add("calls_per_s", per_s)
+            .add("filter_hit_rate", hit_rate);
+        sink.emit(obj);
+    }
+
+    // ---- Bowyer–Watson: workspace-reusing insertion rate. ----
+    {
+        delaunay::Workspace ws;
+        std::vector<delaunay::Triangle> tris;
+        std::size_t triangles = 0;
+        const double ms = best_of(trials, [&] {
+            tris.clear();
+            delaunay::triangulate(points, ws, tris);
+            triangles = tris.size();
+        });
+        const double inserts_per_s =
+            ms > 0.0 ? 1000.0 * static_cast<double>(points.size()) / ms : 0.0;
+        std::cout << "bowyer-watson  " << inserts_per_s << " inserts/s (" << triangles
+                  << " triangles)\n";
+        auto obj = sink.row();
+        obj.add("kernel", "bowyer_watson")
+            .add("n", n)
+            .add("wall_ms", ms)
+            .add("inserts_per_s", inserts_per_s)
+            .add("triangles", triangles);
+        sink.emit(obj);
+    }
+
+    std::cout << "\nJSON appended to " << sink.path() << '\n';
+    return 0;
+}

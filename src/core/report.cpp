@@ -16,18 +16,21 @@ double PipelineStats::total_ms() const {
 std::string PipelineStats::table() const {
     std::size_t name_width = 5;  // "stage"
     for (const auto& s : stages) name_width = std::max(name_width, s.name.size());
+    const double total = total_ms();
     std::ostringstream out;
     out << std::left << std::setw(static_cast<int>(name_width)) << "stage" << std::right
-        << std::setw(12) << "wall_ms" << std::setw(12) << "items" << std::setw(9)
-        << "threads" << '\n';
+        << std::setw(12) << "wall_ms" << std::setw(8) << "share" << std::setw(12)
+        << "items" << std::setw(9) << "threads" << '\n';
     out << std::fixed << std::setprecision(3);
     for (const auto& s : stages) {
+        const double share = total > 0.0 ? 100.0 * s.wall_ms / total : 0.0;
         out << std::left << std::setw(static_cast<int>(name_width)) << s.name
-            << std::right << std::setw(12) << s.wall_ms << std::setw(12) << s.items
-            << std::setw(9) << s.threads << '\n';
+            << std::right << std::setw(12) << s.wall_ms << std::setprecision(1)
+            << std::setw(7) << share << '%' << std::setprecision(3) << std::setw(12)
+            << s.items << std::setw(9) << s.threads << '\n';
     }
     out << std::left << std::setw(static_cast<int>(name_width)) << "total" << std::right
-        << std::setw(12) << total_ms() << '\n';
+        << std::setw(12) << total << '\n';
     return out.str();
 }
 

@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <map>
-#include <set>
-#include <unordered_map>
 
 #include "geom/predicates.h"
 
@@ -34,21 +31,162 @@ constexpr std::uint64_t edge_key(VertexId a, VertexId b) noexcept {
     return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
-struct Builder {
-    const std::vector<Point>& pts;
+/// Open-addressed edge→triangle map (linear probing, power-of-two
+/// capacity, tombstone deletion). The per-insert cost of the generic
+/// unordered_map — node allocation, pointer-chasing buckets — dominated
+/// small triangulations; this table is two flat arrays that persist
+/// across Workspace reuse. Key 2^64-1 would need both endpoints to be
+/// the ghost vertex and key 2^64-2 a ghost→(2^32-2) edge; neither occurs
+/// for any realistic vertex count, so both serve as control values.
+class FlatEdgeMap {
+  public:
+    void reset(std::size_t expected_keys) {
+        std::size_t cap = 16;
+        while (cap < 2 * expected_keys) cap *= 2;
+        if (cap != keys_.size()) {
+            keys_.assign(cap, kEmpty);
+            vals_.resize(cap);
+        } else {
+            std::fill(keys_.begin(), keys_.end(), kEmpty);
+        }
+        size_ = 0;
+        used_ = 0;
+    }
+
+    void insert(std::uint64_t key, std::uint32_t value) {
+        if (10 * (used_ + 1) >= 7 * keys_.size()) grow();
+        const std::size_t mask = keys_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        std::size_t first_free = keys_.size();
+        while (true) {
+            const std::uint64_t k = keys_[i];
+            if (k == key) {
+                vals_[i] = value;
+                return;
+            }
+            if (k == kTomb && first_free == keys_.size()) first_free = i;
+            if (k == kEmpty) {
+                if (first_free == keys_.size()) {
+                    first_free = i;
+                    ++used_;
+                }
+                keys_[first_free] = key;
+                vals_[first_free] = value;
+                ++size_;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Value for key, or kNotFound.
+    [[nodiscard]] std::uint32_t find(std::uint64_t key) const {
+        const std::size_t mask = keys_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        while (true) {
+            const std::uint64_t k = keys_[i];
+            if (k == key) return vals_[i];
+            if (k == kEmpty) return kNotFound;
+            i = (i + 1) & mask;
+        }
+    }
+
+    void erase(std::uint64_t key) {
+        const std::size_t mask = keys_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        while (true) {
+            const std::uint64_t k = keys_[i];
+            if (k == key) {
+                keys_[i] = kTomb;
+                --size_;
+                return;
+            }
+            if (k == kEmpty) return;
+            i = (i + 1) & mask;
+        }
+    }
+
+    static constexpr std::uint32_t kNotFound = static_cast<std::uint32_t>(-1);
+
+  private:
+    static constexpr std::uint64_t kEmpty = ~0ULL;
+    static constexpr std::uint64_t kTomb = ~0ULL - 1;
+
+    static std::size_t hash(std::uint64_t z) noexcept {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+
+    void grow() {
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<std::uint32_t> old_vals = std::move(vals_);
+        std::size_t cap = 16;
+        while (cap < 4 * (size_ + 1)) cap *= 2;
+        keys_.assign(cap, kEmpty);
+        vals_.resize(cap);
+        size_ = 0;
+        used_ = 0;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] != kEmpty && old_keys[i] != kTomb) {
+                insert(old_keys[i], old_vals[i]);
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint32_t> vals_;
+    std::size_t size_ = 0;  ///< live keys
+    std::size_t used_ = 0;  ///< occupied slots incl. tombstones
+};
+
+/// Interleaves the low 16 bits of x and y (Morton / Z-order code).
+std::uint32_t morton16(std::uint16_t x, std::uint16_t y) {
+    const auto spread = [](std::uint32_t v) {
+        v &= 0xFFFF;
+        v = (v | (v << 8)) & 0x00FF00FF;
+        v = (v | (v << 4)) & 0x0F0F0F0F;
+        v = (v | (v << 2)) & 0x33333333;
+        v = (v | (v << 1)) & 0x55555555;
+        return v;
+    };
+    return spread(x) | (spread(y) << 1);
+}
+
+/// Orders points lexicographically; used for the degenerate all-collinear
+/// path and for duplicate detection.
+struct PointLess {
+    bool operator()(Point a, Point b) const {
+        return a.x < b.x || (a.x == b.x && a.y < b.y);
+    }
+};
+
+}  // namespace
+
+struct Workspace::Impl {
+    const std::vector<Point>* pts = nullptr;
     std::vector<Tri> tris;
-    std::unordered_map<std::uint64_t, std::uint32_t> edge_tri;
+    FlatEdgeMap edge_tri;
     std::uint32_t hint = 0;  // Recently created triangle: walk start.
 
-    explicit Builder(const std::vector<Point>& points) : pts(points) {}
+    // Per-insert cavity scratch (cleared, never shrunk, per insertion).
+    std::vector<std::uint32_t> bad;
+    std::vector<std::uint32_t> stack;
+    std::vector<std::uint32_t> seen;
+    std::vector<std::pair<VertexId, VertexId>> boundary;
+
+    // Dedup / Morton-order scratch.
+    std::vector<VertexId> active;
+    std::vector<VertexId> by_point;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> codes;  // (code, rank)
 
     [[nodiscard]] bool is_ghost(const Tri& t) const { return t.v[2] == kGhost; }
 
     void register_tri(std::uint32_t id) {
         const auto& v = tris[id].v;
-        edge_tri[edge_key(v[0], v[1])] = id;
-        edge_tri[edge_key(v[1], v[2])] = id;
-        edge_tri[edge_key(v[2], v[0])] = id;
+        edge_tri.insert(edge_key(v[0], v[1]), id);
+        edge_tri.insert(edge_key(v[1], v[2]), id);
+        edge_tri.insert(edge_key(v[2], v[0]), id);
     }
 
     void unregister_tri(std::uint32_t id) {
@@ -59,9 +197,10 @@ struct Builder {
     }
 
     [[nodiscard]] std::uint32_t neighbor_across(VertexId a, VertexId b) const {
-        const auto it = edge_tri.find(edge_key(b, a));
-        assert(it != edge_tri.end() && "the surface is closed: every edge has two sides");
-        return it->second;
+        const std::uint32_t id = edge_tri.find(edge_key(b, a));
+        assert(id != FlatEdgeMap::kNotFound &&
+               "the surface is closed: every edge has two sides");
+        return id;
     }
 
     /// Is p inside the (open) circumdisk of triangle t? For ghosts the
@@ -70,11 +209,13 @@ struct Builder {
     /// this makes on-hull-edge and collinear-extension insertions
     /// produce no degenerate triangles).
     [[nodiscard]] bool in_circumdisk(const Tri& t, Point p) const {
+        const auto& points = *pts;
         if (!is_ghost(t)) {
-            return geom::incircle_ccw(pts[t.v[0]], pts[t.v[1]], pts[t.v[2]], p) > 0;
+            return geom::incircle_ccw(points[t.v[0]], points[t.v[1]], points[t.v[2]],
+                                      p) > 0;
         }
-        const Point a = pts[t.v[0]];
-        const Point b = pts[t.v[1]];
+        const Point a = points[t.v[0]];
+        const Point b = points[t.v[1]];
         const int o = geom::orient_sign(a, b, p);
         if (o > 0) return true;   // Strictly outside the hull across this edge.
         if (o < 0) return false;  // Strictly on the triangulated side.
@@ -88,6 +229,7 @@ struct Builder {
     /// triangulation with exact predicates; a full-scan fallback guards
     /// the bound regardless).
     [[nodiscard]] std::uint32_t locate_bad(Point p) const {
+        const auto& points = *pts;
         std::uint32_t cur = hint;
         if (!tris[cur].alive) cur = 0;
         while (!tris[cur].alive) ++cur;
@@ -101,7 +243,7 @@ struct Builder {
                 for (int e = 0; e < 3; ++e) {
                     const VertexId a = t.v[e];
                     const VertexId b = t.v[(e + 1) % 3];
-                    if (geom::orient_sign(pts[a], pts[b], p) < 0) {
+                    if (geom::orient_sign(points[a], points[b], p) < 0) {
                         next = neighbor_across(a, b);
                         break;
                     }
@@ -114,7 +256,7 @@ struct Builder {
             if (in_circumdisk(t, p)) return cur;
             const VertexId gv = t.v[0];
             const VertexId gu = t.v[1];
-            const int o = geom::orient_sign(pts[gv], pts[gu], p);
+            const int o = geom::orient_sign(points[gv], points[gu], p);
             if (o < 0) {
                 // p is on the interior side: re-enter the real mesh.
                 cur = neighbor_across(gv, gu);
@@ -122,7 +264,7 @@ struct Builder {
                 // Collinear with the hull edge but outside the segment:
                 // slide along the ghost ring toward p.
                 assert(o == 0);
-                if (dot(p - pts[gv], pts[gu] - pts[gv]) > 0.0) {
+                if (dot(p - points[gv], points[gu] - points[gv]) > 0.0) {
                     cur = neighbor_across(gu, kGhost);  // Beyond u.
                 } else {
                     cur = neighbor_across(kGhost, gv);  // Beyond v.
@@ -141,13 +283,15 @@ struct Builder {
     /// Bowyer–Watson with a BFS-grown cavity from one located bad
     /// triangle.
     void insert(VertexId pi) {
-        const Point p = pts[pi];
+        const Point p = (*pts)[pi];
 
         // Cavities are small (expected O(1) triangles), so plain vectors
         // with linear membership tests beat tree/hash sets here.
-        std::vector<std::uint32_t> bad;
-        std::vector<std::uint32_t> stack{locate_bad(p)};
-        std::vector<std::uint32_t> seen{stack[0]};
+        bad.clear();
+        stack.clear();
+        seen.clear();
+        stack.push_back(locate_bad(p));
+        seen.push_back(stack[0]);
         const auto contains = [](const std::vector<std::uint32_t>& xs, std::uint32_t x) {
             return std::find(xs.begin(), xs.end(), x) != xs.end();
         };
@@ -166,7 +310,7 @@ struct Builder {
 
         // Cavity boundary: directed edges of bad triangles whose outer
         // neighbor is good. Gather before killing so adjacency is intact.
-        std::vector<std::pair<VertexId, VertexId>> boundary;
+        boundary.clear();
         for (const std::uint32_t id : bad) {
             const auto& v = tris[id].v;
             for (int e = 0; e < 3; ++e) {
@@ -197,87 +341,136 @@ struct Builder {
             hint = id;
         }
     }
-};
 
-/// Comparator ordering points lexicographically; used for the degenerate
-/// all-collinear path and for duplicate detection.
-struct PointLess {
-    bool operator()(Point a, Point b) const {
-        return a.x < b.x || (a.x == b.x && a.y < b.y);
+    /// Fills `active` with the lowest-index representative of every
+    /// distinct point, ascending — identical to keeping first
+    /// occurrences in index order.
+    void dedup(const std::vector<Point>& points) {
+        const auto n = static_cast<VertexId>(points.size());
+        by_point.resize(n);
+        for (VertexId i = 0; i < n; ++i) by_point[i] = i;
+        std::sort(by_point.begin(), by_point.end(), [&](VertexId a, VertexId b) {
+            const PointLess less;
+            if (less(points[a], points[b])) return true;
+            if (less(points[b], points[a])) return false;
+            return a < b;
+        });
+        active.clear();
+        for (std::size_t i = 0; i < by_point.size(); ++i) {
+            if (i > 0 && points[by_point[i]] == points[by_point[i - 1]]) continue;
+            active.push_back(by_point[i]);
+        }
+        std::sort(active.begin(), active.end());
+    }
+
+    /// Reorders `active` along a Z-order curve over the point bounding
+    /// box: makes consecutive insertions spatially local, so the
+    /// visibility walk from the previous insertion is short (expected
+    /// O(1) triangles). Codes are precomputed once; rank breaks ties,
+    /// which matches a stable sort of the incoming (ascending-id) order.
+    void morton_sort(const std::vector<Point>& points) {
+        if (active.size() < 3) return;
+        double min_x = points[active[0]].x, max_x = min_x;
+        double min_y = points[active[0]].y, max_y = min_y;
+        for (const VertexId i : active) {
+            min_x = std::min(min_x, points[i].x);
+            max_x = std::max(max_x, points[i].x);
+            min_y = std::min(min_y, points[i].y);
+            max_y = std::max(max_y, points[i].y);
+        }
+        const double sx = max_x > min_x ? 65535.0 / (max_x - min_x) : 0.0;
+        const double sy = max_y > min_y ? 65535.0 / (max_y - min_y) : 0.0;
+        codes.resize(active.size());
+        for (std::uint32_t r = 0; r < active.size(); ++r) {
+            const Point p = points[active[r]];
+            codes[r] = {morton16(static_cast<std::uint16_t>((p.x - min_x) * sx),
+                                 static_cast<std::uint16_t>((p.y - min_y) * sy)),
+                        r};
+        }
+        std::sort(codes.begin(), codes.end());
+        by_point.resize(active.size());
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            by_point[i] = active[codes[i].second];
+        }
+        active.swap(by_point);
+    }
+
+    /// Core Bowyer–Watson run over the deduplicated point set. Returns
+    /// false (leaving no triangles) when fewer than three distinct
+    /// points exist or all are collinear; `active` is valid either way.
+    bool run(const std::vector<Point>& points) {
+        pts = &points;
+        tris.clear();
+        hint = 0;
+
+        dedup(points);
+        if (active.size() < 2) return false;
+
+        morton_sort(points);
+
+        // Find an initial non-collinear triple (i0, i1, ik).
+        const VertexId i0 = active[0];
+        const VertexId i1 = active[1];
+        std::size_t k = 2;
+        while (k < active.size() &&
+               geom::orient_sign(points[i0], points[i1], points[active[k]]) == 0) {
+            ++k;
+        }
+        if (k == active.size()) return false;  // All collinear.
+
+        const VertexId i2 = active[k];
+        // Four seed triangles plus ~2 per insertion; sizing the map for
+        // the final surface avoids mid-run rehashes.
+        edge_tri.reset(3 * (2 * active.size() + 4));
+
+        // Seed: one real triangle (CCW) plus three ghosts covering the plane.
+        VertexId a = i0;
+        VertexId b = i1;
+        const VertexId c = i2;
+        if (geom::orient_sign(points[a], points[b], points[c]) < 0) std::swap(a, b);
+        tris.push_back({{a, b, c}, true});
+        tris.push_back({{b, a, kGhost}, true});  // Hull edge (a, b), reversed.
+        tris.push_back({{c, b, kGhost}, true});  // Hull edge (b, c), reversed.
+        tris.push_back({{a, c, kGhost}, true});  // Hull edge (c, a), reversed.
+        for (std::uint32_t id = 0; id < 4; ++id) register_tri(id);
+
+        for (std::size_t j = 2; j < active.size(); ++j) {
+            if (active[j] == i2) continue;  // Already in the seed triangle.
+            insert(active[j]);
+        }
+        return true;
     }
 };
 
-/// Interleaves the low 16 bits of x and y (Morton / Z-order code).
-std::uint32_t morton16(std::uint16_t x, std::uint16_t y) {
-    const auto spread = [](std::uint32_t v) {
-        v &= 0xFFFF;
-        v = (v | (v << 8)) & 0x00FF00FF;
-        v = (v | (v << 4)) & 0x0F0F0F0F;
-        v = (v | (v << 2)) & 0x33333333;
-        v = (v | (v << 1)) & 0x55555555;
-        return v;
-    };
-    return spread(x) | (spread(y) << 1);
-}
+Workspace::Workspace() : impl_(std::make_unique<Impl>()) {}
+Workspace::~Workspace() = default;
+Workspace::Workspace(Workspace&&) noexcept = default;
+Workspace& Workspace::operator=(Workspace&&) noexcept = default;
 
-/// Sorts ids along a Z-order curve over the point bounding box: makes
-/// consecutive insertions spatially local, so the visibility walk from
-/// the previous insertion is short (expected O(1) triangles).
-void morton_sort(const std::vector<Point>& pts, std::vector<VertexId>& ids) {
-    if (ids.size() < 3) return;
-    double min_x = pts[ids[0]].x, max_x = min_x;
-    double min_y = pts[ids[0]].y, max_y = min_y;
-    for (const VertexId i : ids) {
-        min_x = std::min(min_x, pts[i].x);
-        max_x = std::max(max_x, pts[i].x);
-        min_y = std::min(min_y, pts[i].y);
-        max_y = std::max(max_y, pts[i].y);
+bool triangulate(const std::vector<geom::Point>& pts, Workspace& ws,
+                 std::vector<Triangle>& out) {
+    Workspace::Impl& impl = *ws.impl_;
+    if (!impl.run(pts)) return false;
+    for (const auto& t : impl.tris) {
+        if (!t.alive || t.v[2] == kGhost) continue;
+        std::array<VertexId, 3> v = t.v;
+        while (v[0] != std::min({v[0], v[1], v[2]})) {
+            std::rotate(v.begin(), v.begin() + 1, v.end());
+        }
+        out.push_back({v[0], v[1], v[2]});
     }
-    const double sx = max_x > min_x ? 65535.0 / (max_x - min_x) : 0.0;
-    const double sy = max_y > min_y ? 65535.0 / (max_y - min_y) : 0.0;
-    std::stable_sort(ids.begin(), ids.end(), [&](VertexId a, VertexId b) {
-        const auto code = [&](VertexId i) {
-            return morton16(static_cast<std::uint16_t>((pts[i].x - min_x) * sx),
-                            static_cast<std::uint16_t>((pts[i].y - min_y) * sy));
-        };
-        return code(a) < code(b);
-    });
+    return true;
 }
-
-}  // namespace
 
 DelaunayTriangulation::DelaunayTriangulation(std::vector<geom::Point> points)
     : points_(std::move(points)) {
-    const auto n = static_cast<VertexId>(points_.size());
-
-    // Deduplicate: only first occurrences participate.
-    std::map<Point, VertexId, PointLess> first_index;
-    std::vector<VertexId> active;
-    active.reserve(n);
-    for (VertexId i = 0; i < n; ++i) {
-        if (first_index.try_emplace(points_[i], i).second) active.push_back(i);
-    }
-
-    if (active.size() < 2) {
+    Workspace ws;
+    if (!triangulate(points_, ws, triangles_)) {
         degenerate_ = true;
-        return;
-    }
-
-    morton_sort(points_, active);
-
-    // Find an initial non-collinear triple (i0, i1, ik).
-    const VertexId i0 = active[0];
-    const VertexId i1 = active[1];
-    std::size_t k = 2;
-    while (k < active.size() &&
-           geom::orient_sign(points_[i0], points_[i1], points_[active[k]]) == 0) {
-        ++k;
-    }
-
-    if (k == active.size()) {
+        const std::vector<VertexId>& active = ws.impl_->active;
+        if (active.size() < 2) return;
         // All points collinear: the limit Delaunay graph is the path of
         // consecutive points along the line.
-        degenerate_ = true;
         std::vector<VertexId> order = active;
         std::sort(order.begin(), order.end(), [this](VertexId a, VertexId b) {
             return PointLess{}(points_[a], points_[b]);
@@ -291,40 +484,15 @@ DelaunayTriangulation::DelaunayTriangulation(std::vector<geom::Point> points)
         return;
     }
 
-    const VertexId i2 = active[k];
-    Builder builder(points_);
-
-    // Seed: one real triangle (CCW) plus three ghosts covering the plane.
-    VertexId a = i0;
-    VertexId b = i1;
-    const VertexId c = i2;
-    if (geom::orient_sign(points_[a], points_[b], points_[c]) < 0) std::swap(a, b);
-    builder.tris.push_back({{a, b, c}, true});
-    builder.tris.push_back({{b, a, kGhost}, true});  // Hull edge (a, b), reversed.
-    builder.tris.push_back({{c, b, kGhost}, true});  // Hull edge (b, c), reversed.
-    builder.tris.push_back({{a, c, kGhost}, true});  // Hull edge (c, a), reversed.
-    for (std::uint32_t id = 0; id < 4; ++id) builder.register_tri(id);
-
-    for (std::size_t j = 2; j < active.size(); ++j) {
-        if (active[j] == i2) continue;  // Already in the seed triangle.
-        builder.insert(active[j]);
-    }
-
-    // Harvest real triangles (canonical rotation) and edges.
-    std::set<std::pair<VertexId, VertexId>> edge_set;
-    for (const auto& t : builder.tris) {
-        if (!t.alive || t.v[2] == kGhost) continue;
-        std::array<VertexId, 3> v = t.v;
-        while (v[0] != std::min({v[0], v[1], v[2]})) {
-            std::rotate(v.begin(), v.begin() + 1, v.end());
-        }
-        triangles_.push_back({v[0], v[1], v[2]});
-        edge_set.insert({std::min(v[0], v[1]), std::max(v[0], v[1])});
-        edge_set.insert({std::min(v[1], v[2]), std::max(v[1], v[2])});
-        edge_set.insert({std::min(v[0], v[2]), std::max(v[0], v[2])});
-    }
     std::sort(triangles_.begin(), triangles_.end());
-    edges_.assign(edge_set.begin(), edge_set.end());
+    edges_.reserve(3 * triangles_.size());
+    for (const auto& t : triangles_) {
+        edges_.emplace_back(t.a, std::min(t.b, t.c));
+        edges_.emplace_back(t.a, std::max(t.b, t.c));
+        edges_.emplace_back(std::min(t.b, t.c), std::max(t.b, t.c));
+    }
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
 }
 
 }  // namespace geospanner::delaunay

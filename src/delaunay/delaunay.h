@@ -14,10 +14,21 @@
 // correct for any input, including cocircular quadruples and points on
 // hull edges. Fully collinear inputs yield the degenerate Delaunay graph
 // (the path of consecutive points along the line) and no triangles.
+//
+// The localized stage triangulates one small neighborhood per node —
+// tens of thousands of tiny inputs per build — so the construction-time
+// cost there is allocator traffic, not geometry. All mutable state of a
+// triangulation run (triangle pool, edge→triangle map, cavity queues,
+// dedup and Morton scratch) therefore lives in a reusable Workspace:
+// the first run sizes the buffers, subsequent runs reuse them without
+// touching the heap. `triangulate` is the workspace-based entry point;
+// DelaunayTriangulation wraps it with a private workspace for one-shot
+// callers.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -37,6 +48,37 @@ struct Triangle {
     friend bool operator==(Triangle, Triangle) = default;
     friend auto operator<=>(Triangle, Triangle) = default;
 };
+
+/// Arena of buffers for repeated triangulations. One workspace serves
+/// any number of sequential `triangulate` calls; distinct threads need
+/// distinct workspaces (the engine's parallel LDel stage keeps one per
+/// lane). Results never depend on the workspace's history.
+class Workspace {
+  public:
+    Workspace();
+    ~Workspace();
+    Workspace(Workspace&&) noexcept;
+    Workspace& operator=(Workspace&&) noexcept;
+    Workspace(const Workspace&) = delete;
+    Workspace& operator=(const Workspace&) = delete;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+
+    friend bool triangulate(const std::vector<geom::Point>& pts, Workspace& ws,
+                            std::vector<Triangle>& out);
+    friend class DelaunayTriangulation;  // reads the dedup result on the
+                                         // degenerate (collinear) path
+};
+
+/// Triangulates `pts` using `ws`'s buffers and appends every Delaunay
+/// triangle — canonical rotation (least vertex first, CCW), in no
+/// particular order — to `out`. Exact duplicate points keep only their
+/// first occurrence. Returns false when the input is degenerate (fewer
+/// than three distinct points, or all collinear): no triangles then.
+bool triangulate(const std::vector<geom::Point>& pts, Workspace& ws,
+                 std::vector<Triangle>& out);
 
 class DelaunayTriangulation {
   public:

@@ -1,15 +1,18 @@
 // Mutable spatial hash grid for dynamic topologies.
 //
-// Same cell geometry and hash as proximity::build_cell_grid (square
-// cells of side `cell_side`, ascending node ids per cell), plus O(1)
-// amortized point relocation: moving a node re-buckets it only when it
-// crosses a cell boundary. After any update sequence the grid equals
-// build_cell_grid over the current positions — the delta enumeration of
-// the incremental engine and the from-scratch UDG builder therefore see
+// Same cell geometry and hash as proximity::CompactCellGrid (square
+// cells of side `cell_side`, ascending node ids per cell), but stored
+// as a bucket map — updates need per-cell insertion and removal, which
+// the static CSR layout cannot offer — plus O(1) amortized point
+// relocation: moving a node re-buckets it only when it crosses a cell
+// boundary. After any update sequence the grid equals bucketing the
+// current positions from scratch — the delta enumeration of the
+// incremental engine and the from-scratch UDG builder therefore see
 // identical candidate sets (tests/test_dynamic.cpp pins the equality).
 #pragma once
 
 #include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 #include "geom/vec2.h"
@@ -18,15 +21,24 @@
 
 namespace geospanner::dynamic {
 
+/// Cell → ascending node ids; the mutable counterpart of the CSR grid.
+using CellBuckets = std::unordered_map<proximity::CellCoord,
+                                       std::vector<graph::NodeId>, proximity::CellHash>;
+
 class DynamicCellGrid {
   public:
     DynamicCellGrid() = default;
 
     DynamicCellGrid(const std::vector<geom::Point>& points, double cell_side)
-        : grid_(proximity::build_cell_grid(points, cell_side)), cell_side_(cell_side) {}
+        : cell_side_(cell_side) {
+        grid_.reserve(points.size());
+        for (graph::NodeId v = 0; v < points.size(); ++v) {
+            grid_[proximity::cell_of(points[v], cell_side)].push_back(v);
+        }
+    }
 
     [[nodiscard]] double cell_side() const noexcept { return cell_side_; }
-    [[nodiscard]] const proximity::CellGrid& cells() const noexcept { return grid_; }
+    [[nodiscard]] const CellBuckets& cells() const noexcept { return grid_; }
 
     void insert(graph::NodeId v, geom::Point p) {
         auto& list = grid_[proximity::cell_of(p, cell_side_)];
@@ -77,7 +89,7 @@ class DynamicCellGrid {
     }
 
   private:
-    proximity::CellGrid grid_;
+    CellBuckets grid_;
     double cell_side_ = 1.0;
 };
 

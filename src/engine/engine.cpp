@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
-#include <set>
+#include <cstdint>
 #include <utility>
 
 #include "protocol/clustering.h"
@@ -43,42 +42,61 @@ std::size_t stage_threads(const ThreadPool& pool) {
 //
 // Mirrors protocol::find_connectors with the per-candidate audibility
 // election evaluated in parallel: candidate lists per dominator pair are
-// built sequentially (cheap, deterministic), each list's winners are
-// decided independently per entry, and winners are merged back in pair
-// order. The determinism tests assert bit-identical ConnectorState.
+// flat (pair, candidate) entry vectors sorted and grouped by pair —
+// tree maps and per-pair node allocations were a measurable share of
+// the stage — each group's winners are decided independently, and
+// winners are merged back in pair order. The determinism tests assert
+// bit-identical ConnectorState.
 
 using DominatorPair = std::pair<NodeId, NodeId>;
-using CandidateMap = std::map<DominatorPair, std::vector<NodeId>>;
 
-/// Winners of every entry: candidate w wins iff no smaller-id candidate
-/// for the same pair is UDG-adjacent. Pure per-entry computation.
+/// Candidates for many dominator pairs in one contiguous buffer:
+/// `entries` sorted by (pair, candidate), `offsets` delimiting the
+/// per-pair groups (group g = entries[offsets[g], offsets[g+1])).
+struct CandidateGroups {
+    std::vector<std::pair<DominatorPair, NodeId>> entries;
+    std::vector<std::uint32_t> offsets;
+
+    /// Sorts entries and rebuilds the group index. Entry lists are
+    /// duplicate-free ((pair, w) is pushed at most once per phase), so
+    /// the unstable sort is deterministic.
+    void finish() {
+        std::sort(entries.begin(), entries.end());
+        offsets.clear();
+        for (std::uint32_t i = 0; i < entries.size(); ++i) {
+            if (i == 0 || entries[i].first != entries[i - 1].first) offsets.push_back(i);
+        }
+        offsets.push_back(static_cast<std::uint32_t>(entries.size()));
+    }
+
+    [[nodiscard]] std::size_t group_count() const {
+        return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+};
+
+/// Winners of every group: candidate w wins iff no smaller-id candidate
+/// for the same pair is UDG-adjacent. Candidates ascend within a group,
+/// so the beaten scan is exactly the prefix before w.
 std::vector<std::vector<NodeId>> elect_winners(ThreadPool& pool, const GeometricGraph& udg,
-                                               const CandidateMap& candidates) {
-    std::vector<const CandidateMap::value_type*> entries;
-    entries.reserve(candidates.size());
-    for (const auto& entry : candidates) entries.push_back(&entry);
-
-    std::vector<std::vector<NodeId>> winners(entries.size());
-    pool.parallel_for(0, entries.size(), [&](std::size_t i) {
-        const auto& cands = entries[i]->second;
-        for (const NodeId w : cands) {
-            const bool beaten = std::any_of(cands.begin(), cands.end(), [&](NodeId c) {
-                return c < w && udg.has_edge(c, w);
-            });
-            if (!beaten) winners[i].push_back(w);
+                                               const CandidateGroups& groups) {
+    std::vector<std::vector<NodeId>> winners(groups.group_count());
+    pool.parallel_for(0, groups.group_count(), [&](std::size_t g) {
+        const std::uint32_t begin = groups.offsets[g];
+        const std::uint32_t end = groups.offsets[g + 1];
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const NodeId w = groups.entries[k].second;
+            bool beaten = false;
+            for (std::uint32_t j = begin; j < k && !beaten; ++j) {
+                beaten = udg.has_edge(groups.entries[j].second, w);
+            }
+            if (!beaten) winners[g].push_back(w);
         }
     });
     return winners;
 }
 
-std::size_t candidate_count(const CandidateMap& m) {
-    std::size_t total = 0;
-    for (const auto& [pair, cands] : m) total += cands.size();
-    return total;
-}
-
-void add_edge_once(std::set<DominatorPair>& edges, NodeId a, NodeId b) {
-    edges.insert({std::min(a, b), std::max(a, b)});
+void add_edge_once(std::vector<DominatorPair>& edges, NodeId a, NodeId b) {
+    edges.push_back({std::min(a, b), std::max(a, b)});
 }
 
 protocol::ConnectorState parallel_connectors(ThreadPool& pool, const GeometricGraph& udg,
@@ -86,94 +104,102 @@ protocol::ConnectorState parallel_connectors(ThreadPool& pool, const GeometricGr
                                              std::size_t* items) {
     const auto n = static_cast<NodeId>(udg.node_count());
     std::vector<bool> connector(n, false);
-    std::set<DominatorPair> edges;
+    std::vector<DominatorPair> edges;
     *items = 0;
 
     // Phase A: dominators two hops apart; candidates are dominatees
     // adjacent to both.
-    CandidateMap two_hop;
+    CandidateGroups two_hop;
     for (NodeId w = 0; w < n; ++w) {
         const auto doms = cluster.dominators(w);
         for (std::size_t i = 0; i < doms.size(); ++i) {
             for (std::size_t j = i + 1; j < doms.size(); ++j) {
-                two_hop[{doms[i], doms[j]}].push_back(w);
+                two_hop.entries.push_back({{doms[i], doms[j]}, w});
             }
         }
     }
-    *items += candidate_count(two_hop);
+    two_hop.finish();
+    *items += two_hop.entries.size();
     {
         const auto winners = elect_winners(pool, udg, two_hop);
-        std::size_t i = 0;
-        for (const auto& [pair, cands] : two_hop) {
-            for (const NodeId w : winners[i]) {
+        for (std::size_t g = 0; g < winners.size(); ++g) {
+            const DominatorPair pair = two_hop.entries[two_hop.offsets[g]].first;
+            for (const NodeId w : winners[g]) {
                 connector[w] = true;
                 add_edge_once(edges, pair.first, w);
                 add_edge_once(edges, w, pair.second);
             }
-            ++i;
         }
     }
 
     // Phase B: first leg of three-hop connections (ordered pairs u → v).
-    CandidateMap first_leg;
+    CandidateGroups first_leg;
     for (NodeId w = 0; w < n; ++w) {
         for (const NodeId u : cluster.dominators(w)) {
             for (const NodeId v : cluster.two_hop_dominators(w)) {
-                first_leg[{u, v}].push_back(w);
+                first_leg.entries.push_back({{u, v}, w});
             }
         }
     }
-    *items += candidate_count(first_leg);
-    CandidateMap first_winners;
-    {
-        const auto winners = elect_winners(pool, udg, first_leg);
-        std::size_t i = 0;
-        for (const auto& [pair, cands] : first_leg) {
-            for (const NodeId w : winners[i]) {
-                first_winners[pair].push_back(w);
-                connector[w] = true;
-                add_edge_once(edges, pair.first, w);
-            }
-            ++i;
+    first_leg.finish();
+    *items += first_leg.entries.size();
+    const auto first_winners = elect_winners(pool, udg, first_leg);
+    for (std::size_t g = 0; g < first_winners.size(); ++g) {
+        const DominatorPair pair = first_leg.entries[first_leg.offsets[g]].first;
+        for (const NodeId w : first_winners[g]) {
+            connector[w] = true;
+            add_edge_once(edges, pair.first, w);
         }
     }
 
     // Phase C: second leg — dominatees of v audible from a first-leg
-    // winner.
-    CandidateMap second_leg;
-    std::map<std::pair<DominatorPair, NodeId>, std::vector<NodeId>> audible_winners;
-    for (const auto& [pair, winners] : first_winners) {
-        std::set<NodeId> cands;
-        for (const NodeId w : winners) {
+    // winner. `audible` records (pair, x, w) for every audible (winner
+    // w, dominatee x) incidence; the candidate set per pair is the
+    // deduplicated x column.
+    std::vector<std::pair<std::pair<DominatorPair, NodeId>, NodeId>> audible;
+    CandidateGroups second_leg;
+    for (std::size_t g = 0; g < first_winners.size(); ++g) {
+        const DominatorPair pair = first_leg.entries[first_leg.offsets[g]].first;
+        for (const NodeId w : first_winners[g]) {
             for (const NodeId x : udg.neighbors(w)) {
                 const auto doms = cluster.dominators(x);
                 if (std::binary_search(doms.begin(), doms.end(), pair.second)) {
-                    cands.insert(x);
-                    audible_winners[{pair, x}].push_back(w);
+                    audible.push_back({{pair, x}, w});
                 }
             }
         }
-        second_leg[pair].assign(cands.begin(), cands.end());
     }
-    *items += candidate_count(second_leg);
+    std::sort(audible.begin(), audible.end());
+    for (std::size_t i = 0; i < audible.size(); ++i) {
+        if (i == 0 || audible[i].first != audible[i - 1].first) {
+            second_leg.entries.push_back(audible[i].first);
+        }
+    }
+    second_leg.finish();
+    *items += second_leg.entries.size();
     {
         const auto winners = elect_winners(pool, udg, second_leg);
-        std::size_t i = 0;
-        for (const auto& [pair, cands] : second_leg) {
-            for (const NodeId x : winners[i]) {
+        for (std::size_t g = 0; g < winners.size(); ++g) {
+            const DominatorPair pair = second_leg.entries[second_leg.offsets[g]].first;
+            for (const NodeId x : winners[g]) {
                 connector[x] = true;
                 add_edge_once(edges, x, pair.second);
-                for (const NodeId w : audible_winners[{pair, x}]) {
-                    add_edge_once(edges, x, w);
+                const auto range = std::equal_range(
+                    audible.begin(), audible.end(),
+                    std::pair{std::pair{pair, x}, NodeId{0}},
+                    [](const auto& a, const auto& b) { return a.first < b.first; });
+                for (auto it = range.first; it != range.second; ++it) {
+                    add_edge_once(edges, x, it->second);
                 }
             }
-            ++i;
         }
     }
 
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
     protocol::ConnectorState state;
     state.is_connector = std::move(connector);
-    state.cds_edges.assign(edges.begin(), edges.end());
+    state.cds_edges = std::move(edges);
     return state;
 }
 
@@ -189,11 +215,13 @@ GeometricGraph parallel_induce(ThreadPool& pool, const GeometricGraph& udg,
             if (u > v && in_backbone[u]) kept[v].push_back(u);
         }
     });
-    GeometricGraph g(udg.points());
+    // kept[v] inherits the adjacency order (ascending), so the
+    // concatenation is lexicographic — bulk construction applies.
+    std::vector<std::pair<NodeId, NodeId>> edges;
     for (NodeId v = 0; v < n; ++v) {
-        for (const NodeId u : kept[v]) g.add_edge(v, u);
+        for (const NodeId u : kept[v]) edges.emplace_back(v, u);
     }
-    return g;
+    return GeometricGraph::from_edges(udg.points(), edges);
 }
 
 // ---- LDel stage ------------------------------------------------------
@@ -206,7 +234,11 @@ std::vector<TriangleKey> parallel_ldel1_triangles(ThreadPool& pool,
     const auto n = static_cast<NodeId>(icds.node_count());
     std::vector<std::vector<TriangleKey>> local(n);
     pool.parallel_for(0, n, [&](std::size_t u) {
-        local[u] = proximity::local_triangles_at(icds, static_cast<NodeId>(u));
+        // One triangulation arena per lane, reused across nodes and
+        // builds: the per-node local Delaunay cost is allocator-bound
+        // without it. Results are independent of scratch history.
+        thread_local proximity::LocalDelaunayScratch scratch;
+        proximity::local_triangles_at(icds, static_cast<NodeId>(u), scratch, local[u]);
     });
 
     std::vector<std::vector<TriangleKey>> mine(n);
@@ -232,10 +264,22 @@ std::vector<TriangleKey> parallel_ldel1_triangles(ThreadPool& pool,
 std::vector<TriangleKey> parallel_planarize(ThreadPool& pool, const GeometricGraph& icds,
                                             std::vector<TriangleKey> triangles) {
     const proximity::Alg3Filter filter(icds, std::move(triangles));
+    std::vector<TriangleKey> kept;
+    if (pool.thread_count() <= 1) {
+        // Single lane: the pair-at-a-time removal scan marks both sides
+        // of each intersecting pair once, halving the geometry tests.
+        // keeps(i) == !removed[i] by the Alg3Filter contract, so the
+        // output matches the parallel path bit for bit.
+        std::vector<char> removed;
+        filter.removal_scan(removed);
+        for (std::size_t i = 0; i < filter.size(); ++i) {
+            if (!removed[i]) kept.push_back(filter.triangles()[i]);
+        }
+        return kept;
+    }
     std::vector<char> keep(filter.size(), 0);
     pool.parallel_for(0, filter.size(),
                       [&](std::size_t i) { keep[i] = filter.keeps(i) ? 1 : 0; });
-    std::vector<TriangleKey> kept;
     for (std::size_t i = 0; i < filter.size(); ++i) {
         if (keep[i]) kept.push_back(filter.triangles()[i]);
     }
@@ -246,23 +290,37 @@ std::vector<TriangleKey> parallel_planarize(ThreadPool& pool, const GeometricGra
 
 GeometricGraph build_udg_staged(ThreadPool& pool, std::vector<geom::Point> points,
                                 double radius, core::PipelineStats* stats) {
-    const auto start = Clock::now();
-    GeometricGraph g(std::move(points));
-    const auto n = static_cast<NodeId>(g.node_count());
+    auto start = Clock::now();
+    const auto n = static_cast<NodeId>(points.size());
     if (n == 0 || radius <= 0.0) {
+        push_stage(stats, "grid", start, n, 1);
         push_stage(stats, "udg", start, n, stage_threads(pool));
-        return g;
+        return GeometricGraph(std::move(points));
     }
 
-    const proximity::CellGrid grid = proximity::build_cell_grid(g.points(), radius);
+    // The grid build is the Morton permutation of the point set (cells
+    // ordered by Morton code, coordinates gathered into slot order) —
+    // reported as its own stage so the reorder cost is visible next to
+    // the scans it accelerates.
+    const proximity::CompactCellGrid grid(points, radius);
+    push_stage(stats, "grid", start, n, 1);
+
+    start = Clock::now();
+    const double r2 = radius * radius;
     std::vector<std::vector<NodeId>> above(n);
     pool.parallel_for(0, n, [&](std::size_t v) {
-        proximity::collect_udg_neighbors_above(g.points(), grid, radius,
-                                               static_cast<NodeId>(v), above[v]);
+        grid.for_neighbors_above(points[v], static_cast<NodeId>(v), r2,
+                                 [&](NodeId u) { above[v].push_back(u); });
+        std::sort(above[v].begin(), above[v].end());
     });
+    std::size_t total = 0;
+    for (const auto& list : above) total += list.size();
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(total);
     for (NodeId v = 0; v < n; ++v) {
-        for (const NodeId u : above[v]) g.add_edge(v, u);
+        for (const NodeId u : above[v]) edges.emplace_back(v, u);
     }
+    GeometricGraph g = GeometricGraph::from_edges(std::move(points), edges);
     push_stage(stats, "udg", start, n, stage_threads(pool));
     return g;
 }
@@ -342,8 +400,9 @@ core::Backbone build_backbone_from_cluster(ThreadPool& pool, const GeometricGrap
     }
 
     result.is_connector = connectors.is_connector;
-    result.cds = GeometricGraph(udg.points());
-    for (const auto& [u, v] : connectors.cds_edges) result.cds.add_edge(u, v);
+    // cds_edges is sorted and duplicate-free by the connector stage's
+    // contract, exactly the bulk constructor's precondition.
+    result.cds = GeometricGraph::from_edges(udg.points(), connectors.cds_edges);
 
     result.cds_prime = core::with_dominatee_links(result.cds, result.cluster);
     result.icds_prime = core::with_dominatee_links(result.icds, result.cluster);

@@ -86,7 +86,8 @@ struct BuildResult {
 
 /// UDG stage on `pool`'s lanes: the per-node grid-cell scan runs in
 /// parallel, the edge merge happens in node order. Identical output to
-/// proximity::build_udg. Appends a "udg" stage to `stats` when given.
+/// proximity::build_udg. Appends "grid" (spatial-grid / Morton reorder
+/// cost) and "udg" (neighbor scans) stages to `stats` when given.
 [[nodiscard]] graph::GeometricGraph build_udg_staged(ThreadPool& pool,
                                                      std::vector<geom::Point> points,
                                                      double radius,

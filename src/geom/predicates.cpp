@@ -1,7 +1,10 @@
 #include "geom/predicates.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <vector>
 
 #include "geom/expansion.h"
 
@@ -10,6 +13,74 @@ namespace geospanner::geom {
 namespace {
 
 using exact::Expansion;
+
+// ---- Filter-tier counters --------------------------------------------
+//
+// One atomic block per thread (relaxed increments, no sharing on the
+// hot path), registered globally so predicate_counters() can sum the
+// fleet. A thread's tallies are folded into `retired` when it exits.
+
+enum CounterSlot : int {
+    kOrientFast = 0,
+    kOrientExact,
+    kIncircleFast,
+    kIncircleExact,
+    kDiametralFast,
+    kDiametralExact,
+    kSlotCount,
+};
+
+struct TlsCounters;
+
+struct CounterRegistry {
+    std::mutex mutex;
+    std::vector<TlsCounters*> threads;
+    PredicateCounters retired;
+};
+
+CounterRegistry& registry() {
+    static CounterRegistry r;  // leaked-never: function-local survives TLS dtors
+    return r;
+}
+
+struct alignas(64) TlsCounters {
+    std::atomic<std::uint64_t> slots[kSlotCount] = {};
+
+    TlsCounters() {
+        CounterRegistry& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mutex);
+        r.threads.push_back(this);
+    }
+
+    [[nodiscard]] PredicateCounters snapshot() const noexcept {
+        PredicateCounters c;
+        c.orient_fast = slots[kOrientFast].load(std::memory_order_relaxed);
+        c.orient_exact = slots[kOrientExact].load(std::memory_order_relaxed);
+        c.incircle_fast = slots[kIncircleFast].load(std::memory_order_relaxed);
+        c.incircle_exact = slots[kIncircleExact].load(std::memory_order_relaxed);
+        c.diametral_fast = slots[kDiametralFast].load(std::memory_order_relaxed);
+        c.diametral_exact = slots[kDiametralExact].load(std::memory_order_relaxed);
+        return c;
+    }
+
+    ~TlsCounters() {
+        CounterRegistry& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mutex);
+        const PredicateCounters c = snapshot();
+        r.retired.orient_fast += c.orient_fast;
+        r.retired.orient_exact += c.orient_exact;
+        r.retired.incircle_fast += c.incircle_fast;
+        r.retired.incircle_exact += c.incircle_exact;
+        r.retired.diametral_fast += c.diametral_fast;
+        r.retired.diametral_exact += c.diametral_exact;
+        std::erase(r.threads, this);
+    }
+};
+
+inline void bump(CounterSlot slot) noexcept {
+    thread_local TlsCounters counters;
+    counters.slots[slot].fetch_add(1, std::memory_order_relaxed);
+}
 
 // Filter constants from Shewchuk's "Adaptive Precision Floating-Point
 // Arithmetic and Fast Robust Geometric Predicates", Table 1, for IEEE
@@ -25,6 +96,8 @@ Expansion diff_expansion(double a, double b) {
     exact::two_diff(a, b, hi, lo);
     return exact::expansion_from(hi, lo);
 }
+
+}  // namespace
 
 int orient_sign_exact(Point a, Point b, Point c) {
     // det = (ax - cx)(by - cy) - (ay - cy)(bx - cx), with the differences
@@ -64,8 +137,6 @@ int incircle_sign_exact(Point a, Point b, Point c, Point d) {
     return exact::sign(det);
 }
 
-}  // namespace
-
 int orient_sign(Point a, Point b, Point c) {
     const double detleft = (a.x - c.x) * (b.y - c.y);
     const double detright = (a.y - c.y) * (b.x - c.x);
@@ -73,17 +144,30 @@ int orient_sign(Point a, Point b, Point c) {
 
     double detsum = 0.0;
     if (detleft > 0.0) {
-        if (detright <= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+        if (detright <= 0.0) {
+            // Opposite-signed (or zero) terms: the subtraction is exact
+            // enough that the double sign is already certain.
+            bump(kOrientFast);
+            return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+        }
         detsum = detleft + detright;
     } else if (detleft < 0.0) {
-        if (detright >= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+        if (detright >= 0.0) {
+            bump(kOrientFast);
+            return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+        }
         detsum = -detleft - detright;
     } else {
+        bump(kOrientFast);
         return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
     }
 
     const double errbound = kCcwErrBound * detsum;
-    if (det > errbound || -det > errbound) return det > 0.0 ? 1 : -1;
+    if (det > errbound || -det > errbound) {
+        bump(kOrientFast);
+        return det > 0.0 ? 1 : -1;
+    }
+    bump(kOrientExact);
     return orient_sign_exact(a, b, c);
 }
 
@@ -118,7 +202,11 @@ int incircle_ccw(Point a, Point b, Point c, Point d) {
                              (std::fabs(cdxady) + std::fabs(adxcdy)) * blift +
                              (std::fabs(adxbdy) + std::fabs(bdxady)) * clift;
     const double errbound = kIccErrBound * permanent;
-    if (det > errbound || -det > errbound) return det > 0.0 ? 1 : -1;
+    if (det > errbound || -det > errbound) {
+        bump(kIncircleFast);
+        return det > 0.0 ? 1 : -1;
+    }
+    bump(kIncircleExact);
     return incircle_sign_exact(a, b, c, d);
 }
 
@@ -142,8 +230,15 @@ int in_diametral_circle(Point u, Point v, Point p) {
     // Each product carries relative error <= eps plus the error of the two
     // exact-by-Sterbenz-free subtractions; 8 eps is a safely generous bound.
     const double errbound = 8.0 * kEps * magnitude;
-    if (d > errbound) return -1;
-    if (d < -errbound) return 1;
+    if (d > errbound) {
+        bump(kDiametralFast);
+        return -1;
+    }
+    if (d < -errbound) {
+        bump(kDiametralFast);
+        return 1;
+    }
+    bump(kDiametralExact);
 
     const Expansion eax = diff_expansion(u.x, p.x);
     const Expansion eay = diff_expansion(u.y, p.y);
@@ -227,6 +322,31 @@ bool segments_intersect(Point p1, Point p2, Point q1, Point q2) {
     if (segments_properly_cross(p1, p2, q1, q2)) return true;
     return on_segment(p1, p2, q1) || on_segment(p1, p2, q2) ||
            on_segment(q1, q2, p1) || on_segment(q1, q2, p2);
+}
+
+PredicateCounters predicate_counters() {
+    CounterRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    PredicateCounters out = r.retired;
+    for (const TlsCounters* t : r.threads) {
+        const PredicateCounters c = t->snapshot();
+        out.orient_fast += c.orient_fast;
+        out.orient_exact += c.orient_exact;
+        out.incircle_fast += c.incircle_fast;
+        out.incircle_exact += c.incircle_exact;
+        out.diametral_fast += c.diametral_fast;
+        out.diametral_exact += c.diametral_exact;
+    }
+    return out;
+}
+
+void reset_predicate_counters() {
+    CounterRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.retired = {};
+    for (TlsCounters* t : r.threads) {
+        for (auto& slot : t->slots) slot.store(0, std::memory_order_relaxed);
+    }
 }
 
 }  // namespace geospanner::geom

@@ -12,9 +12,55 @@
 // smaller than the bound does it fall back to exact expansion arithmetic.
 #pragma once
 
+#include <cstdint>
+
 #include "geom/vec2.h"
 
 namespace geospanner::geom {
+
+/// Tallies of the two-tier predicate path: how many orientation /
+/// in-circle / diametral tests the float filter decided outright
+/// (`*_fast`) versus how many fell through to expansion arithmetic
+/// (`*_exact`). On well-spread inputs the exact share is well under a
+/// percent; a rising share flags near-degenerate geometry (cocircular
+/// clusters, duplicated points) where construction slows down for
+/// correctness, not for lack of tuning.
+struct PredicateCounters {
+    std::uint64_t orient_fast = 0;
+    std::uint64_t orient_exact = 0;
+    std::uint64_t incircle_fast = 0;
+    std::uint64_t incircle_exact = 0;
+    std::uint64_t diametral_fast = 0;
+    std::uint64_t diametral_exact = 0;
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        return orient_fast + orient_exact + incircle_fast + incircle_exact +
+               diametral_fast + diametral_exact;
+    }
+    [[nodiscard]] std::uint64_t exact_total() const noexcept {
+        return orient_exact + incircle_exact + diametral_exact;
+    }
+};
+
+/// Counters aggregated over every thread that has evaluated predicates
+/// since the last reset (exited threads' tallies are retained). Each
+/// thread counts into its own cache line, so the hot path stays
+/// contention-free; this call walks the thread registry under a lock.
+[[nodiscard]] PredicateCounters predicate_counters();
+
+/// Zeroes the aggregate view. Counts a concurrently running thread adds
+/// during the reset may land on either side of it; callers measuring a
+/// workload should quiesce worker threads first (the engine's stages
+/// all join before returning).
+void reset_predicate_counters();
+
+/// The expansion-arithmetic tier on its own, exported so the degenerate
+/// suite and the hot-path bench can check the filtered predicates against
+/// it directly. orient_sign / incircle_ccw call these exact paths when
+/// the filter cannot certify a sign; incircle_sign_exact shares
+/// incircle_ccw's counter-clockwise precondition.
+[[nodiscard]] int orient_sign_exact(Point a, Point b, Point c);
+[[nodiscard]] int incircle_sign_exact(Point a, Point b, Point c, Point d);
 
 enum class Orientation : int {
     kClockwise = -1,

@@ -1,18 +1,28 @@
-// Uniform spatial hash grid shared by every neighbor-range scan.
+// Uniform spatial grid shared by every neighbor-range scan.
 //
 // Nodes are bucketed into square cells of side `radius`, so any pair
 // within one radius lies in the same or an adjacent cell. Both the
 // sequential UDG builder and the engine's parallel UDG stage consume the
-// same grid (and the same hash), so they enumerate identical candidate
-// sets. The grid is also tile-addressable: cells_in_rect answers
-// "every node in the cells covering this rectangle", which is how the
-// tile-sharded builder (src/shard) extracts a tile's halo region.
+// same grid, so they enumerate identical candidate sets. The grid is
+// also tile-addressable: nodes_in_rect answers "every node in the cells
+// covering this rectangle", which is how the tile-sharded builder
+// (src/shard) extracts a tile's halo region.
+//
+// Storage is CSR, not a hash map of per-cell vectors: all slots live in
+// three flat columns (node id, x, y) with one offset array delimiting
+// the cells, built by a counting sort. Cells are ordered by the Morton
+// code of their coordinates, so the 3x3 block a range scan visits maps
+// to a handful of nearby column ranges instead of pointer-chased
+// buckets scattered across the heap. The gathered x/y columns let the
+// squared-distance filter stream one contiguous range per cell
+// (SIMD-friendly); node ids ascend within each cell, matching the
+// bucket order of the retired map-based grid, so scan outputs are
+// unchanged. Cell lookup goes through a small open-addressed table —
+// the only non-contiguous touch per cell.
 #pragma once
 
-#include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -47,86 +57,92 @@ struct CellHash {
     }
 };
 
-using CellGrid = std::unordered_map<CellCoord, std::vector<graph::NodeId>, CellHash>;
+/// Immutable CSR cell grid over a point set (see file header). Mutable
+/// bucketing for dynamic topologies lives in dynamic::DynamicCellGrid.
+class CompactCellGrid {
+  public:
+    static constexpr std::uint32_t kNoCell = static_cast<std::uint32_t>(-1);
 
-/// Buckets node ids by cell; node lists are in ascending id order.
-[[nodiscard]] inline CellGrid build_cell_grid(const std::vector<geom::Point>& points,
-                                              double cell_side) {
-    CellGrid grid;
-    grid.reserve(points.size());
-    for (graph::NodeId v = 0; v < points.size(); ++v) {
-        grid[cell_of(points[v], cell_side)].push_back(v);
-    }
-    return grid;
-}
+    CompactCellGrid() = default;
 
-/// Every node bucketed in a cell that intersects the closed rectangle
-/// [min_x, max_x] × [min_y, max_y], ascending and duplicate-free. Cell
-/// granularity: the result covers every node inside the rectangle but
-/// may include nodes up to one cell_side outside it (their cell touches
-/// the rectangle). When the rectangle spans more cells than the grid
-/// holds — a huge query over a sparse grid — the scan flips to
-/// iterating the populated cells instead, so the cost is
-/// O(min(cells in rect, populated cells) + hits log hits) either way.
-[[nodiscard]] inline std::vector<graph::NodeId> cells_in_rect(const CellGrid& grid,
-                                                              double cell_side,
-                                                              double min_x, double min_y,
-                                                              double max_x,
-                                                              double max_y) {
-    std::vector<graph::NodeId> out;
-    if (min_x > max_x || min_y > max_y) return out;
-    const auto [lo_x, lo_y] = cell_of({min_x, min_y}, cell_side);
-    const auto [hi_x, hi_y] = cell_of({max_x, max_y}, cell_side);
-    // Unsigned widths: the corner cells can sit at opposite ends of the
-    // coordinate range, where a signed difference would overflow.
-    const auto span_x = static_cast<std::uint64_t>(hi_x) - static_cast<std::uint64_t>(lo_x) + 1;
-    const auto span_y = static_cast<std::uint64_t>(hi_y) - static_cast<std::uint64_t>(lo_y) + 1;
-    const bool scan_grid = span_x > grid.size() || span_y > grid.size() ||
-                           span_x * span_y > grid.size();
-    if (scan_grid) {
-        for (const auto& [cell, ids] : grid) {
-            if (cell.first < lo_x || cell.first > hi_x || cell.second < lo_y ||
-                cell.second > hi_y) {
-                continue;
-            }
-            out.insert(out.end(), ids.begin(), ids.end());
+    /// Buckets every node by cell; counting-sort build, O(n log n) in
+    /// the Morton ordering of the distinct cells.
+    CompactCellGrid(const std::vector<geom::Point>& points, double cell_side);
+
+    [[nodiscard]] double cell_side() const noexcept { return cell_side_; }
+    [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+    [[nodiscard]] std::size_t node_count() const noexcept { return ids_.size(); }
+
+    /// Morton-ordered index of the cell at `c`, or kNoCell when empty.
+    [[nodiscard]] std::uint32_t find_cell(CellCoord c) const noexcept {
+        if (table_.empty()) return kNoCell;
+        const std::size_t mask = table_.size() - 1;
+        std::size_t i = CellHash{}(c) & mask;
+        while (used_[i] != 0) {
+            if (table_[i].first == c) return table_[i].second;
+            i = (i + 1) & mask;
         }
-    } else {
-        for (long long cx = lo_x; cx <= hi_x; ++cx) {
-            for (long long cy = lo_y; cy <= hi_y; ++cy) {
-                const auto it = grid.find({cx, cy});
-                if (it == grid.end()) continue;
-                out.insert(out.end(), it->second.begin(), it->second.end());
-            }
-        }
+        return kNoCell;
     }
-    // Cells are disjoint, so sorting alone canonicalizes the result.
-    std::sort(out.begin(), out.end());
-    return out;
-}
 
-/// Appends every neighbor u of v with u > v and |pu - pv| <= radius
-/// (scanning the 3x3 cell block around v). The per-node kernel of UDG
-/// construction: pure function of (points, grid, v), safe to call
-/// concurrently for distinct v.
-inline void collect_udg_neighbors_above(const std::vector<geom::Point>& points,
-                                        const CellGrid& grid, double radius,
-                                        graph::NodeId v,
-                                        std::vector<graph::NodeId>& out) {
-    const double r2 = radius * radius;
-    const auto [cx, cy] = cell_of(points[v], radius);
-    for (long long dx = -1; dx <= 1; ++dx) {
-        for (long long dy = -1; dy <= 1; ++dy) {
-            const auto it = grid.find({cx + dx, cy + dy});
-            if (it == grid.end()) continue;
-            for (const graph::NodeId u : it->second) {
-                if (u <= v) continue;
-                if (geom::squared_distance(points[u], points[v]) <= r2) {
-                    out.push_back(u);
+    /// Raw columns. Cell k holds slots [cell_offsets()[k],
+    /// cell_offsets()[k+1]); slot ids ascend within a cell; slot_xs /
+    /// slot_ys are the coordinates gathered into slot order.
+    [[nodiscard]] const std::vector<CellCoord>& cell_coords() const noexcept {
+        return cells_;
+    }
+    [[nodiscard]] const std::vector<std::uint32_t>& cell_offsets() const noexcept {
+        return offsets_;
+    }
+    [[nodiscard]] const std::vector<graph::NodeId>& slot_ids() const noexcept {
+        return ids_;
+    }
+    [[nodiscard]] const std::vector<double>& slot_xs() const noexcept { return xs_; }
+    [[nodiscard]] const std::vector<double>& slot_ys() const noexcept { return ys_; }
+
+    /// Calls fn(u) for every node u with u > v and |pu - pv|² <= r2,
+    /// scanning the 3x3 cell block around pv one contiguous cell range
+    /// at a time (cells in (dx, dy) order, ids ascending within each —
+    /// the per-node kernel of UDG construction). Requires the query
+    /// radius <= cell_side. Pure read; safe to call concurrently.
+    template <typename Fn>
+    void for_neighbors_above(geom::Point pv, graph::NodeId v, double r2,
+                             Fn&& fn) const {
+        const auto [cx, cy] = cell_of(pv, cell_side_);
+        for (long long dx = -1; dx <= 1; ++dx) {
+            for (long long dy = -1; dy <= 1; ++dy) {
+                const std::uint32_t k = find_cell({cx + dx, cy + dy});
+                if (k == kNoCell) continue;
+                const std::uint32_t end = offsets_[k + 1];
+                for (std::uint32_t s = offsets_[k]; s < end; ++s) {
+                    const double ddx = xs_[s] - pv.x;
+                    const double ddy = ys_[s] - pv.y;
+                    if (ddx * ddx + ddy * ddy <= r2 && ids_[s] > v) fn(ids_[s]);
                 }
             }
         }
     }
-}
+
+    /// Every node bucketed in a cell that intersects the closed
+    /// rectangle [min_x, max_x] × [min_y, max_y], ascending and
+    /// duplicate-free. Cell granularity: covers every node inside the
+    /// rectangle but may include nodes up to one cell_side outside it.
+    /// When the rectangle spans more cells than the grid holds — a huge
+    /// query over a sparse grid — the scan flips to iterating the
+    /// populated cells instead, so the cost is O(min(cells in rect,
+    /// populated cells) + hits log hits) either way.
+    [[nodiscard]] std::vector<graph::NodeId> nodes_in_rect(double min_x, double min_y,
+                                                           double max_x,
+                                                           double max_y) const;
+
+  private:
+    double cell_side_ = 1.0;
+    std::vector<CellCoord> cells_;          ///< distinct cells, Morton order
+    std::vector<std::uint32_t> offsets_;    ///< cell_count()+1 slot bounds
+    std::vector<graph::NodeId> ids_;        ///< node id per slot
+    std::vector<double> xs_, ys_;           ///< gathered coordinates per slot
+    std::vector<std::pair<CellCoord, std::uint32_t>> table_;  ///< open-addressed
+    std::vector<char> used_;                ///< table occupancy (pow2 size)
+};
 
 }  // namespace geospanner::proximity

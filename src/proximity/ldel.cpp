@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
-#include <set>
 
 #include "delaunay/delaunay.h"
 #include "geom/predicates.h"
@@ -103,28 +102,37 @@ GeometricGraph graph_from(const GeometricGraph& udg,
 }  // namespace
 
 std::vector<TriangleKey> local_triangles_at(const GeometricGraph& udg, NodeId u) {
+    LocalDelaunayScratch scratch;
     std::vector<TriangleKey> result;
-    const auto nbrs = udg.neighbors(u);
-    if (nbrs.size() < 2) return result;
+    local_triangles_at(udg, u, scratch, result);
+    return result;
+}
 
-    // Local point set: u first, then its neighbors.
-    std::vector<Point> pts;
-    std::vector<NodeId> ids;
-    pts.reserve(nbrs.size() + 1);
-    ids.reserve(nbrs.size() + 1);
-    pts.push_back(udg.point(u));
-    ids.push_back(u);
+void local_triangles_at(const GeometricGraph& udg, NodeId u,
+                        LocalDelaunayScratch& scratch, std::vector<TriangleKey>& out) {
+    out.clear();
+    const auto nbrs = udg.neighbors(u);
+    if (nbrs.size() < 2) return;
+
+    // Local point set: u first, then its neighbors. Duplicate-coordinate
+    // neighbors dedup onto local index 0, so "incident to u" is exactly
+    // "contains local index 0".
+    scratch.pts.clear();
+    scratch.ids.clear();
+    scratch.tris.clear();
+    scratch.pts.push_back(udg.point(u));
+    scratch.ids.push_back(u);
     for (const NodeId v : nbrs) {
-        pts.push_back(udg.point(v));
-        ids.push_back(v);
+        scratch.pts.push_back(udg.point(v));
+        scratch.ids.push_back(v);
     }
 
-    const delaunay::DelaunayTriangulation del(std::move(pts));
-    for (const auto& t : del.triangles()) {
-        const NodeId x = ids[t.a];
-        const NodeId y = ids[t.b];
-        const NodeId z = ids[t.c];
-        if (x != u && y != u && z != u) continue;  // Only triangles at u matter.
+    if (!delaunay::triangulate(scratch.pts, scratch.ws, scratch.tris)) return;
+    for (const auto& t : scratch.tris) {
+        if (t.a != 0 && t.b != 0 && t.c != 0) continue;  // Only triangles at u matter.
+        const NodeId x = scratch.ids[t.a];
+        const NodeId y = scratch.ids[t.b];
+        const NodeId z = scratch.ids[t.c];
         // All sides at most one unit <=> all sides UDG edges; sides
         // incident to u are UDG edges by construction.
         const auto [p, q] = [&] {
@@ -133,10 +141,9 @@ std::vector<TriangleKey> local_triangles_at(const GeometricGraph& udg, NodeId u)
             return std::pair{x, y};
         }();
         if (!udg.has_edge(p, q)) continue;
-        result.push_back(make_triangle_key(x, y, z));
+        out.push_back(make_triangle_key(x, y, z));
     }
-    std::sort(result.begin(), result.end());
-    return result;
+    std::sort(out.begin(), out.end());
 }
 
 bool triangles_intersect(const GeometricGraph& g, TriangleKey s, TriangleKey t) {
@@ -150,25 +157,29 @@ bool circumcircle_contains_vertex_of(const GeometricGraph& g, TriangleKey s,
 
 std::vector<TriangleKey> ldel1_triangles(const GeometricGraph& udg) {
     const auto n = static_cast<NodeId>(udg.node_count());
-    std::vector<std::set<TriangleKey>> local(n);
+    std::vector<std::vector<TriangleKey>> local(n);
+    LocalDelaunayScratch scratch;
     for (NodeId u = 0; u < n; ++u) {
-        const auto tris = local_triangles_at(udg, u);
-        local[u].insert(tris.begin(), tris.end());
+        local_triangles_at(udg, u, scratch, local[u]);
     }
 
     // A triangle is 1-localized Delaunay iff it appears in the local
     // Delaunay triangulation of all three of its vertices (equivalent to
     // circumcircle emptiness over the union of their 1-hop neighborhoods,
     // since a Delaunay triangle of N1(x) has its circumcircle empty of
-    // N1(x)).
+    // N1(x)). Per-node lists are sorted, so membership is binary search
+    // and concatenating the least-vertex hits in node order is already
+    // globally sorted.
     std::vector<TriangleKey> result;
     for (NodeId u = 0; u < n; ++u) {
         for (const auto& t : local[u]) {
             if (t.a != u) continue;  // Count each triangle once, at its least vertex.
-            if (local[t.b].contains(t) && local[t.c].contains(t)) result.push_back(t);
+            if (std::binary_search(local[t.b].begin(), local[t.b].end(), t) &&
+                std::binary_search(local[t.c].begin(), local[t.c].end(), t)) {
+                result.push_back(t);
+            }
         }
     }
-    std::sort(result.begin(), result.end());
     return result;
 }
 
@@ -222,11 +233,24 @@ Alg3Filter::Alg3Filter(const GeometricGraph& g, std::vector<TriangleKey> triangl
         max_extent = std::max({max_extent, box.max_x - box.min_x, box.max_y - box.min_y});
     }
     cell_side_ = max_extent > 0.0 ? max_extent : 1.0;
-    grid_.reserve(keys_.size());
+    // CSR bucket build: sort (cell, index) pairs, then split the index
+    // column at cell boundaries. One allocation each, no per-cell nodes.
+    std::vector<std::pair<std::pair<long long, long long>, std::uint32_t>> entries;
+    entries.reserve(keys_.size());
     for (std::size_t i = 0; i < keys_.size(); ++i) {
-        grid_[cell_of({boxes_[i].min_x, boxes_[i].min_y}, cell_side_)].push_back(
-            static_cast<std::uint32_t>(i));
+        const CellCoord c = cell_of({boxes_[i].min_x, boxes_[i].min_y}, cell_side_);
+        entries.push_back({{c.first, c.second}, static_cast<std::uint32_t>(i)});
     }
+    std::sort(entries.begin(), entries.end());
+    cell_items_.reserve(entries.size());
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+        if (k == 0 || entries[k].first != entries[k - 1].first) {
+            cell_keys_.push_back(entries[k].first);
+            cell_offsets_.push_back(static_cast<std::uint32_t>(k));
+        }
+        cell_items_.push_back(entries[k].second);
+    }
+    cell_offsets_.push_back(static_cast<std::uint32_t>(entries.size()));
 }
 
 template <typename Fn>
@@ -240,9 +264,13 @@ void Alg3Filter::for_each_box_neighbor(std::size_t i, Fn&& fn) const {
     const auto [x_hi, y_hi] = cell_of({box.max_x, box.max_y}, cell_side_);
     for (long long cx = x_lo; cx <= x_hi; ++cx) {
         for (long long cy = y_lo; cy <= y_hi; ++cy) {
-            const auto it = grid_.find({cx, cy});
-            if (it == grid_.end()) continue;
-            for (const std::uint32_t j : it->second) fn(static_cast<std::size_t>(j));
+            const auto it = std::lower_bound(cell_keys_.begin(), cell_keys_.end(),
+                                             std::pair{cx, cy});
+            if (it == cell_keys_.end() || *it != std::pair{cx, cy}) continue;
+            const auto k = static_cast<std::size_t>(it - cell_keys_.begin());
+            for (std::uint32_t s = cell_offsets_[k]; s < cell_offsets_[k + 1]; ++s) {
+                fn(static_cast<std::size_t>(cell_items_[s]));
+            }
         }
     }
 }

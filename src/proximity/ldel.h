@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "delaunay/delaunay.h"
 #include "graph/geometric_graph.h"
 #include "proximity/cell_grid.h"
 
@@ -42,6 +43,23 @@ struct TriangleKey {
 /// Algorithm 2. Sorted canonical keys.
 [[nodiscard]] std::vector<TriangleKey> local_triangles_at(const graph::GeometricGraph& udg,
                                                           graph::NodeId u);
+
+/// Arena for repeated local_triangles_at calls: the per-node local
+/// Delaunay computation runs once per node per build, so its transient
+/// state (neighborhood point set, id map, the triangulation workspace)
+/// lives here and is reused call to call — zero steady-state heap
+/// traffic. One scratch per thread; results never depend on history.
+struct LocalDelaunayScratch {
+    delaunay::Workspace ws;
+    std::vector<geom::Point> pts;
+    std::vector<graph::NodeId> ids;
+    std::vector<delaunay::Triangle> tris;
+};
+
+/// Scratch-reusing form of local_triangles_at: replaces `out` with the
+/// same sorted canonical keys the one-shot overload returns.
+void local_triangles_at(const graph::GeometricGraph& udg, graph::NodeId u,
+                        LocalDelaunayScratch& scratch, std::vector<TriangleKey>& out);
 
 /// Strict geometric intersection of two distinct triangles: some edge
 /// pair properly crosses or a vertex of one lies strictly inside the
@@ -99,17 +117,18 @@ class Alg3Filter {
     /// True iff triangles()[i] survives Algorithm 3 against the set.
     [[nodiscard]] bool keeps(std::size_t i) const;
 
-  private:
-    friend std::vector<TriangleKey> planarize_triangles(
-        const graph::GeometricGraph& udg, const std::vector<TriangleKey>& triangles);
+    /// Removal scan over grid-pruned pairs: sets removed[i] per
+    /// triangle, agreeing with !keeps(i). Marks both sides of each
+    /// intersecting pair in one pass, so it does half the pair tests
+    /// per-index `keeps` calls need — sequential callers (and the
+    /// engine when the planarize stage runs on a single lane) should
+    /// prefer it.
+    void removal_scan(std::vector<char>& removed) const;
 
+  private:
     struct Box {
         double min_x, max_x, min_y, max_y;
     };
-
-    /// Removal scan over grid-pruned pairs (the sequential path; marks
-    /// both sides of each intersecting pair in one pass).
-    void removal_scan(std::vector<char>& removed) const;
 
     /// Calls fn(j) for every j whose bucket could hold a box
     /// intersecting box i (includes i itself; callers filter).
@@ -120,9 +139,13 @@ class Alg3Filter {
     std::vector<CcwTri> tris_;
     std::vector<Box> boxes_;
     double cell_side_ = 1.0;
-    std::unordered_map<std::pair<long long, long long>,
-                       std::vector<std::uint32_t>, CellHash>
-        grid_;
+    // Occupied cells in CSR form: `cell_keys_` holds the sorted distinct
+    // cell coordinates, bucket k is cell_items_[cell_offsets_[k],
+    // cell_offsets_[k+1]). Lookups binary-search the key column — the
+    // three columns stay contiguous, unlike per-cell node vectors.
+    std::vector<std::pair<long long, long long>> cell_keys_;
+    std::vector<std::uint32_t> cell_offsets_;
+    std::vector<std::uint32_t> cell_items_;
 };
 
 /// LDel⁽¹⁾(V): Gabriel edges plus edges of all 1-localized Delaunay

@@ -31,7 +31,7 @@ std::vector<std::vector<NodeId>> PartitionPlan::regions() const {
 
 PartitionPlan partition_points(const std::vector<geom::Point>& points, double radius,
                                std::size_t tile_target, std::size_t halo_hops,
-                               const proximity::CellGrid& grid) {
+                               const proximity::CompactCellGrid& grid) {
     PartitionPlan plan;
     plan.halo_width = static_cast<double>(std::max<std::size_t>(halo_hops, 1)) *
                       std::max(radius, 0.0);
@@ -94,10 +94,9 @@ PartitionPlan partition_points(const std::vector<geom::Point>& points, double ra
 
     for (Tile& tile : plan.tiles) {
         if (tile.owned.empty()) continue;  // nothing to build, region unused
-        tile.region = proximity::cells_in_rect(
-            grid, radius, tile.rect.min_x - plan.halo_width,
-            tile.rect.min_y - plan.halo_width, tile.rect.max_x + plan.halo_width,
-            tile.rect.max_y + plan.halo_width);
+        tile.region = grid.nodes_in_rect(
+            tile.rect.min_x - plan.halo_width, tile.rect.min_y - plan.halo_width,
+            tile.rect.max_x + plan.halo_width, tile.rect.max_y + plan.halo_width);
     }
     return plan;
 }

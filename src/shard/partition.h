@@ -7,7 +7,7 @@
 // is a total function even on degenerate inputs). Each tile's *region*
 // is its owned rectangle grown by halo_width = halo_hops · radius on
 // every side, materialized at cell granularity through the shared
-// spatial grid (proximity::cells_in_rect) — a superset of the exact
+// spatial grid (CompactCellGrid::nodes_in_rect) — a superset of the exact
 // halo, which is always safe: owned decisions read at most halo_hops
 // UDG hops ≤ halo_width of context, and extra context beyond that
 // cannot change them (see docs/ARCHITECTURE.md, shard layer).
@@ -55,6 +55,6 @@ struct PartitionPlan {
 [[nodiscard]] PartitionPlan partition_points(const std::vector<geom::Point>& points,
                                              double radius, std::size_t tile_target,
                                              std::size_t halo_hops,
-                                             const proximity::CellGrid& grid);
+                                             const proximity::CompactCellGrid& grid);
 
 }  // namespace geospanner::shard

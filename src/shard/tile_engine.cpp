@@ -137,7 +137,7 @@ ShardBuildResult TileShardedEngine::build(std::vector<geom::Point> points,
     const std::size_t n = points.size();
     const std::size_t tile_target =
         options_.tiles > 0 ? options_.tiles : 4 * pool_.thread_count();
-    const proximity::CellGrid grid = proximity::build_cell_grid(points, radius);
+    const proximity::CompactCellGrid grid(points, radius);
     const PartitionPlan plan =
         partition_points(points, radius, tile_target, options_.halo_hops, grid);
     push_stage(result.stats, "partition", start, n, 1);
@@ -146,10 +146,12 @@ ShardBuildResult TileShardedEngine::build(std::vector<geom::Point> points,
     // per-node kernel is the monolithic engine's, so the merged edge set
     // is identical by construction.
     start = Clock::now();
+    const double r2 = radius * radius;
     std::vector<std::vector<NodeId>> above(n);
     pool_.parallel_for(0, plan.tile_count(), [&](std::size_t t) {
         for (const NodeId v : plan.tiles[t].owned) {
-            proximity::collect_udg_neighbors_above(points, grid, radius, v, above[v]);
+            grid.for_neighbors_above(points[v], v, r2,
+                                     [&](NodeId u) { above[v].push_back(u); });
             std::sort(above[v].begin(), above[v].end());
         }
     });

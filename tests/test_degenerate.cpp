@@ -6,11 +6,13 @@
 // here and in the fuzz driver's degenerate modes.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "core/backbone.h"
 #include "core/workload.h"
 #include "engine/engine.h"
+#include "geom/predicates.h"
 #include "geom/vec2.h"
 #include "proximity/udg.h"
 #include "test_util.h"
@@ -128,6 +130,91 @@ TEST(Degenerate, EngineMatchesCentralizedOnDegenerateInput) {
         EXPECT_EQ(result.backbone.ldel_icds, reference.ldel_icds);
         EXPECT_EQ(result.backbone.ldel_icds_prime, reference.ldel_icds_prime);
     }
+}
+
+// ---- Float-filter boundary ------------------------------------------
+//
+// The two-tier predicates decide most signs in double precision and fall
+// back to expansion arithmetic only when the static error bound cannot
+// certify the sign. These tests drive inputs straight at that boundary
+// and pin three properties: the filtered entry points agree with the
+// exported exact tier on every input, exact ties come back as exactly
+// zero, and the fallback actually fires (visible in the counters).
+
+TEST(PredicateFilter, CocircularIntegerQuadruplesAreExactTies) {
+    // Integer points on x² + y² = 25: every incircle determinant is a
+    // small-integer computation whose true value is 0 — below any
+    // nonzero error bound, so only the exact tier can answer.
+    const geom::Point a{3.0, 4.0}, b{0.0, -5.0}, c{5.0, 0.0};
+    ASSERT_EQ(geom::orient_sign(a, b, c), 1);
+    geom::reset_predicate_counters();
+    for (const geom::Point d : {geom::Point{-3.0, 4.0}, {-3.0, -4.0}, {4.0, 3.0},
+                                {-4.0, 3.0}, {0.0, 5.0}, {-5.0, 0.0}}) {
+        EXPECT_EQ(geom::incircle_ccw(a, b, c, d), 0)
+            << "d=(" << d.x << "," << d.y << ")";
+        EXPECT_EQ(geom::incircle_sign_exact(a, b, c, d), 0);
+    }
+    const geom::PredicateCounters counters = geom::predicate_counters();
+    EXPECT_EQ(counters.incircle_exact, 6u);  // every tie fell through
+}
+
+TEST(PredicateFilter, NearCocircularPerturbationsAgreeWithExactTier) {
+    // d slides off the circle by 2^-k along x. Moving x = -3 toward 0
+    // shrinks x² + y², so +2^-k is strictly inside (+1) and -2^-k
+    // strictly outside (-1) for every k — the analytic truth the two
+    // tiers must both reproduce even when the offset is far below the
+    // filter's certificate.
+    const geom::Point a{3.0, 4.0}, b{0.0, -5.0}, c{5.0, 0.0};
+    geom::reset_predicate_counters();
+    for (int k = 4; k <= 48; k += 4) {
+        const double eps = std::ldexp(1.0, -k);
+        const geom::Point inside{-3.0 + eps, 4.0};
+        const geom::Point outside{-3.0 - eps, 4.0};
+        EXPECT_EQ(geom::incircle_ccw(a, b, c, inside), 1) << "k=" << k;
+        EXPECT_EQ(geom::incircle_sign_exact(a, b, c, inside), 1) << "k=" << k;
+        EXPECT_EQ(geom::incircle_ccw(a, b, c, outside), -1) << "k=" << k;
+        EXPECT_EQ(geom::incircle_sign_exact(a, b, c, outside), -1) << "k=" << k;
+    }
+    // Large k sit inside the error bound: the filter alone cannot have
+    // decided them all.
+    const geom::PredicateCounters counters = geom::predicate_counters();
+    EXPECT_GT(counters.incircle_exact, 0u);
+    EXPECT_GT(counters.incircle_fast, 0u);  // ...but small k stay fast
+}
+
+TEST(PredicateFilter, NearCollinearPerturbationsAgreeWithExactTier) {
+    // Third point off the line y = x by 2^-k: true orientation is +1
+    // (left turn) for any positive offset, 0 at exactly zero. k stops at
+    // 48 — beyond ulp(7.0) = 2^-50 the offset rounds away in the input
+    // itself and the point really is collinear.
+    geom::reset_predicate_counters();
+    for (int k = 20; k <= 48; k += 4) {
+        const geom::Point a{0.0, 0.0}, b{3.0, 3.0};
+        const geom::Point c{7.0, 7.0 + std::ldexp(1.0, -k)};
+        EXPECT_EQ(geom::orient_sign(a, b, c), 1) << "k=" << k;
+        EXPECT_EQ(geom::orient_sign_exact(a, b, c), 1) << "k=" << k;
+    }
+    EXPECT_EQ(geom::orient_sign(geom::Point{0.0, 0.0}, {3.0, 3.0}, {7.0, 7.0}), 0);
+    const geom::PredicateCounters counters = geom::predicate_counters();
+    EXPECT_GT(counters.orient_exact, 0u);
+}
+
+TEST(PredicateFilter, HugeMagnitudeTiesForceExpansionFallback) {
+    // The cocircular quadruple scaled by 2^150: coordinates are still
+    // exact doubles (powers of two preserve integers), the determinant
+    // is still exactly 0, and the intermediate products reach ~1e+271 —
+    // magnitudes where only expansion arithmetic keeps the tie. Also an
+    // exactly collinear triple at the same scale for the orientation
+    // filter.
+    const double s = std::ldexp(1.0, 150);
+    const geom::Point a{3.0 * s, 4.0 * s}, b{0.0, -5.0 * s}, c{5.0 * s, 0.0};
+    geom::reset_predicate_counters();
+    EXPECT_EQ(geom::incircle_ccw(a, b, c, {-3.0 * s, 4.0 * s}), 0);
+    EXPECT_EQ(geom::incircle_ccw(a, b, c, {-3.0 * s + s, 4.0 * s}), 1);
+    EXPECT_EQ(geom::orient_sign(geom::Point{0.0, 0.0}, {s, s}, {2.0 * s, 2.0 * s}), 0);
+    const geom::PredicateCounters counters = geom::predicate_counters();
+    EXPECT_GE(counters.incircle_exact, 1u);
+    EXPECT_GE(counters.orient_exact, 1u);
 }
 
 }  // namespace

@@ -82,7 +82,11 @@ TEST(DynamicCellGrid, TracksRelocationsExactly) {
             grid.insert(id, points.back());
         }
     }
-    ASSERT_EQ(grid.cells(), proximity::build_cell_grid(points, radius));
+    CellBuckets want;
+    for (NodeId v = 0; v < points.size(); ++v) {
+        want[proximity::cell_of(points[v], radius)].push_back(v);
+    }
+    ASSERT_EQ(grid.cells(), want);
     // Neighborhood enumeration equals a brute-force range scan.
     std::vector<NodeId> got;
     for (NodeId v = 0; v < points.size(); ++v) {

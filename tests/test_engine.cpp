@@ -193,9 +193,9 @@ TEST(Engine, RecordsOneStatsEntryPerStage) {
 
     std::vector<std::string> names;
     for (const auto& s : result.stats.stages) names.push_back(s.name);
-    EXPECT_EQ(names, (std::vector<std::string>{"udg", "clustering", "connectors",
-                                               "icds", "ldel", "planarize",
-                                               "assemble"}));
+    EXPECT_EQ(names, (std::vector<std::string>{"grid", "udg", "clustering",
+                                               "connectors", "icds", "ldel",
+                                               "planarize", "assemble"}));
     for (const auto& s : result.stats.stages) {
         EXPECT_GE(s.wall_ms, 0.0) << s.name;
         EXPECT_GE(s.threads, 1u) << s.name;

@@ -273,7 +273,7 @@ TEST(ShardEdgeCases, MoreTilesThanPoints) {
 TEST(ShardPartition, OwnershipIsAPartitionAndRegionsCoverHalos) {
     const auto points = test::random_points(400, 100.0, 21);
     const double radius = 3.0;
-    const auto grid = proximity::build_cell_grid(points, radius);
+    const proximity::CompactCellGrid grid(points, radius);
     const PartitionPlan plan = partition_points(points, radius, 16, 4, grid);
 
     EXPECT_EQ(plan.tiles_x * plan.tiles_y, plan.tile_count());

@@ -74,16 +74,61 @@ TEST(Udg, FarOutCoordinatesMatchBruteForce) {
 
 TEST(CellGrid, BucketsEveryNodeOnceInAscendingOrder) {
     const auto pts = test::random_points(200, 100.0, 13);
-    const proximity::CellGrid grid = proximity::build_cell_grid(pts, 7.0);
-    std::size_t total = 0;
-    for (const auto& [cell, ids] : grid) {
-        EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
-        for (const NodeId v : ids) {
+    const proximity::CompactCellGrid grid(pts, 7.0);
+    ASSERT_EQ(grid.node_count(), pts.size());
+    ASSERT_EQ(grid.cell_offsets().size(), grid.cell_count() + 1);
+    EXPECT_EQ(grid.cell_offsets().front(), 0u);
+    EXPECT_EQ(grid.cell_offsets().back(), pts.size());
+    std::vector<char> seen(pts.size(), 0);
+    for (std::size_t k = 0; k < grid.cell_count(); ++k) {
+        const auto cell = grid.cell_coords()[k];
+        EXPECT_EQ(grid.find_cell(cell), k);
+        const auto begin = grid.cell_offsets()[k];
+        const auto end = grid.cell_offsets()[k + 1];
+        EXPECT_LT(begin, end);  // only populated cells are stored
+        for (auto s = begin; s < end; ++s) {
+            const NodeId v = grid.slot_ids()[s];
+            EXPECT_FALSE(seen[v]);
+            seen[v] = 1;
+            // Slots carry the gathered coordinates of their node and
+            // ascend by id within the cell.
+            EXPECT_EQ(grid.slot_xs()[s], pts[v].x);
+            EXPECT_EQ(grid.slot_ys()[s], pts[v].y);
             EXPECT_EQ(proximity::cell_of(pts[v], 7.0), cell);
+            if (s > begin) EXPECT_LT(grid.slot_ids()[s - 1], v);
         }
-        total += ids.size();
     }
-    EXPECT_EQ(total, pts.size());
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+              static_cast<std::ptrdiff_t>(pts.size()));
+    EXPECT_EQ(grid.find_cell({1'000'000'000LL, -1'000'000'000LL}),
+              proximity::CompactCellGrid::kNoCell);
+}
+
+TEST(CellGrid, NeighborScanMatchesBruteForce) {
+    // The batched 3x3 scan vs the definition, over the same offsets the
+    // UDG equivalence test uses (far-out coordinates stress the cell
+    // hashing and the gathered-coordinate filter equally).
+    const double radius = 1.0;
+    for (const double ox : {0.0, 8.8e12}) {
+        const auto local = test::random_points(120, 9.0,
+                                               static_cast<std::uint64_t>(31.0 + ox));
+        std::vector<geom::Point> pts;
+        for (const geom::Point p : local) pts.push_back({ox + p.x, p.y});
+        const proximity::CompactCellGrid grid(pts, radius);
+        for (NodeId v = 0; v < pts.size(); ++v) {
+            std::vector<NodeId> got;
+            grid.for_neighbors_above(pts[v], v, radius * radius,
+                                     [&](NodeId u) { got.push_back(u); });
+            std::sort(got.begin(), got.end());
+            std::vector<NodeId> want;
+            for (NodeId u = v + 1; u < pts.size(); ++u) {
+                if (geom::squared_distance(pts[u], pts[v]) <= radius * radius) {
+                    want.push_back(u);
+                }
+            }
+            EXPECT_EQ(got, want) << "node " << v << " offset " << ox;
+        }
+    }
 }
 
 TEST(CellGrid, CellsInRectMatchesBruteForce) {
@@ -100,7 +145,7 @@ TEST(CellGrid, CellsInRectMatchesBruteForce) {
                 150, 90.0, static_cast<std::uint64_t>(ox + 17.0 - oy));
             std::vector<geom::Point> pts;
             for (const geom::Point p : local) pts.push_back({ox + p.x, oy + p.y});
-            const proximity::CellGrid grid = proximity::build_cell_grid(pts, side);
+            const proximity::CompactCellGrid grid(pts, side);
 
             const double rects[][4] = {
                 {10.0, 10.0, 40.0, 30.0},    // interior box
@@ -125,9 +170,7 @@ TEST(CellGrid, CellsInRectMatchesBruteForce) {
                         }
                     }
                 }
-                EXPECT_EQ(proximity::cells_in_rect(grid, side, min_x, min_y, max_x,
-                                                   max_y),
-                          expected)
+                EXPECT_EQ(grid.nodes_in_rect(min_x, min_y, max_x, max_y), expected)
                     << "rect (" << r[0] << "," << r[1] << ")-(" << r[2] << "," << r[3]
                     << ") offset (" << ox << "," << oy << ")";
             }

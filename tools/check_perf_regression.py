@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate single-thread construction speed against the committed baseline.
+
+Both inputs are JSON-lines files written by bench_engine_scaling (one
+object per measurement). The gate compares the best (minimum) wall_ms
+among `mode == "single"` rows matching the requested n and thread count
+— best-of absorbs scheduler noise on shared CI runners — and fails when
+the current run is slower than baseline by more than --max-regress.
+
+Exit codes: 0 pass, 1 regression, 2 malformed/missing input.
+
+Usage:
+  tools/check_perf_regression.py bench/baselines/BENCH_engine.json \
+      BENCH_engine.json --n 50000 --threads 1 --max-regress 0.15
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(message: str) -> None:
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def best_wall_ms(path: str, n: int, threads: int) -> float:
+    best = None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as err:
+                    die(f"{path}: bad JSON line: {err}")
+                if row.get("mode") != "single":
+                    continue
+                if row.get("n") != n or row.get("threads") != threads:
+                    continue
+                wall = row.get("wall_ms")
+                if not isinstance(wall, (int, float)) or wall <= 0:
+                    die(f"{path}: non-positive wall_ms row: {line}")
+                best = wall if best is None else min(best, wall)
+    except OSError as err:
+        die(f"cannot read {path}: {err}")
+    if best is None:
+        die(f"{path}: no mode=single row with n={n} threads={threads}")
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON-lines file")
+    parser.add_argument("current", help="freshly measured JSON-lines file")
+    parser.add_argument("--n", type=int, default=50_000)
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.15,
+        help="allowed slowdown fraction (0.15 = fail beyond +15%%)",
+    )
+    args = parser.parse_args()
+
+    base = best_wall_ms(args.baseline, args.n, args.threads)
+    cur = best_wall_ms(args.current, args.n, args.threads)
+    ratio = cur / base
+    limit = 1.0 + args.max_regress
+    print(
+        f"n={args.n} threads={args.threads}: baseline {base:.1f} ms, "
+        f"current {cur:.1f} ms, ratio {ratio:.3f} (limit {limit:.2f})"
+    )
+    if ratio > limit:
+        print(
+            f"FAIL: single-thread construction regressed "
+            f"{100.0 * (ratio - 1.0):.1f}% (> {100.0 * args.max_regress:.0f}% allowed)"
+        )
+        return 1
+    if ratio < 1.0:
+        print(f"OK: {100.0 * (1.0 - ratio):.1f}% faster than baseline")
+    else:
+        print(f"OK: within budget (+{100.0 * (ratio - 1.0):.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
